@@ -1,0 +1,118 @@
+// Allocator ablation: what does Algorithm 1 actually buy? Compares the
+// greedy marginal-gain distribution against the naive baselines a user
+// might otherwise pick — equal ranks per instance, and ranks proportional
+// to mesh size — on the 40,000-core HPC-Combustor-HPT case, running the
+// coupled mini-app simulation under each allocation.
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "perfmodel/allocator.hpp"
+#include "support/table.hpp"
+#include "workflow/coupled.hpp"
+#include "workflow/engine_case.hpp"
+#include "workflow/models.hpp"
+
+namespace {
+
+using namespace cpx;
+
+double measured_runtime(const workflow::EngineCase& ec,
+                        const sim::MachineModel& machine,
+                        const std::vector<int>& app_ranks,
+                        const std::vector<int>& cu_ranks) {
+  workflow::RankAssignment ra{app_ranks, cu_ranks};
+  workflow::CoupledSimulation sim(ec, machine, ra);
+  sim.run(20);
+  return sim.runtime() * 50.0;  // scale to 1000 density steps
+}
+
+/// Distributes `budget` over the instances proportionally to `weights`,
+/// respecting per-instance caps.
+std::vector<int> proportional(const std::vector<double>& weights,
+                              const workflow::CaseModels& models,
+                              int budget) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<int> ranks(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    ranks[i] = std::clamp(
+        static_cast<int>(weights[i] / total * budget), 1,
+        models.apps[i].max_ranks);
+  }
+  return ranks;
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = sim::MachineModel::archer2();
+  const workflow::EngineCase ec = workflow::hpc_combustor_hpt(false);
+  const workflow::CaseModels models =
+      workflow::build_case_models(ec, machine, {});
+
+  const int budget = 40000;
+  const int n = static_cast<int>(ec.instances.size());
+  // Keep the coupler allocation fixed at Alg 1's choice so the comparison
+  // isolates the application split.
+  const perfmodel::Allocation alg1 =
+      perfmodel::distribute_ranks(models.apps, models.cus, budget);
+  int cu_total = std::accumulate(alg1.cu_ranks.begin(), alg1.cu_ranks.end(), 0);
+  const int app_budget = budget - cu_total;
+
+  // Baseline 1: equal split.
+  std::vector<int> equal(static_cast<std::size_t>(n), app_budget / n);
+  for (std::size_t i = 0; i < equal.size(); ++i) {
+    equal[i] = std::min(equal[i], models.apps[i].max_ranks);
+  }
+
+  // Baseline 2: proportional to the represented mesh size (works only
+  // because the combustor proxy quotes its full-scale 380M cells).
+  std::vector<double> cells;
+  // Baseline 3: proportional to the *actual* solver grid (SIMPIC's 1-D
+  // grid is 512k cells) — the heuristic a user would apply to the codes
+  // as they stand.
+  std::vector<double> actual;
+  for (const auto& spec : ec.instances) {
+    cells.push_back(static_cast<double>(spec.mesh_cells));
+    actual.push_back(static_cast<double>(
+        spec.kind == workflow::AppKind::kSimpic ? spec.stc.cells
+                                                : spec.mesh_cells));
+  }
+  const std::vector<int> by_cells = proportional(cells, models, app_budget);
+  const std::vector<int> by_actual =
+      proportional(actual, models, app_budget);
+
+  print_banner(std::cout,
+               "Allocator ablation — coupled runtime at 40,000 cores "
+               "(Base-STC, 1000 density steps)");
+  Table table({"strategy", "SIMPIC ranks", "measured runtime (s)",
+               "vs Alg 1"});
+  const double t_alg1 =
+      measured_runtime(ec, machine, alg1.app_ranks, alg1.cu_ranks);
+  const double t_equal = measured_runtime(ec, machine, equal, alg1.cu_ranks);
+  const double t_cells =
+      measured_runtime(ec, machine, by_cells, alg1.cu_ranks);
+  table.add_row({std::string("Alg 1 (greedy marginal gain)"),
+                 static_cast<long long>(alg1.app_ranks[13]), t_alg1, 1.0});
+  table.add_row({std::string("equal ranks per instance"),
+                 static_cast<long long>(equal[13]), t_equal,
+                 t_equal / t_alg1});
+  table.add_row({std::string("proportional to represented mesh"),
+                 static_cast<long long>(by_cells[13]), t_cells,
+                 t_cells / t_alg1});
+  const double t_actual =
+      measured_runtime(ec, machine, by_actual, alg1.cu_ranks);
+  table.add_row({std::string("proportional to actual solver grid"),
+                 static_cast<long long>(by_actual[13]), t_actual,
+                 t_actual / t_alg1});
+  table.print(std::cout);
+  std::cout
+      << "(Equal split and grid-proportional allocation both starve the "
+         "combustor proxy, whose cost lives in its particles rather than "
+         "its tiny 1-D grid — exactly why the paper needs an empirical "
+         "model rather than a size heuristic. Mesh-proportional happens "
+         "to work for the Base case but has no way to anticipate the "
+         "Optimized-STC's very different balance.)\n";
+  return 0;
+}

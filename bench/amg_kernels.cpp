@@ -1,0 +1,199 @@
+// Kernel-level ablations for the §IV-B pressure-field optimisations, as
+// google-benchmark microbenchmarks on the real implementations:
+//   * SpGEMM: two-pass baseline vs single-pass SPA (sparse accumulator),
+//   * halo-column renumbering: sort+binary-search vs hash-map + merge,
+//   * smoothers: Jacobi vs Gauss-Seidel vs Hybrid GS,
+//   * AMG cycles: V-cycle vs K-cycle, tentative vs smoothed vs extended
+//     interpolation (setup and solve).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "amg/hierarchy.hpp"
+#include "amg/smoothers.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/identity_prefix.hpp"
+#include "sparse/renumber.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace cpx;
+
+// --- SpGEMM: the Galerkin product A * P on a 3-D Poisson operator ---
+
+sparse::CsrMatrix poisson_for(std::int64_t n_target) {
+  const int side = static_cast<int>(std::cbrt(static_cast<double>(n_target)));
+  return sparse::laplacian_3d(side, side, side);
+}
+
+sparse::CsrMatrix pairwise_p(std::int64_t rows) {
+  std::vector<sparse::Triplet> t;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    t.push_back({i, i / 2, 1.0});
+  }
+  return sparse::csr_from_triplets(rows, (rows + 1) / 2, t);
+}
+
+void BM_SpgemmTwoPass(benchmark::State& state) {
+  const sparse::CsrMatrix a = poisson_for(state.range(0));
+  const sparse::CsrMatrix p = pairwise_p(a.rows());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spgemm_twopass(a, p));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpgemmTwoPass)->Arg(8'000)->Arg(64'000)->Arg(216'000);
+
+void BM_SpgemmSpa(benchmark::State& state) {
+  const sparse::CsrMatrix a = poisson_for(state.range(0));
+  const sparse::CsrMatrix p = pairwise_p(a.rows());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spgemm_spa(a, p));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpgemmSpa)->Arg(8'000)->Arg(64'000)->Arg(216'000);
+
+// --- Halo-column renumbering ---
+
+std::vector<std::int64_t> halo_ids(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> ids(n);
+  for (auto& id : ids) {
+    // Clustered global ids, as halo columns are in practice.
+    id = static_cast<std::int64_t>(rng.uniform_index(n / 8 + 1)) * 13;
+  }
+  return ids;
+}
+
+void BM_RenumberSort(benchmark::State& state) {
+  const auto ids = halo_ids(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::renumber_sort(ids));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RenumberSort)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_RenumberHashMerge(benchmark::State& state) {
+  const auto ids = halo_ids(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::renumber_hash_merge(ids, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RenumberHashMerge)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+// --- Interpolation SpMV: plain CSR vs identity-prefix (section IV-B) ---
+
+sparse::CsrMatrix nested_interpolation(std::int64_t coarse) {
+  // Node-nested P: coarse points inject directly (unit prefix), fine
+  // points average two coarse neighbours.
+  std::vector<sparse::Triplet> t;
+  for (std::int64_t i = 0; i < coarse; ++i) {
+    t.push_back({i, i, 1.0});
+  }
+  for (std::int64_t i = 0; i < coarse; ++i) {
+    t.push_back({coarse + i, i, 0.5});
+    t.push_back({coarse + i, (i + 1) % coarse, 0.5});
+  }
+  return sparse::csr_from_triplets(2 * coarse, coarse, t);
+}
+
+void BM_InterpSpmvPlain(benchmark::State& state) {
+  const sparse::CsrMatrix p = nested_interpolation(state.range(0));
+  std::vector<double> x(static_cast<std::size_t>(p.cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(p.rows()));
+  for (auto _ : state) {
+    sparse::spmv(p, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.nnz());
+}
+BENCHMARK(BM_InterpSpmvPlain)->Arg(100'000)->Arg(1'000'000);
+
+void BM_InterpSpmvIdentityPrefix(benchmark::State& state) {
+  const sparse::IdentityPrefixMatrix p =
+      sparse::IdentityPrefixMatrix::from_csr(
+          nested_interpolation(state.range(0)));
+  std::vector<double> x(static_cast<std::size_t>(p.cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(p.rows()));
+  for (auto _ : state) {
+    p.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (p.stored_nnz() + p.identity_rows()));
+}
+BENCHMARK(BM_InterpSpmvIdentityPrefix)->Arg(100'000)->Arg(1'000'000);
+
+// --- Smoothers (one sweep on a 2-D Poisson problem) ---
+
+template <amg::SmootherKind kKind>
+void BM_SmootherSweep(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const sparse::CsrMatrix a = sparse::laplacian_2d(side, side);
+  const auto n = static_cast<std::size_t>(a.rows());
+  std::vector<double> x(n, 0.0);
+  std::vector<double> b(n, 1.0);
+  std::vector<double> scratch(n);
+  amg::SmootherOptions opt;
+  opt.kind = kKind;
+  for (auto _ : state) {
+    amg::smooth(a, x, b, opt, scratch);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SmootherSweep<amg::SmootherKind::kJacobi>)->Arg(256);
+BENCHMARK(BM_SmootherSweep<amg::SmootherKind::kGaussSeidel>)->Arg(256);
+BENCHMARK(BM_SmootherSweep<amg::SmootherKind::kHybridGs>)->Arg(256);
+BENCHMARK(BM_SmootherSweep<amg::SmootherKind::kL1Jacobi>)->Arg(256);
+
+// --- AMG setup (interpolation variants; SPA vs two-pass Galerkin) ---
+
+void BM_AmgSetup(benchmark::State& state) {
+  const sparse::CsrMatrix a = sparse::laplacian_3d(24, 24, 24);
+  amg::AmgOptions opt;
+  opt.interp = static_cast<amg::InterpKind>(state.range(0));
+  opt.spgemm = state.range(1) == 0 ? amg::SpgemmKind::kTwoPass
+                                   : amg::SpgemmKind::kSpa;
+  for (auto _ : state) {
+    amg::AmgHierarchy h(a, opt);
+    benchmark::DoNotOptimize(h.num_levels());
+  }
+}
+BENCHMARK(BM_AmgSetup)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->ArgNames({"interp", "spa"});
+
+// --- AMG solve: V-cycle vs K-cycle to fixed tolerance ---
+
+void BM_AmgSolve(benchmark::State& state) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(96, 96);
+  amg::AmgOptions opt;
+  opt.cycle = state.range(0) == 0 ? amg::CycleKind::kV : amg::CycleKind::kK;
+  amg::AmgHierarchy h(a, opt);
+  const auto n = static_cast<std::size_t>(a.rows());
+  Rng rng(12);
+  std::vector<double> b(n);
+  for (double& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<double> x(n);
+  int cycles = 0;
+  for (auto _ : state) {
+    std::fill(x.begin(), x.end(), 0.0);
+    cycles = h.solve(x, b, 1e-8, 100);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["cycles_to_1e-8"] = cycles;
+}
+BENCHMARK(BM_AmgSolve)->Arg(0)->Arg(1)->ArgNames({"kcycle"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

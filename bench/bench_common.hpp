@@ -1,0 +1,88 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches: standalone scaling
+// sweeps of an App factory and speedup / parallel-efficiency series
+// formatted like the paper's plots.
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perfmodel/sweep.hpp"
+#include "sim/cluster.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace cpx::bench {
+
+/// A measured strong-scaling series with derived speedup/PE columns
+/// (relative to the first core count).
+struct Series {
+  std::string name;
+  std::vector<double> cores;
+  std::vector<double> seconds;
+
+  double speedup_at(std::size_t i) const {
+    return seconds.front() / seconds[i];
+  }
+  double efficiency_at(std::size_t i) const {
+    return (seconds.front() * cores.front()) / (seconds[i] * cores[i]);
+  }
+};
+
+inline Series measure_series(const std::string& name,
+                             const perfmodel::AppFactory& factory,
+                             const sim::MachineModel& machine,
+                             const std::vector<int>& cores, int steps = 2,
+                             double seconds_scale = 1.0) {
+  Series s;
+  s.name = name;
+  const auto pts = perfmodel::measure_scaling(factory, machine, cores, steps);
+  for (const auto& pt : pts) {
+    s.cores.push_back(pt.cores);
+    s.seconds.push_back(pt.seconds * seconds_scale);
+  }
+  return s;
+}
+
+/// Prints aligned speedup + parallel-efficiency columns for several series
+/// over a common core grid (the layout of the paper's Fig 4/6 plots).
+inline void print_scaling_table(std::ostream& os, const std::string& title,
+                                const std::vector<Series>& series) {
+  print_banner(os, title);
+  std::vector<std::string> headers = {"cores"};
+  for (const Series& s : series) {
+    headers.push_back(s.name + " T(s)");
+    headers.push_back(s.name + " speedup");
+    headers.push_back(s.name + " PE");
+  }
+  Table table(headers);
+  table.set_precision(4);
+  for (std::size_t i = 0; i < series.front().cores.size(); ++i) {
+    std::vector<Cell> row = {
+        static_cast<long long>(series.front().cores[i])};
+    for (const Series& s : series) {
+      row.emplace_back(s.seconds[i]);
+      row.emplace_back(s.speedup_at(i));
+      row.emplace_back(s.efficiency_at(i));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+/// Per-core-count relative error between two series (proxy validation).
+inline void print_error_summary(std::ostream& os, const Series& measured,
+                                const Series& reference) {
+  std::vector<double> errors;
+  for (std::size_t i = 0; i < measured.seconds.size(); ++i) {
+    errors.push_back(
+        percent_error(measured.seconds[i], reference.seconds[i]));
+  }
+  const Summary s = summarize(errors);
+  os << measured.name << " vs " << reference.name
+     << ": mean error = " << s.mean << "%, worst = " << s.max << "%\n";
+}
+
+}  // namespace cpx::bench

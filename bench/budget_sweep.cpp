@@ -1,0 +1,61 @@
+// Design-space sweep: the paper's headline use case is "rapid design space
+// and run-time setup exploration" — this bench plans the HPC-Combustor-HPT
+// case across core budgets for both pressure-solver variants and prints
+// the resulting runtime / speedup / efficiency frontier, i.e. the answer
+// to "how many nodes should we book, and is the optimisation worth it at
+// our scale?".
+
+#include <iostream>
+
+#include "perfmodel/allocator.hpp"
+#include "support/table.hpp"
+#include "workflow/engine_case.hpp"
+#include "workflow/models.hpp"
+
+int main() {
+  using namespace cpx;
+  const auto machine = sim::MachineModel::archer2();
+
+  const workflow::EngineCase base_case = workflow::hpc_combustor_hpt(false);
+  const workflow::EngineCase opt_case = workflow::hpc_combustor_hpt(true);
+  std::cout << "benchmarking components (once per variant)...\n";
+  const workflow::CaseModels base_models =
+      workflow::build_case_models(base_case, machine, {});
+  const workflow::CaseModels opt_models =
+      workflow::build_case_models(opt_case, machine, {});
+
+  print_banner(std::cout,
+               "Core-budget frontier — predicted 1-revolution runtime");
+  Table table({"cores", "Base-STC T (s)", "Base SIMPIC ranks",
+               "Optimized T (s)", "Opt SIMPIC ranks", "opt speedup",
+               "base unallocated"});
+  table.set_precision(4);
+  for (int budget : {5000, 10000, 20000, 40000, 80000, 160000}) {
+    const perfmodel::Allocation base =
+        perfmodel::distribute_ranks(base_models.apps, base_models.cus, budget);
+    const perfmodel::Allocation opt =
+        perfmodel::distribute_ranks(opt_models.apps, opt_models.cus, budget);
+    int base_used = 0;
+    for (int r : base.app_ranks) {
+      base_used += r;
+    }
+    for (int r : base.cu_ranks) {
+      base_used += r;
+    }
+    table.add_row({static_cast<long long>(budget), base.predicted_runtime,
+                   static_cast<long long>(base.app_ranks[13]),
+                   opt.predicted_runtime,
+                   static_cast<long long>(opt.app_ranks[13]),
+                   base.predicted_runtime / opt.predicted_runtime,
+                   static_cast<long long>(budget - base_used)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "(The base solver stops absorbing cores at its ~13k-rank pipeline "
+         "optimum — beyond that, extra budget is wasted (the unallocated "
+         "column). The optimised solver keeps converting cores into "
+         "speedup through the sweep, which is why the optimisation's value "
+         "*grows* with machine scale: the planning insight the paper's "
+         "methodology is built to deliver.)\n";
+  return 0;
+}

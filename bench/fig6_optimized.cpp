@@ -1,0 +1,79 @@
+// Reproduces Fig 6: the predicted effect of the §IV optimisations —
+//  (a) pressure-solver parallel efficiency before and after the particle
+//      (spray -> 100% PE) and solver (pressure field 5x) optimisations,
+//  (b,c) speedup of the estimated optimised pressure solver vs the
+//      Optimized-STC SIMPIC configuration that synthetically matches it
+//      (the paper reports a runtime match with error < 7%).
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "pressure/surrogate.hpp"
+#include "simpic/instance.hpp"
+#include "simpic/stc.hpp"
+
+namespace {
+
+using namespace cpx;
+
+perfmodel::AppFactory pressure_factory(const pressure::Config& cfg) {
+  return [cfg](sim::RankRange r) -> std::unique_ptr<sim::App> {
+    return std::make_unique<pressure::Instance>("pressure", cfg, r);
+  };
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = cpx::sim::MachineModel::archer2();
+  const std::vector<int> cores = {128,  256,  512,  1024, 2048,
+                                  4096, 6144, 8192, 10000};
+
+  // --- Fig 6a: predicted PE before and after the optimisations ---
+  const auto s_base = cpx::bench::measure_series(
+      "base", pressure_factory(cpx::pressure::Config::base_28m()), machine,
+      cores, 2, 10.0);
+  const auto s_opt = cpx::bench::measure_series(
+      "optimized",
+      pressure_factory(cpx::pressure::Config::optimized(28'000'000)),
+      machine, cores, 2, 10.0);
+  cpx::bench::print_scaling_table(
+      std::cout,
+      "Fig 6a — pressure solver (28M) before/after spray + AMG "
+      "optimisations",
+      {s_base, s_opt});
+
+  // --- Fig 6b/6c: Optimized-STC matching the optimised pressure solver.
+  // The two runs represent the same workload at different step counts, so
+  // totals are compared through a fixed equivalence calibrated at a
+  // mid-range core count (mirroring how the paper pairs run lengths).
+  const auto stc = cpx::simpic::optimized_stc();
+  auto s_stc = cpx::bench::measure_series(
+      "Optimized-STC",
+      [stc](cpx::sim::RankRange r) -> std::unique_ptr<cpx::sim::App> {
+        return std::make_unique<cpx::simpic::Instance>("stc", stc, r);
+      },
+      machine, cores, 2, static_cast<double>(stc.timesteps));
+  std::size_t anchor = 0;
+  for (std::size_t i = 0; i < s_stc.cores.size(); ++i) {
+    if (s_stc.cores[i] == 2048.0) {
+      anchor = i;
+    }
+  }
+  const double equivalence =
+      s_stc.seconds[anchor] / s_opt.seconds[anchor];
+  auto s_opt_scaled = s_opt;
+  s_opt_scaled.name = "est. optimized pressure";
+  for (double& t : s_opt_scaled.seconds) {
+    t *= equivalence;
+  }
+  cpx::bench::print_scaling_table(
+      std::cout,
+      "Fig 6b/6c — Optimized-STC vs estimated optimised pressure solver",
+      {s_opt_scaled, s_stc});
+  cpx::bench::print_error_summary(std::cout, s_stc, s_opt_scaled);
+  std::cout << "(Paper: the Optimized-STC predicts the estimated optimised "
+               "pressure-solver runtime with error < 7%.)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Hybrid MPI+OpenMP ablation (§IV-A: "spatial partitioning is most
+// commonly used, often with hybrid MPI+OpenMP to take advantage of shared
+// memory space").
+//
+// Hybrid execution is modelled exactly within the machine model: t threads
+// per rank means 1/t as many ranks on the same cores, each rank holding
+// t-fold work and computing at ~t-fold rate (with an imperfect-threading
+// efficiency). For SIMPIC this is a *structural* win: the field-solve
+// pipeline is O(ranks), so 8 threads/rank cuts the serial term 8x at the
+// same core count — which is why hybrid is attractive for codes with
+// serialised components, independent of any cache effects.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "sim/cluster.hpp"
+#include "simpic/instance.hpp"
+#include "simpic/stc.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace cpx;
+
+/// Machine as seen by a hybrid run with t threads per rank: same nodes and
+/// network, 1/t ranks per node, per-rank compute rate scaled by the
+/// threaded speedup t * eff^log2(t).
+sim::MachineModel hybrid_machine(int threads, double thread_efficiency) {
+  sim::MachineModel m = sim::MachineModel::archer2();
+  const double speedup =
+      threads * std::pow(thread_efficiency,
+                         std::log2(static_cast<double>(threads)));
+  m.cores_per_node /= threads;
+  m.flop_rate *= speedup;
+  // The node's memory bandwidth is now shared by fewer, fatter ranks.
+  // (node_mem_bw / cores_per_node grows by t automatically.)
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const int total_cores = 8192;
+  const double thread_efficiency = 0.95;  // per-doubling OpenMP efficiency
+
+  print_banner(std::cout,
+               "Hybrid MPI+OpenMP ablation — SIMPIC Base-STC-380M on " +
+                   std::to_string(total_cores) + " cores");
+  Table table({"threads/rank", "MPI ranks", "step time (s)",
+               "pipeline share %", "vs pure MPI"});
+  table.set_precision(4);
+  double pure_mpi = 0.0;
+  for (int threads : {1, 2, 4, 8, 16, 32}) {
+    const int ranks = total_cores / threads;
+    const sim::MachineModel machine =
+        hybrid_machine(threads, thread_efficiency);
+    sim::Cluster cluster(machine, ranks);
+    // The global problem is fixed; with 1/t as many ranks each rank owns
+    // t-fold particles automatically, and the machine's t-fold per-rank
+    // rate divides it back out up to the imperfect-threading loss. The
+    // pipeline, however, has only (ranks - 1) hops — the structural win.
+    simpic::Instance inst("simpic", simpic::base_stc_380m(), {0, ranks});
+    inst.step(cluster);
+    const double t0 = cluster.max_clock();
+    inst.step(cluster);
+    const double step = cluster.max_clock() - t0;
+    const double pipeline = inst.pipeline_seconds(cluster);
+    if (threads == 1) {
+      pure_mpi = step;
+    }
+    table.add_row({static_cast<long long>(threads),
+                   static_cast<long long>(ranks), step,
+                   100.0 * pipeline / step, pure_mpi / step});
+  }
+  table.print(std::cout);
+  std::cout
+      << "(The serialised field-solve pipeline scales with the rank count, "
+         "so threads trade a little imperfect-OpenMP compute for a "
+         "linearly shorter serial term — hybrid wins once the pipeline "
+         "dominates. The same argument applies to the production spray's "
+         "serialised exchange.)\n";
+  return 0;
+}

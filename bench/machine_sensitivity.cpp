@@ -1,0 +1,123 @@
+// Machine-sensitivity ablation: DESIGN.md fixes the machine model once and
+// never tunes it per experiment — this bench shows how the paper's
+// headline observations respond when the machine changes, i.e. which
+// conclusions are machine-robust and which are Slingshot-specific.
+//
+// For the reference machine, a slow-network variant, and a half-bandwidth
+// variant, it reports: where Base-STC-28M loses 50% parallel efficiency
+// (paper: ~3000 cores), the SIMPIC-vs-pressure proxy error, and the
+// optimised-over-base coupled speedup at 40,000 cores.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "perfmodel/allocator.hpp"
+#include "pressure/surrogate.hpp"
+#include "simpic/instance.hpp"
+#include "workflow/coupled.hpp"
+#include "workflow/engine_case.hpp"
+#include "workflow/models.hpp"
+
+namespace {
+
+using namespace cpx;
+
+/// First swept core count where PE vs 128 cores falls below 50%.
+long long pe50_crossover(const sim::MachineModel& machine) {
+  const std::vector<int> cores = {128,  256,  512,  1024, 2048,
+                                  3000, 4096, 6144, 8192};
+  const auto pts = perfmodel::measure_scaling(
+      [](sim::RankRange r) {
+        return std::make_unique<simpic::Instance>(
+            "s", simpic::base_stc_28m(), r);
+      },
+      machine, cores, 2);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double pe =
+        (pts[0].seconds * pts[0].cores) / (pts[i].seconds * pts[i].cores);
+    if (pe < 0.5) {
+      return static_cast<long long>(pts[i].cores);
+    }
+  }
+  return -1;
+}
+
+double proxy_worst_error(const sim::MachineModel& machine) {
+  const std::vector<int> cores = {128, 512, 2048, 3000};
+  const auto s_simpic = bench::measure_series(
+      "simpic",
+      [](sim::RankRange r) -> std::unique_ptr<sim::App> {
+        return std::make_unique<simpic::Instance>(
+            "s", simpic::base_stc_28m(), r);
+      },
+      machine, cores, 2, 50'000.0);
+  const auto s_pressure = bench::measure_series(
+      "pressure",
+      [](sim::RankRange r) -> std::unique_ptr<sim::App> {
+        return std::make_unique<pressure::Instance>(
+            "p", pressure::Config::base_28m(), r);
+      },
+      machine, cores, 2, 10.0);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    worst = std::max(
+        worst, percent_error(s_simpic.seconds[i], s_pressure.seconds[i]));
+  }
+  return worst;
+}
+
+double coupled_speedup(const sim::MachineModel& machine) {
+  double runtimes[2];
+  for (const bool optimized : {false, true}) {
+    const workflow::EngineCase ec = workflow::hpc_combustor_hpt(optimized);
+    const workflow::CaseModels models =
+        workflow::build_case_models(ec, machine, {});
+    const perfmodel::Allocation alloc =
+        perfmodel::distribute_ranks(models.apps, models.cus, 40000);
+    workflow::RankAssignment ra{alloc.app_ranks, alloc.cu_ranks};
+    workflow::CoupledSimulation sim(ec, machine, ra);
+    sim.run(20);
+    runtimes[optimized ? 1 : 0] = sim.runtime();
+  }
+  return runtimes[0] / runtimes[1];
+}
+
+}  // namespace
+
+int main() {
+  sim::MachineModel half_bw = sim::MachineModel::archer2();
+  half_bw.node_mem_bw /= 2.0;
+  half_bw.bw_inter /= 2.0;
+  half_bw.node_injection_bw /= 2.0;
+
+  struct Variant {
+    const char* name;
+    sim::MachineModel machine;
+  };
+  const Variant variants[] = {
+      {"ARCHER2 reference", sim::MachineModel::archer2()},
+      {"slow network (20x latency, 1/10 bw)",
+       sim::MachineModel::slow_network()},
+      {"half bandwidth (memory + network)", half_bw},
+  };
+
+  print_banner(std::cout,
+               "Machine sensitivity — which conclusions survive a machine "
+               "change");
+  Table table({"machine", "Base-STC 50% PE crossover (cores)",
+               "proxy worst error %", "opt/base coupled speedup"});
+  table.set_precision(4);
+  for (const Variant& v : variants) {
+    std::cout << "evaluating: " << v.name << "...\n";
+    table.add_row({std::string(v.name), pe50_crossover(v.machine),
+                   proxy_worst_error(v.machine), coupled_speedup(v.machine)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "(The crossover location shifts with the network — it is a "
+         "machine property — while the proxy-match quality and the 4-6x "
+         "optimisation speedup band are robust, which is what makes the "
+         "mini-app methodology transferable.)\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Overlap-interface ablation (§II-A): "we will therefore explore the
+// overhead of using an overlapping approach, where a composite domain is
+// created from a larger portion of the interacting meshes."
+//
+// URANS-LES coupling needs frequent interaction over a *wide* composite
+// band to stay stable; the knob is how much of each mesh enters the
+// interface. This bench sweeps the density<->pressure interface fraction
+// from the paper's 5% steady-state value up to deep overlaps, and, since a
+// wider band also permits less frequent exchanges, sweeps the exchange
+// cadence at fixed overlap — quantifying the stability-vs-overhead trade
+// the paper describes.
+
+#include <iostream>
+
+#include "perfmodel/allocator.hpp"
+#include "support/table.hpp"
+#include "workflow/coupled.hpp"
+#include "workflow/engine_case.hpp"
+#include "workflow/models.hpp"
+
+namespace {
+
+using namespace cpx;
+
+double coupled_runtime(const workflow::EngineCase& ec,
+                       const sim::MachineModel& machine,
+                       const workflow::RankAssignment& ra) {
+  // 100 steps so even the slow exchange cadences fire a representative
+  // number of times before scaling to the 1000-step revolution.
+  workflow::CoupledSimulation sim(ec, machine, ra);
+  sim.run(100);
+  return sim.runtime() * 10.0;
+}
+
+workflow::EngineCase with_overlap(double fraction, int exchange_every) {
+  workflow::EngineCase ec = workflow::hpc_combustor_hpt(false);
+  for (workflow::CouplerSpec& cu : ec.couplers) {
+    if (cu.kind == coupler::InterfaceKind::kSteadyState) {
+      const std::int64_t smaller = std::min(
+          ec.instances[static_cast<std::size_t>(cu.instance_a)].mesh_cells,
+          ec.instances[static_cast<std::size_t>(cu.instance_b)].mesh_cells);
+      cu.interface_cells = static_cast<std::int64_t>(
+          static_cast<double>(smaller) * fraction);
+      cu.exchange_every = exchange_every;
+    }
+  }
+  return ec;
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = sim::MachineModel::archer2();
+
+  // Fix the allocation at the paper-configuration optimum so the sweep
+  // isolates the interface cost.
+  const workflow::EngineCase reference = workflow::hpc_combustor_hpt(false);
+  const workflow::CaseModels models =
+      workflow::build_case_models(reference, machine, {});
+  const perfmodel::Allocation alloc =
+      perfmodel::distribute_ranks(models.apps, models.cus, 40000);
+  const workflow::RankAssignment ra{alloc.app_ranks, alloc.cu_ranks};
+  const double baseline = coupled_runtime(reference, machine, ra);
+
+  print_banner(std::cout,
+               "Overlap sweep — density<->pressure interface width "
+               "(exchange every 20 steps)");
+  Table width({"interface fraction", "interface cells (150M side)",
+               "runtime (s)", "overhead vs 5% baseline %"});
+  width.set_precision(4);
+  for (double fraction : {0.05, 0.10, 0.20, 0.40}) {
+    const workflow::EngineCase ec = with_overlap(fraction, 20);
+    const double t = coupled_runtime(ec, machine, ra);
+    width.add_row({fraction,
+                   static_cast<long long>(
+                       static_cast<double>(150'000'000) * fraction),
+                   t, 100.0 * (t - baseline) / baseline});
+  }
+  width.print(std::cout);
+
+  print_banner(std::cout,
+               "Cadence sweep — 20% overlap, varying exchange interval");
+  Table cadence({"exchange every (density steps)", "runtime (s)",
+                 "overhead vs 5%/20 baseline %"});
+  cadence.set_precision(4);
+  for (int every : {1, 5, 10, 20, 50}) {
+    const workflow::EngineCase ec = with_overlap(0.20, every);
+    const double t = coupled_runtime(ec, machine, ra);
+    cadence.add_row({static_cast<long long>(every), t,
+                     100.0 * (t - baseline) / baseline});
+  }
+  cadence.print(std::cout);
+  std::cout
+      << "(Widening the composite band is cheap as long as the cadence "
+         "stays at the steady-state interval; exchanging a 20% overlap "
+         "every density step — the stability-safe extreme — is where the "
+         "overhead becomes visible. That asymmetry is why the paper's "
+         "steady treatment of the density-pressure interface matters.)\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// HiPC'21 predecessor comparison: the earlier coupled-compressor study
+// found the coupling itself a significant bottleneck; this paper reports
+// the overhead fell below 0.5% of runtime once the industrial coupler
+// adopted a tree-based search with prefetching [31]. This bench runs the
+// 13-row compressor case with both couplers and measures the overhead
+// each produces — the before/after of that engineering change.
+
+#include <iostream>
+
+#include "perfmodel/allocator.hpp"
+#include "support/table.hpp"
+#include "workflow/coupled.hpp"
+#include "workflow/engine_case.hpp"
+#include "workflow/models.hpp"
+
+namespace {
+
+using namespace cpx;
+
+workflow::EngineCase with_search(bool tree) {
+  workflow::EngineCase ec = workflow::compressor_case();
+  for (workflow::CouplerSpec& cu : ec.couplers) {
+    cu.tree_search = tree;
+  }
+  return ec;
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = sim::MachineModel::archer2();
+  // Plan with the tree-search case (the production configuration) and run
+  // both variants under the same allocation: the comparison isolates the
+  // coupler implementation.
+  const workflow::EngineCase tree_case = with_search(true);
+  const workflow::CaseModels models =
+      workflow::build_case_models(tree_case, machine, {});
+  const perfmodel::Allocation alloc =
+      perfmodel::distribute_ranks(models.apps, models.cus, 10000);
+  const workflow::RankAssignment ra{alloc.app_ranks, alloc.cu_ranks};
+
+  print_banner(std::cout,
+               "Compressor-only case (13 rows, sliding planes every step) "
+               "— 10,000 cores");
+  Table table({"coupler search", "coupled runtime (s)",
+               "coupling overhead %"});
+  table.set_precision(4);
+
+  double uncoupled = 0.0;
+  {
+    workflow::CoupledSimulation sim(tree_case, machine, ra);
+    sim.set_coupling_enabled(false);
+    sim.run(50);
+    uncoupled = sim.runtime() * 20.0;
+  }
+  for (const bool tree : {true, false}) {
+    workflow::CoupledSimulation sim(with_search(tree), machine, ra);
+    sim.run(50);
+    const double t = sim.runtime() * 20.0;
+    table.add_row({std::string(tree ? "k-d tree + prefetch" : "brute force"),
+                   t, 100.0 * (t - uncoupled) / t});
+  }
+  table.print(std::cout);
+  std::cout
+      << "(With brute-force donor search, every sliding-plane remap scans "
+         "the whole interface and coupling dominates the step — the "
+         "HiPC'21 bottleneck. The tree search removes it, which is the "
+         "prerequisite for the <0.5%-overhead engine runs of this "
+         "paper.)\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Spray load-balancing ablation (§IV-A): particle imbalance and effective
+// spray-phase cost under the three strategies — spatial partitioning
+// (baseline), collective rebalancing, and the asynchronous task-based
+// approach — across rank counts, on a real particle cloud with an
+// injector hot-spot.
+
+#include <iostream>
+
+#include "sim/cluster.hpp"
+#include "spray/cloud.hpp"
+#include "spray/instance.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cpx;
+  using spray::Strategy;
+
+  print_banner(std::cout,
+               "Spray strategy ablation — particle imbalance (max/mean) "
+               "and relative phase cost");
+  Table table({"ranks", "spatial imb.", "balanced imb.", "async imb.",
+               "spatial cost", "balanced cost", "async cost"});
+  table.set_precision(4);
+
+  for (int ranks : {16, 32, 64, 128, 256, 512}) {
+    spray::CloudOptions opt;
+    opt.num_particles = 400'000;
+    opt.num_ranks = ranks;
+    opt.injector_length = 0.08;
+    spray::Cloud cloud(opt);
+    // Let the cloud reach its statistically steady state.
+    for (int s = 0; s < 20; ++s) {
+      cloud.step();
+    }
+    const auto spatial = cloud.load_stats(Strategy::kSpatial);
+    const auto balanced = cloud.load_stats(Strategy::kBalanced);
+    // Async task-based: 1/4 of the ranks are dedicated spray workers (the
+    // rest run the flow solver concurrently, overlapping the cost).
+    const int spray_workers = std::max(1, ranks / 4);
+    const auto async = cloud.load_stats(Strategy::kAsyncTask, spray_workers);
+
+    // Phase cost model: time ~ particles on the most loaded rank (the
+    // others wait), normalised by the perfectly balanced share.
+    const double ideal = static_cast<double>(cloud.num_particles()) / ranks;
+    table.add_row({static_cast<long long>(ranks), spatial.imbalance,
+                   balanced.imbalance, async.imbalance,
+                   static_cast<double>(spatial.max_rank) / ideal,
+                   static_cast<double>(balanced.max_rank) / ideal,
+                   static_cast<double>(async.max_rank) / ideal});
+  }
+  table.print(std::cout);
+  std::cout
+      << "(Spatial partitioning concentrates the injector region on a few "
+         "ranks — the paper's spray phase spends 96% of its time waiting. "
+         "Balanced and async task-based strategies remove the imbalance; "
+         "the async variant additionally overlaps with the solver, which "
+         "is why §IV-C models optimised spray as perfectly scaling.)\n";
+
+  // Timed comparison on the virtual cluster: the same spray workload per
+  // step under each strategy (the §IV-A trade-off in virtual seconds).
+  print_banner(std::cout,
+               "Spray step time on the virtual cluster (7M droplets)");
+  Table timed({"ranks", "spatial (ms)", "balanced (ms)", "async (ms)"});
+  timed.set_precision(4);
+  for (int ranks : {256, 1024, 4096, 16384}) {
+    std::vector<Cell> row = {static_cast<long long>(ranks)};
+    for (Strategy strategy :
+         {Strategy::kSpatial, Strategy::kBalanced, Strategy::kAsyncTask}) {
+      sim::Cluster cluster(sim::MachineModel::archer2(), ranks);
+      spray::InstanceConfig cfg;
+      cfg.strategy = strategy;
+      spray::Instance inst("spray", cfg, {0, ranks});
+      inst.step(cluster);
+      const double t0 = cluster.max_clock();
+      inst.step(cluster);
+      row.emplace_back((cluster.max_clock() - t0) * 1e3);
+    }
+    timed.add_row(std::move(row));
+  }
+  timed.print(std::cout);
+  std::cout
+      << "(Balanced redistribution wins at small scale, but its "
+         "all-to-all grows linearly with ranks and eventually dominates — "
+         "the §IV-A observation that collectives 'significantly degrade "
+         "performance at high core counts'. The spatial baseline plateaus "
+         "on its hot ranks; the async task pool balances without the "
+         "collective and wins at scale — the §IV-C choice.)\n";
+
+  // Migration traffic of the spatial strategy over time.
+  print_banner(std::cout, "Spatial strategy: migration traffic per step");
+  spray::CloudOptions opt;
+  opt.num_particles = 400'000;
+  opt.num_ranks = 64;
+  spray::Cloud cloud(opt);
+  Table mig({"step", "migrated particles", "% of population"});
+  for (int s = 1; s <= 5; ++s) {
+    cloud.step();
+    mig.add_row({static_cast<long long>(s),
+                 static_cast<long long>(cloud.last_migrations()),
+                 100.0 * static_cast<double>(cloud.last_migrations()) /
+                     static_cast<double>(cloud.num_particles())});
+  }
+  mig.print(std::cout);
+  return 0;
+}

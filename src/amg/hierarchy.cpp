@@ -1,0 +1,271 @@
+#include "amg/hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::amg {
+namespace {
+
+/// Dense Cholesky factorisation (row-major, lower triangle). Adds a tiny
+/// diagonal shift and retries if the matrix is numerically semi-definite.
+std::vector<double> dense_cholesky(const sparse::CsrMatrix& a) {
+  const std::int64_t n = a.rows();
+  std::vector<double> m(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      m[static_cast<std::size_t>(r * n + cols[i])] = vals[i];
+    }
+  }
+  double max_diag = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    max_diag = std::max(max_diag, std::abs(m[static_cast<std::size_t>(i * n + i)]));
+  }
+  double shift = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<double> f = m;
+    for (std::int64_t i = 0; i < n; ++i) {
+      f[static_cast<std::size_t>(i * n + i)] += shift;
+    }
+    bool ok = true;
+    for (std::int64_t k = 0; k < n && ok; ++k) {
+      double pivot = f[static_cast<std::size_t>(k * n + k)];
+      for (std::int64_t j = 0; j < k; ++j) {
+        pivot -= f[static_cast<std::size_t>(k * n + j)] *
+                 f[static_cast<std::size_t>(k * n + j)];
+      }
+      if (pivot <= 0.0) {
+        ok = false;
+        break;
+      }
+      const double lkk = std::sqrt(pivot);
+      f[static_cast<std::size_t>(k * n + k)] = lkk;
+      for (std::int64_t i = k + 1; i < n; ++i) {
+        double v = f[static_cast<std::size_t>(i * n + k)];
+        for (std::int64_t j = 0; j < k; ++j) {
+          v -= f[static_cast<std::size_t>(i * n + j)] *
+               f[static_cast<std::size_t>(k * n + j)];
+        }
+        f[static_cast<std::size_t>(i * n + k)] = v / lkk;
+      }
+    }
+    if (ok) {
+      return f;
+    }
+    shift = shift == 0.0 ? 1e-12 * std::max(max_diag, 1.0) : shift * 100.0;
+  }
+  CPX_CHECK_MSG(false, "dense_cholesky: coarse operator not SPD");
+}
+
+void dense_cholesky_solve(const std::vector<double>& f, std::int64_t n,
+                          std::span<double> x, std::span<const double> b) {
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    double v = b[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < i; ++j) {
+      v -= f[static_cast<std::size_t>(i * n + j)] * y[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = v / f[static_cast<std::size_t>(i * n + i)];
+  }
+  for (std::int64_t ii = n; ii-- > 0;) {
+    double v = y[static_cast<std::size_t>(ii)];
+    for (std::int64_t j = ii + 1; j < n; ++j) {
+      v -= f[static_cast<std::size_t>(j * n + ii)] *
+           x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(ii)] =
+        v / f[static_cast<std::size_t>(ii * n + ii)];
+  }
+}
+
+double norm2(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) {
+    s += x * x;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+AmgHierarchy::AmgHierarchy(sparse::CsrMatrix a, const AmgOptions& options)
+    : options_(options) {
+  CPX_REQUIRE(a.rows() == a.cols(), "AmgHierarchy: matrix must be square");
+  CPX_REQUIRE(options.max_levels >= 1, "AmgHierarchy: bad max_levels");
+
+  levels_.push_back({std::move(a), {}, {}});
+  while (num_levels() < options_.max_levels &&
+         levels_.back().a.rows() > options_.coarse_size) {
+    const sparse::CsrMatrix& fine = levels_.back().a;
+    const sparse::CsrMatrix strength =
+        strength_graph(fine, options_.strength_theta);
+    const Aggregation agg = aggregate_greedy(strength);
+    if (agg.num_aggregates >= fine.rows()) {
+      break;  // no coarsening progress (e.g. fully decoupled matrix)
+    }
+    sparse::CsrMatrix p =
+        build_interpolation(fine, agg, options_.interp, options_.interp_omega);
+    if (options_.interp_truncation > 0.0) {
+      p = truncate_prolongator(p, options_.interp_truncation);
+    }
+    sparse::CsrMatrix r = sparse::transpose(p);
+    sparse::CsrMatrix coarse =
+        options_.spgemm == SpgemmKind::kSpa
+            ? sparse::spgemm_spa(r, sparse::spgemm_spa(fine, p))
+            : sparse::spgemm_twopass(r, sparse::spgemm_twopass(fine, p));
+    levels_.back().p = std::move(p);
+    levels_.back().r = std::move(r);
+    levels_.push_back({std::move(coarse), {}, {}});
+  }
+
+  coarse_n_ = levels_.back().a.rows();
+  coarse_factor_ = dense_cholesky(levels_.back().a);
+
+  scratch_.resize(levels_.size());
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const auto n = static_cast<std::size_t>(levels_[l].a.rows());
+    scratch_[l].r.assign(n, 0.0);
+    scratch_[l].tmp.assign(n, 0.0);
+    if (l + 1 < levels_.size()) {
+      const auto nc = static_cast<std::size_t>(levels_[l + 1].a.rows());
+      scratch_[l].bc.assign(nc, 0.0);
+      scratch_[l].xc.assign(nc, 0.0);
+    }
+  }
+}
+
+const Level& AmgHierarchy::level(int l) const {
+  CPX_REQUIRE(l >= 0 && l < num_levels(), "AmgHierarchy: bad level " << l);
+  return levels_[static_cast<std::size_t>(l)];
+}
+
+double AmgHierarchy::operator_complexity() const {
+  double total = 0.0;
+  for (const Level& l : levels_) {
+    total += static_cast<double>(l.a.nnz());
+  }
+  return total / static_cast<double>(levels_.front().a.nnz());
+}
+
+void AmgHierarchy::coarse_solve(std::span<double> x,
+                                std::span<const double> b) {
+  dense_cholesky_solve(coarse_factor_, coarse_n_, x, b);
+}
+
+void AmgHierarchy::cycle_at(int level, std::span<double> x,
+                            std::span<const double> b) {
+  if (level == num_levels() - 1) {
+    coarse_solve(x, b);
+    return;
+  }
+  Level& lv = levels_[static_cast<std::size_t>(level)];
+  Scratch& sc = scratch_[static_cast<std::size_t>(level)];
+
+  for (int s = 0; s < options_.pre_sweeps; ++s) {
+    smooth(lv.a, x, b, options_.smoother, sc.tmp);
+  }
+  residual(lv.a, x, b, sc.r);
+  sparse::spmv(lv.r, sc.r, sc.bc);
+  std::fill(sc.xc.begin(), sc.xc.end(), 0.0);
+
+  if (options_.cycle == CycleKind::kV || level + 1 == num_levels() - 1) {
+    cycle_at(level + 1, sc.xc, sc.bc);
+  } else if (options_.cycle == CycleKind::kW) {
+    // W-cycle: recurse twice, re-forming the coarse residual in between.
+    cycle_at(level + 1, sc.xc, sc.bc);
+    const auto& ac = levels_[static_cast<std::size_t>(level) + 1].a;
+    const auto nc = static_cast<std::size_t>(ac.rows());
+    std::vector<double> coarse_res(nc);
+    residual(ac, sc.xc, sc.bc, coarse_res);
+    std::vector<double> correction(nc, 0.0);
+    cycle_at(level + 1, correction, coarse_res);
+    for (std::size_t i = 0; i < nc; ++i) {
+      sc.xc[i] += correction[i];
+    }
+  } else {
+    // K-cycle: a few steps of preconditioned CG on the coarse problem with
+    // the next level's cycle as the preconditioner (Krylov acceleration of
+    // the MG cycle; better convergence, more coarse work and collectives).
+    const auto& ac = levels_[static_cast<std::size_t>(level) + 1].a;
+    const auto nc = static_cast<std::size_t>(ac.rows());
+    std::vector<double> res(sc.bc);   // residual of xc = 0
+    std::vector<double> z(nc, 0.0);
+    std::vector<double> p(nc);
+    std::vector<double> ap(nc);
+    cycle_at(level + 1, z, res);
+    p = z;
+    double rz = 0.0;
+    for (std::size_t i = 0; i < nc; ++i) {
+      rz += res[i] * z[i];
+    }
+    for (int it = 0; it < options_.kcycle_steps && rz != 0.0; ++it) {
+      sparse::spmv(ac, p, ap);
+      double pap = 0.0;
+      for (std::size_t i = 0; i < nc; ++i) {
+        pap += p[i] * ap[i];
+      }
+      if (pap <= 0.0) {
+        break;
+      }
+      const double alpha = rz / pap;
+      for (std::size_t i = 0; i < nc; ++i) {
+        sc.xc[i] += alpha * p[i];
+        res[i] -= alpha * ap[i];
+      }
+      if (it + 1 == options_.kcycle_steps) {
+        break;
+      }
+      std::fill(z.begin(), z.end(), 0.0);
+      cycle_at(level + 1, z, res);
+      double rz_new = 0.0;
+      for (std::size_t i = 0; i < nc; ++i) {
+        rz_new += res[i] * z[i];
+      }
+      const double beta = rz_new / rz;
+      rz = rz_new;
+      for (std::size_t i = 0; i < nc; ++i) {
+        p[i] = z[i] + beta * p[i];
+      }
+    }
+  }
+
+  // x += P xc
+  const auto n = static_cast<std::size_t>(lv.a.rows());
+  sparse::spmv(lv.p, sc.xc, sc.tmp);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += sc.tmp[i];
+  }
+  for (int s = 0; s < options_.post_sweeps; ++s) {
+    smooth(lv.a, x, b, options_.smoother, sc.tmp);
+  }
+}
+
+void AmgHierarchy::cycle(std::span<double> x, std::span<const double> b) {
+  CPX_REQUIRE(x.size() == static_cast<std::size_t>(levels_.front().a.rows()),
+              "cycle: x size mismatch");
+  CPX_REQUIRE(b.size() == x.size(), "cycle: b size mismatch");
+  cycle_at(0, x, b);
+}
+
+int AmgHierarchy::solve(std::span<double> x, std::span<const double> b,
+                        double tol, int max_cycles) {
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    return 0;
+  }
+  std::vector<double> r(x.size());
+  for (int c = 1; c <= max_cycles; ++c) {
+    cycle(x, b);
+    residual(levels_.front().a, x, b, r);
+    if (norm2(r) / bnorm <= tol) {
+      return c;
+    }
+  }
+  return max_cycles + 1;
+}
+
+}  // namespace cpx::amg

@@ -1,0 +1,89 @@
+#pragma once
+// AMG hierarchy setup and cycling (V-cycle and Krylov-accelerated K-cycle).
+//
+// Setup: strength graph -> greedy aggregation -> interpolation (tentative /
+// smoothed / extended) -> Galerkin coarse operator R A P, repeated until
+// the coarse problem is small enough for a direct dense Cholesky solve.
+// The SpGEMM used in the Galerkin product is selectable (two-pass baseline
+// vs SPA single-pass) so the §IV-B ablation can compare setup costs on
+// identical hierarchies.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "amg/aggregation.hpp"
+#include "amg/smoothers.hpp"
+#include "sparse/csr.hpp"
+
+namespace cpx::amg {
+
+enum class CycleKind { kV, kW, kK };
+enum class SpgemmKind { kTwoPass, kSpa };
+
+struct AmgOptions {
+  double strength_theta = 0.08;
+  int max_levels = 10;
+  std::int64_t coarse_size = 64;    ///< direct-solve threshold
+  InterpKind interp = InterpKind::kSmoothed;
+  double interp_omega = 0.66;
+  /// Prolongator truncation threshold (0 = off); see truncate_prolongator.
+  double interp_truncation = 0.0;
+  SmootherOptions smoother;
+  int pre_sweeps = 1;
+  int post_sweeps = 1;
+  CycleKind cycle = CycleKind::kV;  ///< kW visits each coarse level twice
+  int kcycle_steps = 2;             ///< inner Krylov steps per level (K-cycle)
+  SpgemmKind spgemm = SpgemmKind::kSpa;
+};
+
+/// One level of the hierarchy.
+struct Level {
+  sparse::CsrMatrix a;
+  sparse::CsrMatrix p;  ///< interpolation to this level from the next-coarser
+  sparse::CsrMatrix r;  ///< restriction (P^T)
+};
+
+class AmgHierarchy {
+ public:
+  /// Builds the hierarchy for SPD matrix `a`.
+  AmgHierarchy(sparse::CsrMatrix a, const AmgOptions& options);
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const Level& level(int l) const;
+  const AmgOptions& options() const { return options_; }
+
+  /// Total stored nonzeros across all level operators, relative to the fine
+  /// matrix (grid complexity indicator).
+  double operator_complexity() const;
+
+  /// One multigrid cycle on A x = b (x is updated in place).
+  void cycle(std::span<double> x, std::span<const double> b);
+
+  /// Runs cycles until ||r||/||b|| <= tol or max_cycles; returns the number
+  /// of cycles used (max_cycles + 1 if not converged).
+  int solve(std::span<double> x, std::span<const double> b, double tol,
+            int max_cycles);
+
+ private:
+  void cycle_at(int level, std::span<double> x, std::span<const double> b);
+  void coarse_solve(std::span<double> x, std::span<const double> b);
+
+  AmgOptions options_;
+  std::vector<Level> levels_;
+
+  // Dense Cholesky factor of the coarsest operator (row-major lower).
+  std::vector<double> coarse_factor_;
+  std::int64_t coarse_n_ = 0;
+
+  // Per-level scratch vectors (residual, correction, smoother scratch).
+  struct Scratch {
+    std::vector<double> r;
+    std::vector<double> bc;
+    std::vector<double> xc;
+    std::vector<double> tmp;
+  };
+  std::vector<Scratch> scratch_;
+};
+
+}  // namespace cpx::amg

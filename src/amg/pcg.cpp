@@ -1,0 +1,132 @@
+#include "amg/pcg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "amg/hierarchy.hpp"
+#include "support/check.hpp"
+
+namespace cpx::amg {
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += a[i] * b[i];
+  }
+  return s;
+}
+
+}  // namespace
+
+PcgResult pcg(const sparse::CsrMatrix& a, std::span<double> x,
+              std::span<const double> b, double tol, int max_iterations,
+              const Preconditioner& precond) {
+  const auto n = static_cast<std::size_t>(a.rows());
+  CPX_REQUIRE(x.size() == n && b.size() == n, "pcg: vector size mismatch");
+
+  std::vector<double> r(n);
+  std::vector<double> z(n);
+  std::vector<double> p(n);
+  std::vector<double> ap(n);
+
+  sparse::spmv(a, x, r);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - r[i];
+  }
+  const double bnorm = std::sqrt(dot(b, b));
+  const double stop = tol * (bnorm > 0.0 ? bnorm : 1.0);
+
+  PcgResult result;
+  double rnorm = std::sqrt(dot(r, r));
+  if (rnorm <= stop) {
+    result.converged = true;
+    result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : 0.0;
+    return result;
+  }
+
+  if (precond) {
+    precond(z, r);
+  } else {
+    std::copy(r.begin(), r.end(), z.begin());
+  }
+  p = z;
+  double rz = dot(r, z);
+  // Flexible CG: with a (possibly nonsymmetric or nonlinear) preconditioner
+  // such as an AMG cycle with Gauss-Seidel smoothing, the Polak-Ribiere
+  // beta  z_new^T (r_new - r_old) / z_old^T r_old  keeps CG convergent
+  // where the Fletcher-Reeves form stalls. For an exact SPD preconditioner
+  // the two coincide.
+  std::vector<double> r_old(n);
+
+  for (int it = 1; it <= max_iterations; ++it) {
+    sparse::spmv(a, p, ap);
+    const double pap = dot(p, ap);
+    CPX_CHECK_MSG(pap > 0.0, "pcg: matrix not SPD (p^T A p = " << pap << ")");
+    const double alpha = rz / pap;
+    std::copy(r.begin(), r.end(), r_old.begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    rnorm = std::sqrt(dot(r, r));
+    result.iterations = it;
+    if (rnorm <= stop) {
+      result.converged = true;
+      break;
+    }
+    double beta;
+    if (precond) {
+      std::fill(z.begin(), z.end(), 0.0);
+      precond(z, r);
+      double zdr = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        zdr += z[i] * (r[i] - r_old[i]);
+      }
+      beta = zdr / rz;
+      rz = dot(r, z);
+    } else {
+      std::copy(r.begin(), r.end(), z.begin());
+      const double rz_new = dot(r, z);
+      beta = rz_new / rz;
+      rz = rz_new;
+    }
+    if (!(beta > 0.0) || rz <= 0.0) {
+      // Restart on loss of conjugacy (possible with flexible
+      // preconditioning); steepest-descent step in the z direction.
+      beta = 0.0;
+      rz = dot(r, z);
+      CPX_CHECK_MSG(rz > 0.0, "pcg: preconditioner not positive definite");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = z[i] + beta * p[i];
+    }
+  }
+  result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+  return result;
+}
+
+Preconditioner make_jacobi_preconditioner(const sparse::CsrMatrix& a) {
+  std::vector<double> inv_diag(static_cast<std::size_t>(a.rows()));
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const double d = a.at(r, r);
+    CPX_REQUIRE(d != 0.0, "jacobi preconditioner: zero diagonal at " << r);
+    inv_diag[static_cast<std::size_t>(r)] = 1.0 / d;
+  }
+  return [inv_diag = std::move(inv_diag)](std::span<double> z,
+                                          std::span<const double> r) {
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z[i] = inv_diag[i] * r[i];
+    }
+  };
+}
+
+Preconditioner make_amg_preconditioner(AmgHierarchy& hierarchy) {
+  return [&hierarchy](std::span<double> z, std::span<const double> r) {
+    std::fill(z.begin(), z.end(), 0.0);
+    hierarchy.cycle(z, r);
+  };
+}
+
+}  // namespace cpx::amg

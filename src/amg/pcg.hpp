@@ -1,0 +1,38 @@
+#pragma once
+// Preconditioned conjugate gradient — the outer solver the production
+// pressure solver wraps around its AMG (Conjugate Gradient with Aggregate
+// Algebraic Multigrid, §III of the paper).
+
+#include <functional>
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace cpx::amg {
+
+/// Applies a preconditioner: z = M^{-1} r.
+using Preconditioner =
+    std::function<void(std::span<double> z, std::span<const double> r)>;
+
+struct PcgResult {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b with (optionally preconditioned) CG. `x` holds the
+/// initial guess on entry and the solution on exit. If `precond` is null,
+/// unpreconditioned CG is used.
+PcgResult pcg(const sparse::CsrMatrix& a, std::span<double> x,
+              std::span<const double> b, double tol, int max_iterations,
+              const Preconditioner& precond = nullptr);
+
+/// Jacobi (diagonal) preconditioner for A.
+Preconditioner make_jacobi_preconditioner(const sparse::CsrMatrix& a);
+
+class AmgHierarchy;
+/// One AMG cycle as a preconditioner (the hierarchy must outlive the
+/// returned functor).
+Preconditioner make_amg_preconditioner(AmgHierarchy& hierarchy);
+
+}  // namespace cpx::amg

@@ -1,0 +1,116 @@
+#include "amg/smoothers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::amg {
+namespace {
+
+void jacobi_sweep(const sparse::CsrMatrix& a, std::span<double> x,
+                  std::span<const double> b, double omega, bool l1,
+                  std::span<double> scratch) {
+  const std::int64_t n = a.rows();
+  for (std::int64_t r = 0; r < n; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_values(r);
+    double diag = 0.0;
+    double off_abs = 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == r) {
+        diag = vals[i];
+      } else {
+        sum += vals[i] * x[static_cast<std::size_t>(cols[i])];
+        off_abs += std::abs(vals[i]);
+      }
+    }
+    const double d = l1 ? diag + off_abs : diag;
+    CPX_CHECK_MSG(d != 0.0, "jacobi: zero (l1-)diagonal at row " << r);
+    const double x_new = (b[static_cast<std::size_t>(r)] - sum) / d;
+    scratch[static_cast<std::size_t>(r)] =
+        x[static_cast<std::size_t>(r)] +
+        omega * (x_new - x[static_cast<std::size_t>(r)]);
+  }
+  std::copy(scratch.begin(), scratch.begin() + n, x.begin());
+}
+
+/// Gauss-Seidel restricted to rows [row_begin, row_end): uses updated x
+/// inside the block. When the off-block coupling should be Jacobi-style,
+/// callers pass a frozen copy of x in `x_old` for columns outside the block.
+void gs_block(const sparse::CsrMatrix& a, std::span<double> x,
+              std::span<const double> b, std::int64_t row_begin,
+              std::int64_t row_end, std::span<const double> x_old) {
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_values(r);
+    double diag = 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const std::int64_t c = cols[i];
+      if (c == r) {
+        diag = vals[i];
+      } else if (x_old.empty() || (c >= row_begin && c < row_end)) {
+        sum += vals[i] * x[static_cast<std::size_t>(c)];
+      } else {
+        sum += vals[i] * x_old[static_cast<std::size_t>(c)];
+      }
+    }
+    CPX_CHECK_MSG(diag != 0.0, "gauss-seidel: zero diagonal at row " << r);
+    x[static_cast<std::size_t>(r)] = (b[static_cast<std::size_t>(r)] - sum) / diag;
+  }
+}
+
+}  // namespace
+
+void smooth(const sparse::CsrMatrix& a, std::span<double> x,
+            std::span<const double> b, const SmootherOptions& options,
+            std::span<double> scratch) {
+  const std::int64_t n = a.rows();
+  CPX_REQUIRE(x.size() == static_cast<std::size_t>(n) &&
+                  b.size() == static_cast<std::size_t>(n),
+              "smooth: vector size mismatch");
+  CPX_REQUIRE(scratch.size() >= static_cast<std::size_t>(n),
+              "smooth: scratch too small");
+  switch (options.kind) {
+    case SmootherKind::kJacobi:
+      jacobi_sweep(a, x, b, options.jacobi_omega, /*l1=*/false, scratch);
+      return;
+    case SmootherKind::kL1Jacobi:
+      jacobi_sweep(a, x, b, options.jacobi_omega, /*l1=*/true, scratch);
+      return;
+    case SmootherKind::kGaussSeidel:
+      gs_block(a, x, b, 0, n, {});
+      return;
+    case SmootherKind::kHybridGs: {
+      // Freeze x for the inter-block (Jacobi) coupling, then sweep each
+      // block with GS — the sequential analogue of one task per block.
+      CPX_REQUIRE(options.hybrid_blocks >= 1, "smooth: bad hybrid_blocks");
+      std::copy(x.begin(), x.begin() + n, scratch.begin());
+      const std::span<const double> frozen(scratch.data(),
+                                           static_cast<std::size_t>(n));
+      const std::int64_t blocks =
+          std::min<std::int64_t>(options.hybrid_blocks, std::max<std::int64_t>(n, 1));
+      for (std::int64_t blk = 0; blk < blocks; ++blk) {
+        const std::int64_t lo = n * blk / blocks;
+        const std::int64_t hi = n * (blk + 1) / blocks;
+        gs_block(a, x, b, lo, hi, frozen);
+      }
+      return;
+    }
+  }
+  CPX_CHECK_MSG(false, "smooth: unknown smoother kind");
+}
+
+void residual(const sparse::CsrMatrix& a, std::span<const double> x,
+              std::span<const double> b, std::span<double> r) {
+  CPX_REQUIRE(r.size() == static_cast<std::size_t>(a.rows()),
+              "residual: size mismatch");
+  sparse::spmv(a, x, r);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = b[i] - r[i];
+  }
+}
+
+}  // namespace cpx::amg

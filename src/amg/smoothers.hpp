@@ -1,0 +1,35 @@
+#pragma once
+// Smoothers for the AMG hierarchy (paper §IV-B, "AMG setup" optimisations).
+//
+// The paper recommends Hybrid Gauss-Seidel — Gauss-Seidel within a task,
+// Jacobi across tasks — as the smoother for large problems. We implement
+// plain (weighted) Jacobi, lexicographic Gauss-Seidel, the hybrid variant
+// (block-local GS with Jacobi coupling across a configurable number of
+// blocks, the sequential analogue of hypre's hybrid smoother), and
+// l1-Jacobi (unconditionally convergent for SPD matrices).
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace cpx::amg {
+
+enum class SmootherKind { kJacobi, kGaussSeidel, kHybridGs, kL1Jacobi };
+
+struct SmootherOptions {
+  SmootherKind kind = SmootherKind::kHybridGs;
+  double jacobi_omega = 0.7;  ///< damping for (l1-)Jacobi
+  int hybrid_blocks = 8;      ///< simulated task count for Hybrid GS
+};
+
+/// One in-place smoothing sweep on A x = b.
+/// `scratch` must have size >= A.rows() (used by the Jacobi variants).
+void smooth(const sparse::CsrMatrix& a, std::span<double> x,
+            std::span<const double> b, const SmootherOptions& options,
+            std::span<double> scratch);
+
+/// Residual r = b - A x.
+void residual(const sparse::CsrMatrix& a, std::span<const double> x,
+              std::span<const double> b, std::span<double> r);
+
+}  // namespace cpx::amg

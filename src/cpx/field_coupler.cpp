@@ -1,0 +1,76 @@
+#include "cpx/field_coupler.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::coupler {
+
+std::vector<mesh::CellId> extract_plane_cells(
+    const mesh::UnstructuredMesh& mesh, double z_plane, double tolerance) {
+  CPX_REQUIRE(tolerance > 0.0, "extract_plane_cells: bad tolerance");
+  std::vector<mesh::CellId> cells;
+  for (mesh::CellId c = 0; c < mesh.num_cells(); ++c) {
+    if (std::abs(mesh.centroids()[static_cast<std::size_t>(c)].z - z_plane) <=
+        tolerance) {
+      cells.push_back(c);
+    }
+  }
+  return cells;
+}
+
+std::vector<mesh::Vec3> gather_centroids(
+    const mesh::UnstructuredMesh& mesh,
+    std::span<const mesh::CellId> cells) {
+  std::vector<mesh::Vec3> pts;
+  pts.reserve(cells.size());
+  for (mesh::CellId c : cells) {
+    CPX_REQUIRE(c >= 0 && c < mesh.num_cells(),
+                "gather_centroids: bad cell " << c);
+    pts.push_back(mesh.centroids()[static_cast<std::size_t>(c)]);
+  }
+  return pts;
+}
+
+FieldCoupler::FieldCoupler(std::vector<mesh::Vec3> donor_points,
+                           std::vector<mesh::Vec3> target_points,
+                           InterfaceKind kind, int stencil_size)
+    : donors_(std::move(donor_points)),
+      targets_(std::move(target_points)),
+      kind_(kind),
+      stencil_size_(stencil_size) {
+  CPX_REQUIRE(!donors_.empty() && !targets_.empty(),
+              "FieldCoupler: empty interface");
+  CPX_REQUIRE(stencil_size >= 1, "FieldCoupler: bad stencil size");
+}
+
+void FieldCoupler::advance_rotation(double radians) {
+  CPX_REQUIRE(kind_ == InterfaceKind::kSlidingPlane,
+              "advance_rotation: only sliding-plane interfaces move");
+  rotation_ += radians;
+}
+
+void FieldCoupler::remap() {
+  const std::vector<mesh::Vec3> moved =
+      rotation_ == 0.0 ? donors_ : rotate_z(donors_, rotation_);
+  stencils_ = build_idw_stencils(moved, targets_, stencil_size_);
+  mapped_rotation_ = rotation_;
+  ++remap_count_;
+}
+
+void FieldCoupler::transfer(std::span<const double> donor_field,
+                            std::span<double> target_field) {
+  CPX_REQUIRE(donor_field.size() == donors_.size(),
+              "transfer: donor field size mismatch");
+  CPX_REQUIRE(target_field.size() == targets_.size(),
+              "transfer: target field size mismatch");
+  const bool never_mapped = remap_count_ == 0;
+  const bool moved = kind_ == InterfaceKind::kSlidingPlane &&
+                     rotation_ != mapped_rotation_;
+  if (never_mapped || moved) {
+    remap();
+  }
+  apply_stencils(stencils_, donor_field, target_field);
+}
+
+}  // namespace cpx::coupler

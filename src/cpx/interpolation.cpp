@@ -1,0 +1,127 @@
+#include "cpx/interpolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::coupler {
+
+std::vector<Stencil> build_idw_stencils(
+    const std::vector<mesh::Vec3>& donors,
+    const std::vector<mesh::Vec3>& targets, int k) {
+  CPX_REQUIRE(!donors.empty(), "build_idw_stencils: empty donor set");
+  CPX_REQUIRE(k >= 1, "build_idw_stencils: bad k");
+  const int kk = std::min<int>(k, static_cast<int>(donors.size()));
+  const KdTree tree(donors);
+
+  std::vector<Stencil> stencils;
+  stencils.reserve(targets.size());
+  for (const mesh::Vec3& t : targets) {
+    Stencil s;
+    // k nearest via repeated nearest-with-exclusion would be O(k log n)
+    // with a proper k-NN query; for the small k used in coupling we take
+    // the nearest donor from the tree and complete the stencil from its
+    // neighbourhood by brute force over a candidate ball.
+    const std::int64_t first = tree.nearest(t);
+    s.donors.push_back(first);
+    if (kk > 1) {
+      // Collect the kk nearest by partial sort over all donors (correct,
+      // if not the asymptotically fastest; stencil construction happens
+      // once per mapping).
+      std::vector<std::pair<double, std::int64_t>> dist;
+      dist.reserve(donors.size());
+      for (std::size_t j = 0; j < donors.size(); ++j) {
+        dist.emplace_back(distance_squared(donors[j], t),
+                          static_cast<std::int64_t>(j));
+      }
+      std::partial_sort(dist.begin(), dist.begin() + kk, dist.end());
+      s.donors.clear();
+      for (int j = 0; j < kk; ++j) {
+        s.donors.push_back(dist[static_cast<std::size_t>(j)].second);
+      }
+    }
+    // Inverse-distance weights with an exact-hit guard.
+    s.weights.resize(s.donors.size());
+    double total = 0.0;
+    bool exact = false;
+    for (std::size_t j = 0; j < s.donors.size(); ++j) {
+      const double d2 = distance_squared(
+          donors[static_cast<std::size_t>(s.donors[j])], t);
+      if (d2 < 1e-24) {
+        std::fill(s.weights.begin(), s.weights.end(), 0.0);
+        s.weights[j] = 1.0;
+        exact = true;
+        break;
+      }
+      s.weights[j] = 1.0 / std::sqrt(d2);
+      total += s.weights[j];
+    }
+    if (!exact) {
+      for (double& w : s.weights) {
+        w /= total;
+      }
+    }
+    stencils.push_back(std::move(s));
+  }
+  return stencils;
+}
+
+void apply_stencils(std::span<const Stencil> stencils,
+                    std::span<const double> donor_field,
+                    std::span<double> target_field) {
+  CPX_REQUIRE(target_field.size() == stencils.size(),
+              "apply_stencils: target size mismatch");
+  for (std::size_t t = 0; t < stencils.size(); ++t) {
+    const Stencil& s = stencils[t];
+    double v = 0.0;
+    for (std::size_t j = 0; j < s.donors.size(); ++j) {
+      CPX_DCHECK(s.donors[j] >= 0 &&
+                 static_cast<std::size_t>(s.donors[j]) < donor_field.size());
+      v += s.weights[j] *
+           donor_field[static_cast<std::size_t>(s.donors[j])];
+    }
+    target_field[t] = v;
+  }
+}
+
+std::vector<Stencil> make_conservative(std::span<const Stencil> stencils,
+                                       std::size_t num_donors) {
+  // Column sums of the transfer operator: how much of each donor's value
+  // the consistent stencils distribute in total.
+  std::vector<double> donor_total(num_donors, 0.0);
+  for (const Stencil& s : stencils) {
+    for (std::size_t j = 0; j < s.donors.size(); ++j) {
+      CPX_REQUIRE(static_cast<std::size_t>(s.donors[j]) < num_donors,
+                  "make_conservative: donor index out of range");
+      donor_total[static_cast<std::size_t>(s.donors[j])] += s.weights[j];
+    }
+  }
+  // Dividing each weight by its donor's column sum makes every reached
+  // donor distribute exactly its own value (columns sum to 1).
+  std::vector<Stencil> out(stencils.begin(), stencils.end());
+  for (Stencil& s : out) {
+    for (std::size_t j = 0; j < s.donors.size(); ++j) {
+      const double total =
+          donor_total[static_cast<std::size_t>(s.donors[j])];
+      if (total > 0.0) {
+        s.weights[j] /= total;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<mesh::Vec3> rotate_z(const std::vector<mesh::Vec3>& points,
+                                 double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  std::vector<mesh::Vec3> out;
+  out.reserve(points.size());
+  for (const mesh::Vec3& p : points) {
+    out.push_back({c * p.x - s * p.y, s * p.x + c * p.y, p.z});
+  }
+  return out;
+}
+
+}  // namespace cpx::coupler

@@ -1,0 +1,48 @@
+#pragma once
+// Interface interpolation: once donors are located, field values are
+// transferred with inverse-distance weighting over the k nearest donors
+// (k = 1 degenerates to nearest-neighbour injection). This is the "map
+// values/fields from one simulation to the other, interpolating data" role
+// of the coupler.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cpx/search.hpp"
+
+namespace cpx::coupler {
+
+/// Interpolation stencil of one target point.
+struct Stencil {
+  std::vector<std::int64_t> donors;
+  std::vector<double> weights;  ///< sum to 1
+};
+
+/// Builds inverse-distance stencils from `donors` to `targets` using the
+/// k-d tree for donor location. k is clamped to the donor count.
+std::vector<Stencil> build_idw_stencils(
+    const std::vector<mesh::Vec3>& donors,
+    const std::vector<mesh::Vec3>& targets, int k = 4);
+
+/// Applies stencils: out[t] = sum_j w_j * field[donor_j].
+void apply_stencils(std::span<const Stencil> stencils,
+                    std::span<const double> donor_field,
+                    std::span<double> target_field);
+
+/// Rotates points about the z axis by `radians` — the relative motion of a
+/// sliding-plane interface between timesteps.
+std::vector<mesh::Vec3> rotate_z(const std::vector<mesh::Vec3>& points,
+                                 double radians);
+
+/// Conservative redistribution of the IDW stencils: rescales the weights
+/// per *donor* so that the total transferred quantity is preserved,
+///     sum_t out[t] == sum_d field[d]   (for donors reached by a stencil).
+/// Consistent (IDW) transfer preserves constants; conservative transfer
+/// preserves integrals — the classic coupler trade-off. Use conservative
+/// stencils for extensive quantities (mass/heat flux through the
+/// interface), consistent ones for intensive fields (velocity, pressure).
+std::vector<Stencil> make_conservative(std::span<const Stencil> stencils,
+                                       std::size_t num_donors);
+
+}  // namespace cpx::coupler

@@ -1,0 +1,97 @@
+#include "cpx/search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace cpx::coupler {
+
+double distance_squared(const mesh::Vec3& a, const mesh::Vec3& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+std::int64_t nearest_brute(const std::vector<mesh::Vec3>& points,
+                           const mesh::Vec3& query) {
+  CPX_REQUIRE(!points.empty(), "nearest_brute: empty point set");
+  std::int64_t best = 0;
+  double best_d2 = distance_squared(points[0], query);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double d2 = distance_squared(points[i], query);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<std::int64_t>(i);
+    }
+  }
+  return best;
+}
+
+KdTree::KdTree(std::vector<mesh::Vec3> points) : points_(std::move(points)) {
+  CPX_REQUIRE(!points_.empty(), "KdTree: empty point set");
+  std::vector<std::int64_t> idx(points_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  nodes_.reserve(points_.size());
+  root_ = build(idx, 0, static_cast<std::int64_t>(points_.size()), 0);
+}
+
+std::int64_t KdTree::build(std::vector<std::int64_t>& idx, std::int64_t lo,
+                           std::int64_t hi, int depth) {
+  if (lo >= hi) {
+    return -1;
+  }
+  const int axis = depth % 3;
+  const auto coord = [&](std::int64_t i) {
+    const mesh::Vec3& p = points_[static_cast<std::size_t>(i)];
+    return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+  };
+  const std::int64_t mid = lo + (hi - lo) / 2;
+  std::nth_element(idx.begin() + lo, idx.begin() + mid, idx.begin() + hi,
+                   [&](std::int64_t a, std::int64_t b) {
+                     return coord(a) < coord(b);
+                   });
+  const auto node_id = static_cast<std::int64_t>(nodes_.size());
+  nodes_.push_back({idx[static_cast<std::size_t>(mid)], axis, -1, -1});
+  const std::int64_t left = build(idx, lo, mid, depth + 1);
+  const std::int64_t right = build(idx, mid + 1, hi, depth + 1);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+void KdTree::search(std::int64_t node, const mesh::Vec3& query,
+                    std::int64_t& best, double& best_d2) const {
+  if (node < 0) {
+    return;
+  }
+  ++visited_;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const mesh::Vec3& p = points_[static_cast<std::size_t>(n.point)];
+  const double d2 = distance_squared(p, query);
+  if (d2 < best_d2) {
+    best_d2 = d2;
+    best = n.point;
+  }
+  const double qc = n.axis == 0 ? query.x : (n.axis == 1 ? query.y : query.z);
+  const double pc = n.axis == 0 ? p.x : (n.axis == 1 ? p.y : p.z);
+  const double delta = qc - pc;
+  const std::int64_t near_side = delta < 0.0 ? n.left : n.right;
+  const std::int64_t far_side = delta < 0.0 ? n.right : n.left;
+  search(near_side, query, best, best_d2);
+  if (delta * delta < best_d2) {
+    search(far_side, query, best, best_d2);
+  }
+}
+
+std::int64_t KdTree::nearest(const mesh::Vec3& query) const {
+  visited_ = 0;
+  std::int64_t best = -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  search(root_, query, best, best_d2);
+  return best;
+}
+
+}  // namespace cpx::coupler

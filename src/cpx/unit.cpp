@@ -1,0 +1,99 @@
+#include "cpx/unit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::coupler {
+
+CouplerUnit::CouplerUnit(std::string name, const UnitConfig& config,
+                         sim::RankRange cu_ranks, sim::App& side_a,
+                         sim::App& side_b)
+    : name_(std::move(name)),
+      config_(config),
+      ranks_(cu_ranks),
+      side_a_(side_a),
+      side_b_(side_b) {
+  CPX_REQUIRE(cu_ranks.size() >= 1, "CouplerUnit: empty rank range");
+  CPX_REQUIRE(config.interface_cells >= 1, "CouplerUnit: empty interface");
+}
+
+double CouplerUnit::mapping_seconds(const sim::Cluster& cluster) const {
+  const double cells_per_rank =
+      static_cast<double>(config_.interface_cells) / ranks_.size();
+  const double n = static_cast<double>(config_.interface_cells);
+  const double search_flops =
+      config_.tree_search
+          ? config_.search_flops_per_cell_tree * std::log2(std::max(n, 2.0))
+          : config_.search_flops_per_cell_brute * n;
+  return cells_per_rank * search_flops / cluster.machine().flop_rate;
+}
+
+void CouplerUnit::half_exchange(sim::Cluster& cluster, sim::App& src,
+                                sim::App& dst, bool remap) {
+  const double cells_per_rank =
+      static_cast<double>(config_.interface_cells) / ranks_.size();
+  const auto payload_per_cu_rank = static_cast<std::size_t>(
+      cells_per_rank * config_.fields_per_cell * sizeof(double));
+
+  // 1. Gather: the source instance's boundary ranks feed the CU ranks.
+  // Boundary data comes from the ranks owning the interface region — a
+  // subset comparable in size to the CU itself; we spread the payload over
+  // min(src ranks, 4 * CU ranks) senders, round-robin onto CU ranks.
+  const sim::RankRange src_ranks = src.ranks();
+  const int senders = std::min(src_ranks.size(), 4 * ranks_.size());
+  message_scratch_.clear();
+  for (int s = 0; s < senders; ++s) {
+    const sim::Rank from = src_ranks.begin + s;
+    const sim::Rank to = ranks_.begin + (s % ranks_.size());
+    const auto bytes = static_cast<std::size_t>(
+        static_cast<double>(config_.interface_cells) *
+        config_.fields_per_cell * sizeof(double) / senders);
+    message_scratch_.push_back({from, to, bytes});
+  }
+  cluster.exchange(message_scratch_, region_gather_);
+
+  // 2. (Re)mapping on the CU ranks.
+  if (remap) {
+    const double t_map = mapping_seconds(cluster);
+    for (int l = 0; l < ranks_.size(); ++l) {
+      cluster.compute_seconds(ranks_.begin + l, t_map, region_map_);
+    }
+  }
+
+  // 3. Interpolation + packing on the CU ranks.
+  for (int l = 0; l < ranks_.size(); ++l) {
+    sim::Work w;
+    w.flops = cells_per_rank * config_.interp_flops_per_cell;
+    w.bytes = cells_per_rank * config_.pack_bytes_per_cell;
+    cluster.compute(ranks_.begin + l, w, region_map_);
+  }
+
+  // 4. Scatter to the target instance's boundary ranks.
+  const sim::RankRange dst_ranks = dst.ranks();
+  const int receivers = std::min(dst_ranks.size(), 4 * ranks_.size());
+  message_scratch_.clear();
+  for (int r = 0; r < receivers; ++r) {
+    const sim::Rank from = ranks_.begin + (r % ranks_.size());
+    const sim::Rank to = dst_ranks.begin + r;
+    const auto bytes = static_cast<std::size_t>(
+        static_cast<double>(payload_per_cu_rank) * ranks_.size() / receivers);
+    message_scratch_.push_back({from, to, bytes});
+  }
+  cluster.exchange(message_scratch_, region_scatter_);
+}
+
+void CouplerUnit::exchange(sim::Cluster& cluster) {
+  region_gather_ = cluster.region(name_ + "/gather");
+  region_map_ = cluster.region(name_ + "/map");
+  region_scatter_ = cluster.region(name_ + "/scatter");
+
+  const bool remap =
+      config_.kind == InterfaceKind::kSlidingPlane || !mapped_;
+  half_exchange(cluster, side_a_, side_b_, remap);
+  half_exchange(cluster, side_b_, side_a_, /*remap=*/false);
+  mapped_ = true;
+}
+
+}  // namespace cpx::coupler

@@ -1,0 +1,118 @@
+#include "mesh/coarsen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace cpx::mesh {
+
+Coarsening coarsen_pairwise(const UnstructuredMesh& fine) {
+  const std::int64_t n = fine.num_cells();
+  CPX_REQUIRE(n >= 1, "coarsen_pairwise: empty mesh");
+  const auto& offsets = fine.adjacency_offsets();
+  const auto& adj = fine.adjacency_cells();
+
+  // Face weight lookup for picking the heaviest-face neighbour. Build a
+  // per-cell list of (neighbor, area) from the edge list.
+  std::vector<std::vector<std::pair<CellId, double>>> weights(
+      static_cast<std::size_t>(n));
+  for (const Edge& e : fine.edges()) {
+    weights[static_cast<std::size_t>(e.a)].push_back({e.b, e.area});
+    weights[static_cast<std::size_t>(e.b)].push_back({e.a, e.area});
+  }
+
+  Coarsening result;
+  result.coarse_of.assign(static_cast<std::size_t>(n), -1);
+  std::int64_t next_coarse = 0;
+  for (CellId c = 0; c < n; ++c) {
+    if (result.coarse_of[static_cast<std::size_t>(c)] >= 0) {
+      continue;
+    }
+    // Pick the unmatched neighbour with the largest shared face.
+    CellId best = -1;
+    double best_area = -1.0;
+    for (const auto& [nbr, area] : weights[static_cast<std::size_t>(c)]) {
+      if (result.coarse_of[static_cast<std::size_t>(nbr)] < 0 &&
+          area > best_area) {
+        best = nbr;
+        best_area = area;
+      }
+    }
+    result.coarse_of[static_cast<std::size_t>(c)] = next_coarse;
+    if (best >= 0) {
+      result.coarse_of[static_cast<std::size_t>(best)] = next_coarse;
+    }
+    ++next_coarse;
+  }
+  (void)offsets;
+  (void)adj;
+
+  // Coarse centroids (volume-weighted) and volumes.
+  std::vector<Vec3> centroids(static_cast<std::size_t>(next_coarse),
+                              Vec3{0.0, 0.0, 0.0});
+  std::vector<double> volumes(static_cast<std::size_t>(next_coarse), 0.0);
+  for (CellId c = 0; c < n; ++c) {
+    const auto agg = static_cast<std::size_t>(
+        result.coarse_of[static_cast<std::size_t>(c)]);
+    const double v = fine.volumes()[static_cast<std::size_t>(c)];
+    const Vec3& p = fine.centroids()[static_cast<std::size_t>(c)];
+    centroids[agg].x += v * p.x;
+    centroids[agg].y += v * p.y;
+    centroids[agg].z += v * p.z;
+    volumes[agg] += v;
+  }
+  for (std::size_t a = 0; a < centroids.size(); ++a) {
+    centroids[a].x /= volumes[a];
+    centroids[a].y /= volumes[a];
+    centroids[a].z /= volumes[a];
+  }
+
+  // Coarse edges: fine edges crossing aggregates, areas summed.
+  std::map<std::pair<CellId, CellId>, Edge> coarse_edges;
+  for (const Edge& e : fine.edges()) {
+    const CellId ca = result.coarse_of[static_cast<std::size_t>(e.a)];
+    const CellId cb = result.coarse_of[static_cast<std::size_t>(e.b)];
+    if (ca == cb) {
+      continue;
+    }
+    const auto key = std::minmax(ca, cb);
+    auto it = coarse_edges.find(key);
+    if (it == coarse_edges.end()) {
+      coarse_edges.emplace(key,
+                           Edge{key.first, key.second, e.area, e.normal});
+    } else {
+      it->second.area += e.area;
+    }
+  }
+  std::vector<Edge> edges;
+  edges.reserve(coarse_edges.size());
+  for (auto& [key, e] : coarse_edges) {
+    edges.push_back(e);
+  }
+  result.coarse = UnstructuredMesh(std::move(centroids), std::move(volumes),
+                                   std::move(edges));
+  return result;
+}
+
+Hierarchy build_hierarchy(const UnstructuredMesh& fine, int levels) {
+  CPX_REQUIRE(levels >= 1, "build_hierarchy: need at least one level");
+  Hierarchy h;
+  h.meshes.push_back(fine);
+  for (int l = 1; l < levels; ++l) {
+    const UnstructuredMesh& current = h.meshes.back();
+    if (current.num_cells() <= 2) {
+      break;
+    }
+    Coarsening c = coarsen_pairwise(current);
+    if (c.num_coarse() >= current.num_cells()) {
+      break;  // no progress (disconnected dust); stop rather than loop
+    }
+    h.coarse_of.push_back(std::move(c.coarse_of));
+    h.meshes.push_back(std::move(c.coarse));
+  }
+  return h;
+}
+
+}  // namespace cpx::mesh

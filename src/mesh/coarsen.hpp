@@ -1,0 +1,38 @@
+#pragma once
+// Geometric agglomeration coarsening for MG-CFD's multigrid hierarchy.
+// Greedy pairwise matching of adjacent cells halves the cell count per
+// level (the classic volume-agglomeration approach for unstructured FV
+// multigrid).
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace cpx::mesh {
+
+/// Result of one coarsening step.
+struct Coarsening {
+  /// For each fine cell, the coarse aggregate it belongs to.
+  std::vector<CellId> coarse_of;
+  UnstructuredMesh coarse;
+
+  std::int64_t num_coarse() const { return coarse.num_cells(); }
+};
+
+/// Greedy pairwise aggregation: visit cells in order, match each unmatched
+/// cell with its heaviest-face unmatched neighbour (singletons allowed when
+/// no neighbour is free). Deterministic.
+Coarsening coarsen_pairwise(const UnstructuredMesh& fine);
+
+/// Builds a hierarchy of `levels` meshes (levels[0] == fine) by repeated
+/// pairwise aggregation; stops early if a level would not shrink.
+struct Hierarchy {
+  std::vector<UnstructuredMesh> meshes;
+  /// coarse_of[l][c] maps a cell of level l to its aggregate in level l+1.
+  std::vector<std::vector<CellId>> coarse_of;
+
+  int num_levels() const { return static_cast<int>(meshes.size()); }
+};
+Hierarchy build_hierarchy(const UnstructuredMesh& fine, int levels);
+
+}  // namespace cpx::mesh

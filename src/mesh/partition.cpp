@@ -1,0 +1,224 @@
+#include "mesh/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace cpx::mesh {
+
+std::int64_t Partitioning::owned_count(int part) const {
+  CPX_REQUIRE(part >= 0 && part < num_parts, "owned_count: bad part " << part);
+  return std::count(part_of.begin(), part_of.end(), part);
+}
+
+namespace {
+
+/// Recursively assigns parts [part_begin, part_end) to the cells in
+/// indices[lo, hi), bisecting along the widest coordinate axis.
+void rcb_recurse(const std::vector<Vec3>& pts, std::vector<std::int64_t>& idx,
+                 std::int64_t lo, std::int64_t hi, int part_begin,
+                 int part_end, std::vector<int>& part_of) {
+  const int parts = part_end - part_begin;
+  if (parts == 1) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      part_of[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])] =
+          part_begin;
+    }
+    return;
+  }
+  // Widest axis of the bounding box of this subset.
+  Vec3 mn = pts[static_cast<std::size_t>(idx[static_cast<std::size_t>(lo)])];
+  Vec3 mx = mn;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const Vec3& p =
+        pts[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])];
+    mn.x = std::min(mn.x, p.x);
+    mn.y = std::min(mn.y, p.y);
+    mn.z = std::min(mn.z, p.z);
+    mx.x = std::max(mx.x, p.x);
+    mx.y = std::max(mx.y, p.y);
+    mx.z = std::max(mx.z, p.z);
+  }
+  const double dx = mx.x - mn.x;
+  const double dy = mx.y - mn.y;
+  const double dz = mx.z - mn.z;
+  int axis = 0;
+  if (dy >= dx && dy >= dz) {
+    axis = 1;
+  } else if (dz >= dx && dz >= dy) {
+    axis = 2;
+  }
+  const auto key = [&](std::int64_t cell) {
+    const Vec3& p = pts[static_cast<std::size_t>(cell)];
+    return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+  };
+
+  const int left_parts = parts / 2;
+  const std::int64_t count = hi - lo;
+  const std::int64_t left_count =
+      count * left_parts / parts;  // proportional share
+  auto begin = idx.begin() + lo;
+  auto nth = idx.begin() + lo + left_count;
+  auto end = idx.begin() + hi;
+  std::nth_element(begin, nth, end, [&](std::int64_t a, std::int64_t b) {
+    return key(a) < key(b);
+  });
+  rcb_recurse(pts, idx, lo, lo + left_count, part_begin,
+              part_begin + left_parts, part_of);
+  rcb_recurse(pts, idx, lo + left_count, hi, part_begin + left_parts,
+              part_end, part_of);
+}
+
+}  // namespace
+
+Partitioning partition_rcb(const UnstructuredMesh& mesh, int num_parts) {
+  CPX_REQUIRE(num_parts >= 1, "partition_rcb: bad part count " << num_parts);
+  CPX_REQUIRE(mesh.num_cells() >= num_parts,
+              "partition_rcb: more parts (" << num_parts << ") than cells ("
+                                            << mesh.num_cells() << ")");
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.part_of.assign(static_cast<std::size_t>(mesh.num_cells()), 0);
+  if (num_parts == 1) {
+    return p;
+  }
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(mesh.num_cells()));
+  std::iota(idx.begin(), idx.end(), 0);
+  rcb_recurse(mesh.centroids(), idx, 0, mesh.num_cells(), 0, num_parts,
+              p.part_of);
+  return p;
+}
+
+std::int64_t LocalMesh::halo_send_cells() const {
+  std::int64_t total = 0;
+  for (const SendList& s : sends) {
+    total += static_cast<std::int64_t>(s.cells.size());
+  }
+  return total;
+}
+
+std::vector<LocalMesh> extract_local_meshes(const UnstructuredMesh& mesh,
+                                            const Partitioning& partitioning) {
+  CPX_REQUIRE(partitioning.part_of.size() ==
+                  static_cast<std::size_t>(mesh.num_cells()),
+              "extract_local_meshes: partitioning size mismatch");
+  const int p = partitioning.num_parts;
+  std::vector<LocalMesh> locals(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    locals[static_cast<std::size_t>(i)].part = i;
+  }
+
+  // Owned cells per part (global ids in ascending order) and a global->local
+  // index map.
+  std::vector<std::int32_t> local_index(
+      static_cast<std::size_t>(mesh.num_cells()), -1);
+  for (CellId c = 0; c < mesh.num_cells(); ++c) {
+    LocalMesh& lm =
+        locals[static_cast<std::size_t>(partitioning.part_of
+                                            [static_cast<std::size_t>(c)])];
+    local_index[static_cast<std::size_t>(c)] =
+        static_cast<std::int32_t>(lm.owned.size());
+    lm.owned.push_back(c);
+  }
+
+  // Ghosts: cells adjacent across a cut, per part, discovered from edges.
+  // ghost_index[part] maps global id -> local ghost slot.
+  std::vector<std::unordered_map<CellId, std::int32_t>> ghost_index(
+      static_cast<std::size_t>(p));
+  // send_map[part][neighbor] -> set of owned local indices (kept sorted later)
+  std::vector<std::unordered_map<int, std::vector<std::int32_t>>> send_map(
+      static_cast<std::size_t>(p));
+
+  const auto ghost_slot = [&](int part, CellId global) {
+    auto& gi = ghost_index[static_cast<std::size_t>(part)];
+    auto it = gi.find(global);
+    if (it != gi.end()) {
+      return it->second;
+    }
+    LocalMesh& lm = locals[static_cast<std::size_t>(part)];
+    const auto slot = static_cast<std::int32_t>(lm.owned.size() +
+                                                lm.ghosts.size());
+    lm.ghosts.push_back(global);
+    gi.emplace(global, slot);
+    return slot;
+  };
+
+  for (const Edge& e : mesh.edges()) {
+    const int pa = partitioning.part_of[static_cast<std::size_t>(e.a)];
+    const int pb = partitioning.part_of[static_cast<std::size_t>(e.b)];
+    const std::int32_t la = local_index[static_cast<std::size_t>(e.a)];
+    const std::int32_t lb = local_index[static_cast<std::size_t>(e.b)];
+    if (pa == pb) {
+      locals[static_cast<std::size_t>(pa)].edges.push_back(
+          {la, lb, e.area, e.normal});
+      continue;
+    }
+    // Cut edge: each side gets the edge with the remote endpoint as ghost,
+    // and must send its own endpoint to the other part.
+    const std::int32_t ga = ghost_slot(pa, e.b);
+    locals[static_cast<std::size_t>(pa)].edges.push_back(
+        {la, ga, e.area, e.normal});
+    send_map[static_cast<std::size_t>(pa)][pb].push_back(la);
+
+    const std::int32_t gb = ghost_slot(pb, e.a);
+    locals[static_cast<std::size_t>(pb)].edges.push_back(
+        {gb, lb, e.area, e.normal});
+    send_map[static_cast<std::size_t>(pb)][pa].push_back(lb);
+  }
+
+  // Finalise send lists (dedup) and recv counts.
+  for (int part = 0; part < p; ++part) {
+    LocalMesh& lm = locals[static_cast<std::size_t>(part)];
+    for (auto& [neighbor, cells] : send_map[static_cast<std::size_t>(part)]) {
+      std::sort(cells.begin(), cells.end());
+      cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+      lm.sends.push_back({neighbor, cells});
+    }
+    std::sort(lm.sends.begin(), lm.sends.end(),
+              [](const LocalMesh::SendList& a, const LocalMesh::SendList& b) {
+                return a.neighbor < b.neighbor;
+              });
+  }
+  // recv counts mirror the neighbour's send list sizes.
+  for (int part = 0; part < p; ++part) {
+    LocalMesh& lm = locals[static_cast<std::size_t>(part)];
+    for (const auto& s : lm.sends) {
+      const LocalMesh& other = locals[static_cast<std::size_t>(s.neighbor)];
+      for (const auto& os : other.sends) {
+        if (os.neighbor == part) {
+          lm.recvs.push_back(
+              {s.neighbor, static_cast<std::int64_t>(os.cells.size())});
+          break;
+        }
+      }
+    }
+  }
+  return locals;
+}
+
+HaloSummary summarize_halos(const UnstructuredMesh& mesh,
+                            const Partitioning& partitioning) {
+  const auto locals = extract_local_meshes(mesh, partitioning);
+  HaloSummary s;
+  s.min_owned = mesh.num_cells();
+  double owned_sum = 0.0;
+  double halo_sum = 0.0;
+  double nbr_sum = 0.0;
+  for (const LocalMesh& lm : locals) {
+    s.max_owned = std::max(s.max_owned, lm.num_owned());
+    s.min_owned = std::min(s.min_owned, lm.num_owned());
+    owned_sum += static_cast<double>(lm.num_owned());
+    halo_sum += static_cast<double>(lm.num_ghosts());
+    s.max_halo = std::max(s.max_halo, static_cast<double>(lm.num_ghosts()));
+    nbr_sum += lm.num_neighbors();
+  }
+  const double n = static_cast<double>(locals.size());
+  s.mean_owned = owned_sum / n;
+  s.mean_halo = halo_sum / n;
+  s.mean_neighbors = nbr_sum / n;
+  return s;
+}
+
+}  // namespace cpx::mesh

@@ -1,0 +1,85 @@
+#pragma once
+// Geometric partitioning (recursive coordinate bisection) and halo
+// construction. Production codes use ParMETIS-class partitioners; RCB over
+// jittered centroids gives parts with the same statistical character
+// (balanced sizes, compact shapes, surface-to-volume halo growth), which
+// is what the performance behaviour depends on.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace cpx::mesh {
+
+struct Partitioning {
+  int num_parts = 0;
+  std::vector<int> part_of;  ///< per global cell
+
+  std::int64_t owned_count(int part) const;
+};
+
+/// Recursive coordinate bisection on cell centroids. Supports arbitrary
+/// (non-power-of-two) part counts by proportional splits.
+Partitioning partition_rcb(const UnstructuredMesh& mesh, int num_parts);
+
+/// A part's view of the mesh: owned cells, ghost ring, local edges, and the
+/// communication lists to exchange ghost data with neighbouring parts.
+/// Local cell indices: [0, num_owned) are owned, [num_owned, num_owned +
+/// num_ghosts) are ghosts, in the order of `ghosts`.
+struct LocalMesh {
+  int part = 0;
+  std::vector<CellId> owned;   ///< global ids of owned cells
+  std::vector<CellId> ghosts;  ///< global ids of ghost cells
+
+  /// Edges with at least one owned endpoint, in local indices. Edges
+  /// between two owned cells appear once; cut edges appear in both parts.
+  struct LocalEdge {
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    double area = 1.0;
+    Vec3 normal{1.0, 0.0, 0.0};
+  };
+  std::vector<LocalEdge> edges;
+
+  /// Per neighbouring part: local owned indices whose values must be sent.
+  struct SendList {
+    int neighbor = 0;
+    std::vector<std::int32_t> cells;
+  };
+  std::vector<SendList> sends;
+
+  /// Per neighbouring part: number of ghost cells received from it.
+  struct RecvCount {
+    int neighbor = 0;
+    std::int64_t count = 0;
+  };
+  std::vector<RecvCount> recvs;
+
+  std::int64_t num_owned() const {
+    return static_cast<std::int64_t>(owned.size());
+  }
+  std::int64_t num_ghosts() const {
+    return static_cast<std::int64_t>(ghosts.size());
+  }
+  std::int64_t halo_send_cells() const;
+  int num_neighbors() const { return static_cast<int>(sends.size()); }
+};
+
+/// Extracts the local view of every part in one sweep.
+std::vector<LocalMesh> extract_local_meshes(const UnstructuredMesh& mesh,
+                                            const Partitioning& partitioning);
+
+/// Aggregate halo statistics of a partitioning (no local meshes built).
+struct HaloSummary {
+  std::int64_t max_owned = 0;
+  std::int64_t min_owned = 0;
+  double mean_owned = 0.0;
+  double mean_halo = 0.0;  ///< mean ghost cells per part
+  double max_halo = 0.0;
+  double mean_neighbors = 0.0;
+};
+HaloSummary summarize_halos(const UnstructuredMesh& mesh,
+                            const Partitioning& partitioning);
+
+}  // namespace cpx::mesh

@@ -1,0 +1,280 @@
+#include "mgcfd/distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::mgcfd {
+namespace {
+
+State rusanov_flux(const State& ua, const State& ub, const mesh::Vec3& n,
+                   double dissipation) {
+  // Same numerics as EulerSolver::compute_residual (euler.cpp); kept in
+  // lock-step so the distributed and sequential solvers agree exactly.
+  const auto phys = [](const State& u, const mesh::Vec3& nn) {
+    const double rho = u[0];
+    const double vn = (u[1] * nn.x + u[2] * nn.y + u[3] * nn.z) / rho;
+    const double p = pressure(u);
+    State f;
+    f[0] = rho * vn;
+    f[1] = u[1] * vn + p * nn.x;
+    f[2] = u[2] * vn + p * nn.y;
+    f[3] = u[3] * vn + p * nn.z;
+    f[4] = (u[4] + p) * vn;
+    return f;
+  };
+  const auto speed = [](const State& u, const mesh::Vec3& nn) {
+    const double vn = (u[1] * nn.x + u[2] * nn.y + u[3] * nn.z) / u[0];
+    return std::abs(vn) + sound_speed(u);
+  };
+  const State fa = phys(ua, n);
+  const State fb = phys(ub, n);
+  const double smax = std::max(speed(ua, n), speed(ub, n));
+  State f;
+  for (int k = 0; k < 5; ++k) {
+    f[k] = 0.5 * (fa[k] + fb[k]) - 0.5 * dissipation * smax * (ub[k] - ua[k]);
+  }
+  return f;
+}
+
+State physical_flux(const State& u, const mesh::Vec3& n) {
+  const double rho = u[0];
+  const double vn = (u[1] * n.x + u[2] * n.y + u[3] * n.z) / rho;
+  const double p = pressure(u);
+  State f;
+  f[0] = rho * vn;
+  f[1] = u[1] * vn + p * n.x;
+  f[2] = u[2] * vn + p * n.y;
+  f[3] = u[3] * vn + p * n.z;
+  f[4] = (u[4] + p) * vn;
+  return f;
+}
+
+}  // namespace
+
+DistributedSolver::DistributedSolver(const mesh::UnstructuredMesh& mesh,
+                                     int parts, const EulerOptions& options)
+    : options_(options), global_cells_(mesh.num_cells()) {
+  CPX_REQUIRE(parts >= 1, "DistributedSolver: bad part count");
+  options_.mg_levels = 1;  // multigrid is not distributed (see header)
+
+  const mesh::Partitioning partitioning = mesh::partition_rcb(mesh, parts);
+  part_of_ = partitioning.part_of;
+  auto locals = mesh::extract_local_meshes(mesh, partitioning);
+
+  local_of_.assign(static_cast<std::size_t>(global_cells_), -1);
+  parts_.reserve(locals.size());
+  for (mesh::LocalMesh& lm : locals) {
+    PartState ps;
+    const auto owned = static_cast<std::size_t>(lm.num_owned());
+    const auto total = owned + static_cast<std::size_t>(lm.num_ghosts());
+    for (std::size_t i = 0; i < owned; ++i) {
+      local_of_[static_cast<std::size_t>(lm.owned[i])] =
+          static_cast<std::int32_t>(i);
+    }
+    ps.u.assign(total, State{1.0, 0.0, 0.0, 0.0, 2.5});
+    ps.residual.assign(owned, State{});
+    // Geometric closure of each owned cell from its incident edges (every
+    // global edge touching an owned cell appears in the local edge list).
+    ps.closure.assign(owned, mesh::Vec3{0.0, 0.0, 0.0});
+    for (const auto& e : lm.edges) {
+      if (e.a < lm.num_owned()) {
+        auto& c = ps.closure[static_cast<std::size_t>(e.a)];
+        c.x += e.area * e.normal.x;
+        c.y += e.area * e.normal.y;
+        c.z += e.area * e.normal.z;
+      }
+      if (e.b < lm.num_owned()) {
+        auto& c = ps.closure[static_cast<std::size_t>(e.b)];
+        c.x -= e.area * e.normal.x;
+        c.y -= e.area * e.normal.y;
+        c.z -= e.area * e.normal.z;
+      }
+    }
+    // Degrees (incident local edges per owned cell — equals the global
+    // degree, since every incident global edge is present locally).
+    ps.degrees.assign(owned, 0.0);
+    for (const auto& e : lm.edges) {
+      if (e.a < lm.num_owned()) {
+        ps.degrees[static_cast<std::size_t>(e.a)] += 1.0;
+      }
+      if (e.b < lm.num_owned()) {
+        ps.degrees[static_cast<std::size_t>(e.b)] += 1.0;
+      }
+    }
+    ps.volumes.reserve(owned);
+    for (mesh::CellId c : lm.owned) {
+      ps.volumes.push_back(mesh.volumes()[static_cast<std::size_t>(c)]);
+    }
+    ps.local = std::move(lm);
+    parts_.push_back(std::move(ps));
+  }
+  // Precompute halo routing: for each send list entry, the ghost slot in
+  // the receiving part that holds the same global cell.
+  for (PartState& src : parts_) {
+    src.send_targets.resize(src.local.sends.size());
+    for (std::size_t s = 0; s < src.local.sends.size(); ++s) {
+      const auto& send = src.local.sends[s];
+      const PartState& dst = parts_[static_cast<std::size_t>(send.neighbor)];
+      auto& targets = src.send_targets[s];
+      targets.reserve(send.cells.size());
+      for (std::int32_t local_idx : send.cells) {
+        const mesh::CellId global =
+            src.local.owned[static_cast<std::size_t>(local_idx)];
+        std::int32_t slot = -1;
+        for (std::size_t g = 0; g < dst.local.ghosts.size(); ++g) {
+          if (dst.local.ghosts[g] == global) {
+            slot = static_cast<std::int32_t>(
+                static_cast<std::size_t>(dst.local.num_owned()) + g);
+            break;
+          }
+        }
+        CPX_CHECK_MSG(slot >= 0, "halo routing: ghost slot not found");
+        targets.push_back(slot);
+      }
+    }
+  }
+}
+
+void DistributedSolver::set_uniform(const State& u) {
+  for (PartState& ps : parts_) {
+    std::fill(ps.u.begin(), ps.u.end(), u);
+  }
+}
+
+void DistributedSolver::set_cell(mesh::CellId cell, const State& u) {
+  CPX_REQUIRE(cell >= 0 && cell < global_cells_, "set_cell: bad cell");
+  const int part = part_of_[static_cast<std::size_t>(cell)];
+  parts_[static_cast<std::size_t>(part)]
+      .u[static_cast<std::size_t>(local_of_[static_cast<std::size_t>(cell)])] =
+      u;
+  // Ghost copies become current at the next exchange.
+}
+
+void DistributedSolver::attach_cluster(sim::Cluster* cluster) {
+  cluster_ = cluster;
+  if (cluster_ != nullptr) {
+    CPX_REQUIRE(cluster_->num_ranks() >= num_parts(),
+                "attach_cluster: cluster too small");
+    region_flux_ = cluster_->region("dist_mgcfd/flux");
+    region_halo_ = cluster_->region("dist_mgcfd/halo");
+    region_reduce_ = cluster_->region("dist_mgcfd/reduce");
+  }
+}
+
+void DistributedSolver::exchange_halos() {
+  last_halo_bytes_ = 0;
+  std::vector<sim::Message> messages;
+  // Deliver each part's send list into the neighbour's ghost slots. Ghost
+  // ordering in the receiver matches the discovery order of cut edges; we
+  // route by global id, which is what the send lists carry implicitly.
+  for (const PartState& src : parts_) {
+    for (std::size_t s = 0; s < src.local.sends.size(); ++s) {
+      const auto& send = src.local.sends[s];
+      PartState& dst = parts_[static_cast<std::size_t>(send.neighbor)];
+      const auto& targets = src.send_targets[s];
+      for (std::size_t i = 0; i < send.cells.size(); ++i) {
+        dst.u[static_cast<std::size_t>(targets[i])] =
+            src.u[static_cast<std::size_t>(send.cells[i])];
+      }
+      const std::size_t bytes = send.cells.size() * sizeof(State);
+      last_halo_bytes_ += bytes;
+      if (cluster_ != nullptr) {
+        messages.push_back({src.local.part, send.neighbor, bytes});
+      }
+    }
+  }
+  if (cluster_ != nullptr && !messages.empty()) {
+    cluster_->exchange(messages, region_halo_);
+  }
+}
+
+double DistributedSolver::compute_and_update() {
+  double norm_sq = 0.0;
+  for (PartState& ps : parts_) {
+    const auto owned = static_cast<std::size_t>(ps.local.num_owned());
+    std::fill(ps.residual.begin(), ps.residual.end(), State{});
+    for (const auto& e : ps.local.edges) {
+      const State f = rusanov_flux(ps.u[static_cast<std::size_t>(e.a)],
+                                   ps.u[static_cast<std::size_t>(e.b)],
+                                   e.normal, options_.dissipation);
+      for (int k = 0; k < 5; ++k) {
+        const double contrib = e.area * f[k];
+        if (e.a < ps.local.num_owned()) {
+          ps.residual[static_cast<std::size_t>(e.a)][k] -= contrib;
+        }
+        if (e.b < ps.local.num_owned()) {
+          ps.residual[static_cast<std::size_t>(e.b)][k] += contrib;
+        }
+      }
+    }
+    // Boundary closure (transmissive), identical to the sequential solver.
+    for (std::size_t c = 0; c < owned; ++c) {
+      const mesh::Vec3& d = ps.closure[c];
+      if (d.x == 0.0 && d.y == 0.0 && d.z == 0.0) {
+        continue;
+      }
+      const State f = physical_flux(ps.u[c], d);
+      for (int k = 0; k < 5; ++k) {
+        ps.residual[c][k] += f[k];
+      }
+    }
+    // Local-time-step update with positivity guard.
+    for (std::size_t c = 0; c < owned; ++c) {
+      State& uc = ps.u[c];
+      const double vol = ps.volumes[c];
+      const double wave = std::abs(uc[1] / uc[0]) + sound_speed(uc);
+      const double face_area =
+          std::max(ps.degrees[c], 1.0) * std::pow(vol, 2.0 / 3.0);
+      const double dt =
+          options_.cfl * vol / std::max(wave * face_area, 1e-12);
+      for (int k = 0; k < 5; ++k) {
+        norm_sq += ps.residual[c][k] * ps.residual[c][k];
+        uc[k] += dt * ps.residual[c][k] / vol;
+      }
+      uc[0] = std::max(uc[0], 1e-10);
+      const double ke =
+          0.5 * (uc[1] * uc[1] + uc[2] * uc[2] + uc[3] * uc[3]) / uc[0];
+      uc[4] = std::max(uc[4], ke + 1e-10);
+    }
+    if (cluster_ != nullptr) {
+      sim::Work w;
+      w.flops = static_cast<double>(ps.local.edges.size()) * 120.0 +
+                static_cast<double>(owned) * 60.0;
+      w.bytes = static_cast<double>(ps.local.edges.size()) * 160.0 +
+                static_cast<double>(owned) * 100.0;
+      cluster_->compute(ps.local.part, w, region_flux_);
+    }
+  }
+  if (cluster_ != nullptr && num_parts() > 1) {
+    cluster_->allreduce({0, num_parts()}, sizeof(double), region_reduce_);
+  }
+  return std::sqrt(norm_sq);
+}
+
+double DistributedSolver::step() {
+  exchange_halos();
+  return compute_and_update();
+}
+
+double DistributedSolver::run(int steps) {
+  CPX_REQUIRE(steps >= 1, "run: bad step count");
+  double norm = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    norm = step();
+  }
+  return norm;
+}
+
+std::vector<State> DistributedSolver::gather_solution() const {
+  std::vector<State> out(static_cast<std::size_t>(global_cells_));
+  for (const PartState& ps : parts_) {
+    for (std::size_t i = 0; i < ps.local.owned.size(); ++i) {
+      out[static_cast<std::size_t>(ps.local.owned[i])] = ps.u[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace cpx::mgcfd

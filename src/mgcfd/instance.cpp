@@ -1,0 +1,199 @@
+#include "mgcfd/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace cpx::mgcfd {
+namespace {
+
+/// Near-cubic 3-D factorisation of p (px >= py >= pz, px*py*pz == p).
+std::array<int, 3> grid_dims(int p) {
+  std::array<int, 3> best = {p, 1, 1};
+  double best_score = 1e300;
+  for (int pz = 1; pz * pz * pz <= p; ++pz) {
+    if (p % pz != 0) {
+      continue;
+    }
+    const int rest = p / pz;
+    for (int py = pz; py * py <= rest; ++py) {
+      if (rest % py != 0) {
+        continue;
+      }
+      const int px = rest / py;
+      // Prefer the most cubic shape (smallest max/min ratio).
+      const double score = static_cast<double>(px) / pz;
+      if (score < best_score) {
+        best_score = score;
+        best = {px, py, pz};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Instance::Instance(std::string name, std::int64_t global_cells,
+                   sim::RankRange ranks, const WorkModel& work)
+    : name_(std::move(name)),
+      ranks_(ranks),
+      global_cells_(global_cells),
+      work_(work) {
+  CPX_REQUIRE(ranks.size() >= 1, "Instance: empty rank range");
+  CPX_REQUIRE(global_cells >= ranks.size(),
+              "Instance: fewer cells than ranks");
+  build_analytic(global_cells);
+}
+
+Instance::Instance(std::string name, const mesh::UnstructuredMesh& mesh,
+                   const mesh::Partitioning& partitioning,
+                   sim::RankRange ranks, const WorkModel& work)
+    : name_(std::move(name)),
+      ranks_(ranks),
+      global_cells_(mesh.num_cells()),
+      work_(work) {
+  CPX_REQUIRE(partitioning.num_parts == ranks.size(),
+              "Instance: partitioning has " << partitioning.num_parts
+                                            << " parts but rank range has "
+                                            << ranks.size());
+  const auto locals = mesh::extract_local_meshes(mesh, partitioning);
+  loads_.resize(static_cast<std::size_t>(ranks.size()));
+  for (const mesh::LocalMesh& lm : locals) {
+    RankLoad& load = loads_[static_cast<std::size_t>(lm.part)];
+    load.owned = lm.num_owned();
+    for (const auto& send : lm.sends) {
+      load.neighbors.push_back(ranks_.begin + send.neighbor);
+      load.halo_cells.push_back(static_cast<std::int64_t>(send.cells.size()));
+    }
+  }
+}
+
+void Instance::build_analytic(std::int64_t global_cells) {
+  const int p = ranks_.size();
+  const mesh::PartitionStats stats =
+      mesh::PartitionStats::analytic(global_cells, p);
+  const auto dims = grid_dims(p);
+  const int px = dims[0];
+  const int py = dims[1];
+  const int pz = dims[2];
+
+  loads_.resize(static_cast<std::size_t>(p));
+  for (int l = 0; l < p; ++l) {
+    RankLoad& load = loads_[static_cast<std::size_t>(l)];
+    // Deterministic +-3% load jitter around the mean (production
+    // partitioners are imbalanced at about this level).
+    const double jitter =
+        0.03 * (2.0 * (static_cast<double>(hash_mix(17, static_cast<std::uint64_t>(l)) >> 11) *
+                       0x1.0p-53) -
+                1.0);
+    load.owned = static_cast<std::int64_t>(stats.owned_mean * (1.0 + jitter));
+    load.owned = std::max<std::int64_t>(load.owned, 1);
+
+    const int iz = l / (px * py);
+    const int iy = (l / px) % py;
+    const int ix = l % px;
+    const auto add_neighbor = [&](int jx, int jy, int jz) {
+      if (jx < 0 || jx >= px || jy < 0 || jy >= py || jz < 0 || jz >= pz) {
+        return;
+      }
+      load.neighbors.push_back(ranks_.begin + (jz * py + jy) * px + jx);
+    };
+    add_neighbor(ix - 1, iy, iz);
+    add_neighbor(ix + 1, iy, iz);
+    add_neighbor(ix, iy - 1, iz);
+    add_neighbor(ix, iy + 1, iz);
+    add_neighbor(ix, iy, iz - 1);
+    add_neighbor(ix, iy, iz + 1);
+    // Spread the analytic mean halo over the mean neighbour count: every
+    // face of every rank carries the same per-face halo.
+    const std::int64_t per_face = static_cast<std::int64_t>(
+        stats.halo_mean / std::max(stats.neighbors_mean, 1.0));
+    for (std::size_t k = 0; k < load.neighbors.size(); ++k) {
+      load.halo_cells.push_back(std::max<std::int64_t>(per_face, 1));
+    }
+  }
+}
+
+void Instance::ensure_regions(sim::Cluster& cluster) {
+  region_flux_ = cluster.region(name_ + "/flux");
+  region_halo_ = cluster.region(name_ + "/halo");
+  region_mg_ = cluster.region(name_ + "/mg_coarse");
+  region_reduce_ = cluster.region(name_ + "/reduce");
+}
+
+double Instance::mean_owned() const {
+  double sum = 0.0;
+  for (const RankLoad& l : loads_) {
+    sum += static_cast<double>(l.owned);
+  }
+  return sum / static_cast<double>(loads_.size());
+}
+
+void Instance::step(sim::Cluster& cluster) {
+  ensure_regions(cluster);
+  const sim::MachineModel& m = cluster.machine();
+
+  // Level visit multiplier of one V-cycle: every level is visited twice
+  // (down and up) except the coarsest; smooth_steps sweeps per visit.
+  double level_work = 0.0;
+  double ratio_l = 1.0;
+  for (int l = 0; l < work_.mg_levels; ++l) {
+    const double visits = (l == work_.mg_levels - 1) ? 1.0 : 2.0;
+    level_work += visits * ratio_l;
+    ratio_l *= work_.level_cell_ratio;
+  }
+  const double sweeps_per_cycle =
+      static_cast<double>(work_.smooth_steps) * level_work;
+
+  // --- Compute: flux + update kernels across all level visits ---
+  for (int l = 0; l < ranks_.size(); ++l) {
+    const RankLoad& load = loads_[static_cast<std::size_t>(l)];
+    const double cells = static_cast<double>(load.owned);
+    const double edges = cells * work_.edges_per_cell;
+    sim::Work w;
+    w.flops = sweeps_per_cycle *
+              (edges * work_.flops_per_edge + cells * work_.flops_per_cell);
+    w.bytes = sweeps_per_cycle *
+              (edges * work_.bytes_per_edge + cells * work_.bytes_per_cell);
+    w.launches = sweeps_per_cycle * 2.0;  // flux kernel + update kernel
+    cluster.compute(ranks_.begin + l, w, region_flux_);
+  }
+
+  // --- Finest-level halo exchange: one message round carrying the bytes of
+  // all fine-level sweeps; the extra rounds' latencies are charged below.
+  const int fine_rounds = 2 * work_.smooth_steps;
+  message_scratch_.clear();
+  for (int l = 0; l < ranks_.size(); ++l) {
+    const RankLoad& load = loads_[static_cast<std::size_t>(l)];
+    for (std::size_t k = 0; k < load.neighbors.size(); ++k) {
+      const std::size_t bytes =
+          static_cast<std::size_t>(load.halo_cells[k]) *
+          work_.bytes_per_halo_cell * static_cast<std::size_t>(fine_rounds);
+      message_scratch_.push_back(
+          {ranks_.begin + l, load.neighbors[k], bytes});
+    }
+  }
+  cluster.exchange(message_scratch_, region_halo_);
+
+  // --- Latency of the remaining fine rounds and the coarse-level rounds.
+  // Coarse halos shrink with cells^(2/3) and are latency-dominated.
+  const double per_round = m.lat_inter + 2.0 * m.msg_overhead;
+  const int coarse_rounds =
+      2 * work_.smooth_steps * std::max(work_.mg_levels - 1, 0);
+  for (int l = 0; l < ranks_.size(); ++l) {
+    const auto n_nbrs = static_cast<double>(
+        std::max<std::size_t>(loads_[static_cast<std::size_t>(l)].neighbors.size(), 1));
+    // Each extra round exchanges with every neighbour.
+    const double delay =
+        (fine_rounds - 1 + coarse_rounds) * per_round * n_nbrs;
+    cluster.comm_delay(ranks_.begin + l, delay, region_mg_);
+  }
+
+  // --- Residual allreduce closing the timestep ---
+  cluster.allreduce(ranks_, 5 * sizeof(double), region_reduce_);
+}
+
+}  // namespace cpx::mgcfd

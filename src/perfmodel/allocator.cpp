@@ -1,0 +1,119 @@
+#include "perfmodel/allocator.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace cpx::perfmodel {
+
+double InstanceModel::time(int cores) const {
+  return scale * curve.time_at(static_cast<double>(cores));
+}
+
+InstanceModel InstanceModel::make(std::string name, ScalingCurve curve,
+                                  double base_size, double base_iters,
+                                  double size, double iters, int min_ranks) {
+  CPX_REQUIRE(base_size > 0.0 && base_iters > 0.0,
+              "InstanceModel::make: bad base case");
+  InstanceModel m;
+  m.name = std::move(name);
+  m.curve = std::move(curve);
+  m.scale = (size / base_size) * (iters / base_iters);
+  m.min_ranks = min_ranks;
+  return m;
+}
+
+namespace {
+
+/// Index of the slowest component at the current allocation, or -1 when
+/// the list is empty.
+int slowest(std::span<const InstanceModel> models,
+            const std::vector<int>& ranks) {
+  int worst = -1;
+  double worst_time = -1.0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const double t = models[i].time(ranks[i]);
+    if (t > worst_time) {
+      worst_time = t;
+      worst = static_cast<int>(i);
+    }
+  }
+  return worst;
+}
+
+/// Runtime reduction from granting one more core to component `i`
+/// (zero when the component is at its rank cap).
+double gain(const InstanceModel& m, int cores) {
+  if (cores + 1 > m.max_ranks) {
+    return 0.0;
+  }
+  return m.time(cores) - m.time(cores + 1);
+}
+
+}  // namespace
+
+Allocation distribute_ranks(std::span<const InstanceModel> apps,
+                            std::span<const InstanceModel> cus,
+                            int total_ranks) {
+  CPX_REQUIRE(!apps.empty(), "distribute_ranks: no application instances");
+  Allocation alloc;
+  alloc.app_ranks.reserve(apps.size());
+  alloc.cu_ranks.reserve(cus.size());
+
+  int used = 0;
+  for (const InstanceModel& m : apps) {
+    CPX_REQUIRE(m.min_ranks >= 1 && m.min_ranks <= m.max_ranks,
+                "distribute_ranks: bad rank bounds for " << m.name);
+    alloc.app_ranks.push_back(m.min_ranks);
+    used += m.min_ranks;
+  }
+  for (const InstanceModel& m : cus) {
+    CPX_REQUIRE(m.min_ranks >= 1 && m.min_ranks <= m.max_ranks,
+                "distribute_ranks: bad rank bounds for " << m.name);
+    alloc.cu_ranks.push_back(m.min_ranks);
+    used += m.min_ranks;
+  }
+  CPX_REQUIRE(used <= total_ranks,
+              "distribute_ranks: budget " << total_ranks
+                                          << " below the minima " << used);
+
+  for (int remaining = total_ranks - used; remaining > 0; --remaining) {
+    const int app_i = slowest(apps, alloc.app_ranks);
+    const int cu_i = cus.empty() ? -1 : slowest(cus, alloc.cu_ranks);
+    const double app_gain =
+        app_i >= 0 ? gain(apps[static_cast<std::size_t>(app_i)],
+                          alloc.app_ranks[static_cast<std::size_t>(app_i)])
+                   : 0.0;
+    const double cu_gain =
+        cu_i >= 0 ? gain(cus[static_cast<std::size_t>(cu_i)],
+                         alloc.cu_ranks[static_cast<std::size_t>(cu_i)])
+                  : 0.0;
+    if (cu_i >= 0 && cu_gain > app_gain && cu_gain > 0.0) {
+      ++alloc.cu_ranks[static_cast<std::size_t>(cu_i)];
+    } else if (app_gain > 0.0) {
+      ++alloc.app_ranks[static_cast<std::size_t>(app_i)];
+    } else if (cu_i >= 0 && cu_gain > 0.0) {
+      ++alloc.cu_ranks[static_cast<std::size_t>(cu_i)];
+    } else {
+      // Every component is at its cap or past its scaling optimum; the
+      // leftover budget has nowhere useful to go (the paper observes the
+      // same with the Base-STC case at 40k cores).
+      break;
+    }
+  }
+
+  alloc.app_time = 0.0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    alloc.app_time =
+        std::max(alloc.app_time, apps[i].time(alloc.app_ranks[i]));
+  }
+  alloc.cu_time = 0.0;
+  for (std::size_t i = 0; i < cus.size(); ++i) {
+    alloc.cu_time = std::max(alloc.cu_time, cus[i].time(alloc.cu_ranks[i]));
+  }
+  alloc.predicted_runtime = alloc.app_time + alloc.cu_time;
+  alloc.total_ranks = total_ranks;
+  return alloc;
+}
+
+}  // namespace cpx::perfmodel

@@ -1,0 +1,59 @@
+#pragma once
+// Algorithm 1 of the paper: greedy distribution of a core budget over the
+// coupled components (application instances and coupler units).
+//
+// Initial runtimes come from per-app scaling curves (curve.hpp) scaled by
+// problem size and iteration count relative to the benchmarked base case.
+// Each loop iteration compares the runtime reduction of granting one core
+// to the slowest application instance vs the slowest coupler unit and
+// takes the larger; the predicted runtime of the coupled simulation is
+//     max over apps + max over coupler units
+// because the schedule serialises on the slowest member of each class.
+//
+// Improvements over the HiPC'21 model are reflected here: every instance
+// carries its own mesh/interface size and iteration count, so allocation
+// is per-instance rather than per-class.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "perfmodel/curve.hpp"
+
+namespace cpx::perfmodel {
+
+/// One allocatable component (application instance or coupler unit).
+struct InstanceModel {
+  std::string name;
+  ScalingCurve curve;  ///< runtime of the benchmarked base case
+  /// Runtime multiplier vs the base case: size_ratio * iteration_ratio
+  /// (Alg 1's first loops).
+  double scale = 1.0;
+  /// Floor on allocated ranks (the paper starts large problems at 100).
+  int min_ranks = 1;
+  /// Cap (e.g. a mesh cannot use more ranks than cells).
+  int max_ranks = 1 << 30;
+
+  double time(int cores) const;
+
+  /// Convenience: derive the scale from base/actual size and iterations.
+  static InstanceModel make(std::string name, ScalingCurve curve,
+                            double base_size, double base_iters, double size,
+                            double iters, int min_ranks = 1);
+};
+
+struct Allocation {
+  std::vector<int> app_ranks;
+  std::vector<int> cu_ranks;
+  double app_time = 0.0;       ///< slowest application instance
+  double cu_time = 0.0;        ///< slowest coupler unit
+  double predicted_runtime = 0.0;  ///< app_time + cu_time
+  int total_ranks = 0;
+};
+
+/// Runs Alg 1. Throws if the budget cannot cover the per-instance minima.
+Allocation distribute_ranks(std::span<const InstanceModel> apps,
+                            std::span<const InstanceModel> cus,
+                            int total_ranks);
+
+}  // namespace cpx::perfmodel

@@ -1,0 +1,109 @@
+#include "perfmodel/persistence.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace cpx::perfmodel {
+namespace {
+
+constexpr const char* kHeader = "# cpx-perfmodel v1";
+
+void save_one(std::ostream& out, const char* tag, const InstanceModel& m) {
+  const auto& c = m.curve.coefficients();
+  out << tag << " " << m.name << " scale=" << m.scale << " min=" << m.min_ranks
+      << " max=" << m.max_ranks << " a=" << c[0] << " b=" << c[1]
+      << " c=" << c[2] << " d=" << c[3] << "\n";
+}
+
+double kv_double(const std::string& token, const char* key, int line_no) {
+  const std::string prefix = std::string(key) + "=";
+  CPX_REQUIRE(token.rfind(prefix, 0) == 0,
+              "model file line " << line_no << ": expected " << key
+                                 << "=..., got '" << token << "'");
+  try {
+    return std::stod(token.substr(prefix.size()));
+  } catch (const std::exception&) {
+    CPX_REQUIRE(false, "model file line " << line_no << ": bad number in '"
+                                          << token << "'");
+  }
+  return 0.0;
+}
+
+InstanceModel load_one(const std::string& line, int line_no) {
+  std::istringstream iss(line);
+  std::string tag;
+  InstanceModel m;
+  std::string tok;
+  iss >> tag >> m.name;
+  CPX_REQUIRE(!m.name.empty(),
+              "model file line " << line_no << ": missing component name");
+  const char* keys[] = {"scale", "min", "max", "a", "b", "c", "d"};
+  double values[7] = {};
+  for (int k = 0; k < 7; ++k) {
+    CPX_REQUIRE(static_cast<bool>(iss >> tok),
+                "model file line " << line_no << ": missing " << keys[k]);
+    values[k] = kv_double(tok, keys[k], line_no);
+  }
+  m.scale = values[0];
+  m.min_ranks = static_cast<int>(values[1]);
+  m.max_ranks = static_cast<int>(values[2]);
+  m.curve = ScalingCurve::from_coefficients(
+      {values[3], values[4], values[5], values[6]});
+  return m;
+}
+
+}  // namespace
+
+void save_models(std::ostream& out, const ModelSet& models) {
+  out << kHeader << "\n" << std::setprecision(17);
+  for (const InstanceModel& m : models.apps) {
+    save_one(out, "app", m);
+  }
+  for (const InstanceModel& m : models.cus) {
+    save_one(out, "cu", m);
+  }
+}
+
+ModelSet load_models(std::istream& in) {
+  ModelSet models;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      saw_header = saw_header || line == kHeader;
+      continue;
+    }
+    if (line.rfind("app ", 0) == 0) {
+      models.apps.push_back(load_one(line, line_no));
+    } else if (line.rfind("cu ", 0) == 0) {
+      models.cus.push_back(load_one(line, line_no));
+    } else {
+      CPX_REQUIRE(false, "model file line " << line_no
+                                            << ": expected 'app' or 'cu'");
+    }
+  }
+  CPX_REQUIRE(saw_header, "model file: missing '" << kHeader << "' header");
+  return models;
+}
+
+void save_models_file(const std::string& path, const ModelSet& models) {
+  std::ofstream out(path);
+  CPX_REQUIRE(out.good(), "save_models_file: cannot open " << path);
+  save_models(out, models);
+}
+
+ModelSet load_models_file(const std::string& path) {
+  std::ifstream in(path);
+  CPX_REQUIRE(in.good(), "load_models_file: cannot open " << path);
+  return load_models(in);
+}
+
+}  // namespace cpx::perfmodel

@@ -1,0 +1,34 @@
+#pragma once
+// Persistence for calibrated performance models. Benchmarking every
+// component of an engine case is cheap on the virtual cluster but would be
+// hours of machine time on a real system — production use of the paper's
+// methodology benchmarks once and reuses the fitted curves across planning
+// sessions. The format is a line-based text table (one component per
+// line) that round-trips exactly:
+//
+//   # cpx-perfmodel v1
+//   app  <name> scale=<s> min=<m> max=<M> a=<a> b=<b> c=<c> d=<d>
+//   cu   <name> scale=<s> min=<m> max=<M> a=<a> b=<b> c=<c> d=<d>
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perfmodel/allocator.hpp"
+
+namespace cpx::perfmodel {
+
+/// A saved set of fitted component models (the workflow::CaseModels
+/// payload, decoupled from the workflow module).
+struct ModelSet {
+  std::vector<InstanceModel> apps;
+  std::vector<InstanceModel> cus;
+};
+
+void save_models(std::ostream& out, const ModelSet& models);
+ModelSet load_models(std::istream& in);
+
+void save_models_file(const std::string& path, const ModelSet& models);
+ModelSet load_models_file(const std::string& path);
+
+}  // namespace cpx::perfmodel

@@ -1,0 +1,41 @@
+#include "perfmodel/sweep.hpp"
+
+#include "sim/cluster.hpp"
+#include "support/check.hpp"
+
+namespace cpx::perfmodel {
+
+double measure_step_seconds(sim::App& app, sim::Cluster& cluster, int steps) {
+  CPX_REQUIRE(steps >= 1, "measure_step_seconds: bad step count");
+  app.step(cluster);  // warm-up (one-off mapping costs, cold clocks)
+  const double t0 = cluster.max_clock(app.ranks());
+  for (int s = 0; s < steps; ++s) {
+    app.step(cluster);
+  }
+  return (cluster.max_clock(app.ranks()) - t0) / steps;
+}
+
+std::vector<ScalingPoint> measure_scaling(const AppFactory& factory,
+                                          const sim::MachineModel& machine,
+                                          std::span<const int> core_counts,
+                                          int steps) {
+  std::vector<ScalingPoint> points;
+  points.reserve(core_counts.size());
+  for (int cores : core_counts) {
+    CPX_REQUIRE(cores >= 1, "measure_scaling: bad core count " << cores);
+    sim::Cluster cluster(machine, cores);
+    const auto app = factory({0, cores});
+    points.push_back({static_cast<double>(cores),
+                      measure_step_seconds(*app, cluster, steps)});
+  }
+  return points;
+}
+
+ScalingCurve fit_scaling(const AppFactory& factory,
+                         const sim::MachineModel& machine,
+                         std::span<const int> core_counts, int steps) {
+  const auto points = measure_scaling(factory, machine, core_counts, steps);
+  return ScalingCurve::fit(points);
+}
+
+}  // namespace cpx::perfmodel

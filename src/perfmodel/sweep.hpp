@@ -1,0 +1,37 @@
+#pragma once
+// Standalone benchmark sweeps: run a mini-app instance alone on a fresh
+// virtual cluster across core counts and record per-step runtimes — the
+// data the empirical model fits its curves to (Fig 7's left-hand column).
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "perfmodel/curve.hpp"
+#include "sim/app.hpp"
+#include "sim/machine.hpp"
+
+namespace cpx::perfmodel {
+
+/// Builds an instance of the app under test on the given rank range.
+using AppFactory =
+    std::function<std::unique_ptr<sim::App>(sim::RankRange ranks)>;
+
+/// Mean per-step virtual runtime over `steps` steps after one warm-up
+/// step (the first step can include one-off costs such as steady-state
+/// interface mapping).
+double measure_step_seconds(sim::App& app, sim::Cluster& cluster, int steps);
+
+/// Sweeps the app over `core_counts`, each on a dedicated cluster.
+std::vector<ScalingPoint> measure_scaling(const AppFactory& factory,
+                                          const sim::MachineModel& machine,
+                                          std::span<const int> core_counts,
+                                          int steps = 3);
+
+/// Convenience: sweep then fit.
+ScalingCurve fit_scaling(const AppFactory& factory,
+                         const sim::MachineModel& machine,
+                         std::span<const int> core_counts, int steps = 3);
+
+}  // namespace cpx::perfmodel

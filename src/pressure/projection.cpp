@@ -1,0 +1,97 @@
+#include "pressure/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amg/pcg.hpp"
+#include "support/check.hpp"
+
+namespace cpx::pressure {
+
+ProjectionSolver::ProjectionSolver(const mesh::UnstructuredMesh& mesh,
+                                   const ProjectionOptions& options)
+    : options_(options),
+      num_cells_(mesh.num_cells()),
+      edges_(mesh.edges()),
+      face_flux_(mesh.edges().size(), 0.0),
+      pressure_(static_cast<std::size_t>(mesh.num_cells()), 0.0) {
+  // Two-point face gradient weights and the resulting Laplacian. The
+  // operator is singular on a closed domain (constant nullspace); pinning
+  // cell 0 makes it SPD — the standard all-Neumann pressure trick.
+  face_coeff_.reserve(edges_.size());
+  std::vector<sparse::Triplet> t;
+  t.reserve(4 * edges_.size() + 1);
+  for (const mesh::Edge& e : edges_) {
+    const mesh::Vec3& pa = mesh.centroids()[static_cast<std::size_t>(e.a)];
+    const mesh::Vec3& pb = mesh.centroids()[static_cast<std::size_t>(e.b)];
+    const double dist = std::sqrt(
+        (pa.x - pb.x) * (pa.x - pb.x) + (pa.y - pb.y) * (pa.y - pb.y) +
+        (pa.z - pb.z) * (pa.z - pb.z));
+    CPX_CHECK_MSG(dist > 0.0, "ProjectionSolver: coincident centroids");
+    const double w = e.area / dist;
+    face_coeff_.push_back(w);
+    if (e.a != 0) {
+      t.push_back({e.a, e.a, w});
+    }
+    if (e.b != 0) {
+      t.push_back({e.b, e.b, w});
+    }
+    if (e.a != 0 && e.b != 0) {
+      t.push_back({e.a, e.b, -w});
+      t.push_back({e.b, e.a, -w});
+    }
+  }
+  t.push_back({0, 0, 1.0});  // pinned pressure reference
+  laplacian_ = sparse::csr_from_triplets(num_cells_, num_cells_, t);
+  amg::AmgOptions amg_opts;
+  amg_opts.coarse_size = 32;
+  amg_ = std::make_unique<amg::AmgHierarchy>(laplacian_, amg_opts);
+}
+
+std::vector<double> ProjectionSolver::divergence() const {
+  std::vector<double> div(static_cast<std::size_t>(num_cells_), 0.0);
+  for (std::size_t f = 0; f < edges_.size(); ++f) {
+    const mesh::Edge& e = edges_[f];
+    div[static_cast<std::size_t>(e.a)] += face_flux_[f];
+    div[static_cast<std::size_t>(e.b)] -= face_flux_[f];
+  }
+  return div;
+}
+
+double ProjectionSolver::max_divergence() const {
+  const auto div = divergence();
+  double mx = 0.0;
+  for (double d : div) {
+    mx = std::max(mx, std::abs(d));
+  }
+  return mx;
+}
+
+int ProjectionSolver::project() {
+  // The assembled graph Laplacian is positive definite (it discretises
+  // -div grad), so  L p = -div(u*); the pinned cell's equation is p_0 = 0.
+  std::vector<double> rhs = divergence();
+  for (double& v : rhs) {
+    v = -v;
+  }
+  rhs[0] = 0.0;
+  std::fill(pressure_.begin(), pressure_.end(), 0.0);
+  const amg::PcgResult result =
+      amg::pcg(laplacian_, pressure_, rhs, options_.cg_tolerance,
+               options_.cg_max_iterations,
+               amg::make_amg_preconditioner(*amg_));
+  CPX_CHECK_MSG(result.converged,
+                "ProjectionSolver: pressure CG did not converge ("
+                    << result.iterations << " iterations, residual "
+                    << result.relative_residual << ")");
+  // Correct the face fluxes: u <- u* - grad p (two-point gradient).
+  for (std::size_t f = 0; f < edges_.size(); ++f) {
+    const mesh::Edge& e = edges_[f];
+    face_flux_[f] -= face_coeff_[f] *
+                     (pressure_[static_cast<std::size_t>(e.b)] -
+                      pressure_[static_cast<std::size_t>(e.a)]);
+  }
+  return result.iterations;
+}
+
+}  // namespace cpx::pressure

@@ -1,0 +1,116 @@
+#pragma once
+// Pressure-solver surrogate: a component-structured workload model of the
+// production pressure-based combustion CFD code (closed source), running
+// on the virtual cluster.
+//
+// The paper characterises the production solver through its ARM MAP
+// profile (Fig 5) and strong-scaling curves (Fig 4): at 2048 cores on the
+// 28M-cell case, the pressure-field routines (CG + aggregate AMG) take 46%
+// of runtime (25% compute / 21% MPI), the Lagrangian fuel spray is next
+// with 96% of its time in communication, and the velocity/scalar/
+// turbulence components scale well. We reproduce exactly that
+// characterisation: each component has
+//    T_comp(p) = compute_per_cell * cells / p            (parallel work)
+//              + surface_coeff * (cells/p)^(2/3)          (halo traffic)
+//              + floor_seconds                            (latency-bound
+//                coarse-grid rounds / per-iteration collectives)
+// and the spray component additionally models hot-rank imbalance (from
+// spray::hot_block_fraction) and the collective redistribution cost that
+// grows linearly with rank count. Constants are calibrated once against
+// the Fig 5 anchors (see component_models() in surrogate.cpp) and never
+// tuned per-experiment; scaling to other mesh sizes follows the physics
+// (compute ~ cells, surface ~ (cells/p)^(2/3), spray ~ particles).
+//
+// The §IV optimisations enter as the paper prescribes: the optimised
+// variant sets spray parallel efficiency to 100% (async task-based spray,
+// Thari et al.) and applies a 5x speedup to the pressure field, with the
+// latency floor additionally reduced (the AMG-setup/cycle optimisations
+// specifically target the communication-bound coarse levels).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/app.hpp"
+#include "spray/cloud.hpp"
+
+namespace cpx::pressure {
+
+/// One profiled component of the solver.
+struct ComponentModel {
+  std::string name;
+  double compute_per_cell = 0.0;  ///< virtual core-seconds per cell per step
+  double surface_coeff = 0.0;     ///< seconds per (cells/rank)^(2/3)
+  double floor_seconds = 0.0;     ///< per-rank latency-bound comm per step
+};
+
+/// The calibrated component table (momentum, scalars, turbulence,
+/// pressure_field — spray is modelled separately).
+const std::vector<ComponentModel>& component_models();
+
+struct Config {
+  std::int64_t mesh_cells = 28'000'000;
+  double particles_per_cell = 0.25;  ///< 7M particles on the 28M case
+  double injector_length = 0.08;     ///< spray hot-spot e-folding fraction
+
+  /// §IV-A optimisation: async task-based spray — perfect particle
+  /// balance, no collective redistribution.
+  bool optimized_spray = false;
+  /// §IV-B optimisation: speedup applied to the pressure-field component
+  /// (1.0 = base; the paper extrapolates 5x).
+  double pressure_field_speedup = 1.0;
+  /// Extra reduction of the pressure-field latency floor under §IV-B (the
+  /// AMG cycle/setup changes target exactly the coarse-level rounds).
+  double pressure_floor_speedup = 1.0;
+
+  /// Named presets for the paper's test cases.
+  static Config base_28m();
+  static Config base_84m();
+  static Config base_380m();
+  /// The optimised solver of §IV-C applied to `mesh_cells`.
+  static Config optimized(std::int64_t mesh_cells);
+};
+
+/// Per-component time split of one step at a given rank count (used by the
+/// Fig 5 benches and tests; all in virtual seconds, max over ranks).
+struct ComponentTimes {
+  std::string name;
+  double compute = 0.0;
+  double comm = 0.0;
+  double total() const { return compute + comm; }
+};
+
+class Instance final : public sim::App {
+ public:
+  Instance(std::string name, const Config& config, sim::RankRange ranks);
+
+  const std::string& name() const override { return name_; }
+  sim::RankRange ranks() const override { return ranks_; }
+  void step(sim::Cluster& cluster) override;
+
+  const Config& config() const { return config_; }
+
+  /// Analytic per-component times of one step at this instance's rank
+  /// count (matches what step() charges to the cluster).
+  std::vector<ComponentTimes> predict_components() const;
+
+  double total_particles() const {
+    return static_cast<double>(config_.mesh_cells) *
+           config_.particles_per_cell;
+  }
+
+ private:
+  struct ComponentSplit {
+    double compute = 0.0;
+    double surface = 0.0;
+    double floor = 0.0;
+  };
+  ComponentSplit component_split(const ComponentModel& comp) const;
+  ComponentTimes spray_times() const;
+
+  std::string name_;
+  Config config_;
+  sim::RankRange ranks_;
+};
+
+}  // namespace cpx::pressure

@@ -1,0 +1,11 @@
+#include "sim/app.hpp"
+
+namespace cpx::sim {
+
+std::size_t App::interface_bytes(std::int64_t interface_cells) const {
+  // Default: five double-precision fields per interface cell (the density
+  // solver's conserved variables); apps override as needed.
+  return static_cast<std::size_t>(interface_cells) * 5 * sizeof(double);
+}
+
+}  // namespace cpx::sim

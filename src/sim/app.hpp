@@ -1,0 +1,31 @@
+#pragma once
+// Interface implemented by every application instance that runs on the
+// virtual cluster (MG-CFD rows, the SIMPIC combustor proxy, the pressure-
+// solver surrogate). The coupled workflow driver steps instances according
+// to the coupling schedule; coupler units move data between them.
+
+#include <string>
+
+#include "sim/cluster.hpp"
+
+namespace cpx::sim {
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// The contiguous rank range this instance owns on the cluster.
+  virtual RankRange ranks() const = 0;
+
+  /// Advances the instance by one of its own solver timesteps, charging
+  /// compute and communication to the cluster.
+  virtual void step(Cluster& cluster) = 0;
+
+  /// Bytes of boundary data this instance exposes per coupling exchange
+  /// through one interface of `interface_cells` cells.
+  virtual std::size_t interface_bytes(std::int64_t interface_cells) const;
+};
+
+}  // namespace cpx::sim

@@ -1,0 +1,259 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::sim {
+
+Cluster::Cluster(const MachineModel& machine, int num_ranks)
+    : machine_(machine),
+      num_ranks_(num_ranks),
+      num_nodes_((num_ranks + machine.cores_per_node - 1) /
+                 machine.cores_per_node),
+      clocks_(static_cast<std::size_t>(num_ranks), 0.0),
+      profile_(num_ranks) {
+  CPX_REQUIRE(num_ranks >= 1, "Cluster: need at least one rank");
+  CPX_REQUIRE(machine.cores_per_node >= 1, "Cluster: bad cores_per_node");
+}
+
+int Cluster::node_of(Rank rank) const {
+  CPX_DCHECK(rank >= 0 && rank < num_ranks_);
+  return rank / machine_.cores_per_node;
+}
+
+int Cluster::ranks_on_node(int node) const {
+  CPX_DCHECK(node >= 0 && node < num_nodes_);
+  const int begin = node * machine_.cores_per_node;
+  return std::min(machine_.cores_per_node, num_ranks_ - begin);
+}
+
+double Cluster::clock(Rank rank) const {
+  CPX_DCHECK(rank >= 0 && rank < num_ranks_);
+  return clocks_[static_cast<std::size_t>(rank)];
+}
+
+double Cluster::max_clock() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+double Cluster::max_clock(RankRange range) const {
+  CPX_REQUIRE(range.begin >= 0 && range.end <= num_ranks_ && range.size() > 0,
+              "Cluster: bad rank range");
+  return *std::max_element(clocks_.begin() + range.begin,
+                           clocks_.begin() + range.end);
+}
+
+double Cluster::min_clock(RankRange range) const {
+  CPX_REQUIRE(range.begin >= 0 && range.end <= num_ranks_ && range.size() > 0,
+              "Cluster: bad rank range");
+  return *std::min_element(clocks_.begin() + range.begin,
+                           clocks_.begin() + range.end);
+}
+
+RegionId Cluster::region(std::string_view name) {
+  return profile_.region(name);
+}
+
+void Cluster::compute(Rank rank, const Work& work, RegionId region) {
+  compute_seconds(rank, machine_.compute_time(work), region);
+}
+
+void Cluster::compute_seconds(Rank rank, double seconds, RegionId region) {
+  CPX_DCHECK(rank >= 0 && rank < num_ranks_);
+  CPX_DCHECK(seconds >= 0.0);
+  double& clock_ref = clocks_[static_cast<std::size_t>(rank)];
+  record(rank, region, TraceKind::kCompute, clock_ref, clock_ref + seconds);
+  clock_ref += seconds;
+  profile_.add_compute(rank, region, seconds);
+}
+
+void Cluster::bump_to(Rank rank, double time, RegionId region) {
+  double& c = clocks_[static_cast<std::size_t>(rank)];
+  if (time > c) {
+    record(rank, region, TraceKind::kComm, c, time);
+    profile_.add_comm(rank, region, time - c);
+    c = time;
+  }
+}
+
+void Cluster::exchange(std::span<const Message> messages, RegionId region) {
+  if (messages.empty()) {
+    return;
+  }
+  // Pass 1: count sending ranks per node for injection-bandwidth sharing.
+  senders_per_node_.assign(static_cast<std::size_t>(num_nodes_), 0);
+  // A rank may send several messages; count distinct inter-node senders
+  // approximately by counting inter-node messages per node (each message
+  // occupies the NIC, so contention scales with message concurrency).
+  for (const Message& m : messages) {
+    CPX_DCHECK(m.src >= 0 && m.src < num_ranks_);
+    CPX_DCHECK(m.dst >= 0 && m.dst < num_ranks_);
+    if (node_of(m.src) != node_of(m.dst)) {
+      ++senders_per_node_[static_cast<std::size_t>(node_of(m.src))];
+    }
+  }
+
+  // Pass 2: compute send completion times (serialise per-sender overheads)
+  // and arrivals.
+  arrival_scratch_.assign(messages.size(), 0.0);
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const Message& m = messages[i];
+    const bool same_node = node_of(m.src) == node_of(m.dst);
+    // Sender pays the per-message software overhead; multiple messages from
+    // one rank serialise naturally because we advance its clock in place.
+    double& src_clock = clocks_[static_cast<std::size_t>(m.src)];
+    src_clock += machine_.msg_overhead;
+    profile_.add_comm(m.src, region, machine_.msg_overhead);
+
+    double bw = machine_.bandwidth(same_node);
+    if (!same_node) {
+      const int concurrent =
+          senders_per_node_[static_cast<std::size_t>(node_of(m.src))];
+      const double nic_share =
+          machine_.node_injection_bw / std::max(1, concurrent);
+      bw = std::min(bw, nic_share);
+    }
+    arrival_scratch_[i] = src_clock + machine_.latency(same_node) +
+                          static_cast<double>(m.bytes) / bw;
+  }
+
+  // Pass 3: receivers pay a per-message overhead and wait for arrivals.
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const Message& m = messages[i];
+    bump_to(m.dst, arrival_scratch_[i], region);
+    clocks_[static_cast<std::size_t>(m.dst)] += machine_.msg_overhead;
+    profile_.add_comm(m.dst, region, machine_.msg_overhead);
+  }
+}
+
+void Cluster::send(Rank src, Rank dst, std::size_t bytes, RegionId region) {
+  CPX_DCHECK(src >= 0 && src < num_ranks_);
+  CPX_DCHECK(dst >= 0 && dst < num_ranks_);
+  const bool same_node = node_of(src) == node_of(dst);
+  double& src_clock = clocks_[static_cast<std::size_t>(src)];
+  src_clock += machine_.msg_overhead;
+  profile_.add_comm(src, region, machine_.msg_overhead);
+  const double arrival = src_clock + machine_.wire_time(bytes, same_node);
+  bump_to(dst, arrival, region);
+  clocks_[static_cast<std::size_t>(dst)] += machine_.msg_overhead;
+  profile_.add_comm(dst, region, machine_.msg_overhead);
+}
+
+void Cluster::allreduce(RankRange range, std::size_t bytes, RegionId region) {
+  CPX_REQUIRE(range.begin >= 0 && range.end <= num_ranks_ && range.size() > 0,
+              "Cluster: bad rank range");
+  if (range.size() == 1) {
+    return;
+  }
+  const int nodes = node_of(range.end - 1) - node_of(range.begin) + 1;
+  const double cost = machine_.allreduce_time(range.size(), nodes, bytes);
+  const double done = max_clock(range) + cost;
+  for (Rank r = range.begin; r < range.end; ++r) {
+    bump_to(r, done, region);
+  }
+}
+
+void Cluster::barrier(RankRange range, RegionId region) {
+  CPX_REQUIRE(range.begin >= 0 && range.end <= num_ranks_ && range.size() > 0,
+              "Cluster: bad rank range");
+  if (range.size() == 1) {
+    return;
+  }
+  const int nodes = node_of(range.end - 1) - node_of(range.begin) + 1;
+  const double done =
+      max_clock(range) + machine_.barrier_time(range.size(), nodes);
+  for (Rank r = range.begin; r < range.end; ++r) {
+    bump_to(r, done, region);
+  }
+}
+
+void Cluster::broadcast(RankRange range, Rank root, std::size_t bytes,
+                        RegionId region) {
+  CPX_REQUIRE(range.contains(root), "Cluster: broadcast root outside range");
+  if (range.size() == 1) {
+    return;
+  }
+  const int nodes = node_of(range.end - 1) - node_of(range.begin) + 1;
+  const double done =
+      clock(root) + machine_.broadcast_time(range.size(), nodes, bytes);
+  for (Rank r = range.begin; r < range.end; ++r) {
+    bump_to(r, done, region);
+  }
+}
+
+void Cluster::gather(RankRange range, Rank root, std::size_t bytes_per_rank,
+                     RegionId region) {
+  CPX_REQUIRE(range.contains(root), "Cluster: gather root outside range");
+  if (range.size() == 1) {
+    return;
+  }
+  // Model: binomial-tree gather; data volume at the root dominates, so cost
+  // is latency rounds plus the full payload crossing the root's link.
+  const int nodes = node_of(range.end - 1) - node_of(range.begin) + 1;
+  const double payload =
+      static_cast<double>(bytes_per_rank) * (range.size() - 1);
+  const double link_bw = nodes > 1 ? machine_.bw_inter : machine_.bw_intra;
+  const double cost = machine_.barrier_time(range.size(), nodes) / 2.0 +
+                      payload / link_bw +
+                      machine_.msg_overhead * std::log2(range.size());
+  const double done = max_clock(range) + cost;
+  for (Rank r = range.begin; r < range.end; ++r) {
+    bump_to(r, done, region);
+  }
+}
+
+void Cluster::alltoall(RankRange range, std::size_t bytes_per_pair,
+                       RegionId region) {
+  CPX_REQUIRE(range.begin >= 0 && range.end <= num_ranks_ && range.size() > 0,
+              "Cluster: bad rank range");
+  if (range.size() == 1) {
+    return;
+  }
+  const int nodes = node_of(range.end - 1) - node_of(range.begin) + 1;
+  const double done =
+      max_clock(range) +
+      machine_.alltoall_time(range.size(), nodes, bytes_per_pair);
+  for (Rank r = range.begin; r < range.end; ++r) {
+    bump_to(r, done, region);
+  }
+}
+
+void Cluster::wait_until(RankRange range, double time, RegionId region) {
+  CPX_REQUIRE(range.begin >= 0 && range.end <= num_ranks_ && range.size() > 0,
+              "Cluster: bad rank range");
+  for (Rank r = range.begin; r < range.end; ++r) {
+    bump_to(r, time, region);
+  }
+}
+
+void Cluster::comm_delay(Rank rank, double seconds, RegionId region) {
+  CPX_DCHECK(rank >= 0 && rank < num_ranks_);
+  CPX_DCHECK(seconds >= 0.0);
+  double& clock_ref = clocks_[static_cast<std::size_t>(rank)];
+  record(rank, region, TraceKind::kComm, clock_ref, clock_ref + seconds);
+  clock_ref += seconds;
+  profile_.add_comm(rank, region, seconds);
+}
+
+void Cluster::reset() {
+  std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  profile_.reset();
+  if (trace_ != nullptr) {
+    trace_->clear();
+  }
+}
+
+void Cluster::enable_tracing(std::size_t max_events) {
+  trace_ = std::make_unique<Trace>(max_events);
+}
+
+void Cluster::record(Rank rank, RegionId region, TraceKind kind,
+                     double start, double end) {
+  if (trace_ != nullptr && end > start) {
+    trace_->record(rank, region, kind, start, end);
+  }
+}
+
+}  // namespace cpx::sim

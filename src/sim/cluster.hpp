@@ -1,0 +1,134 @@
+#pragma once
+// The virtual cluster: per-rank virtual clocks advanced by a machine model.
+//
+// Execution model (BSP-flavoured discrete events):
+//  * Application code iterates over its ranks, calling compute() to account
+//    kernel time, then issues bulk point-to-point exchanges and collectives.
+//  * exchange() implements a message round: every sender pays a per-message
+//    overhead (serialised per sender, with node injection-bandwidth
+//    contention), each message arrives at
+//        send_completion + latency + bytes/bandwidth,
+//    and each receiver's clock advances to the latest arrival it depends
+//    on. Waiting time is accounted as communication time, as an MPI
+//    profiler would.
+//  * Collectives (allreduce/barrier/broadcast) synchronise a contiguous
+//    rank range: everyone leaves at max(entry clocks) + collective cost.
+//  * send() is a single eagerly-matched message; chaining sends rank
+//    i -> i+1 therefore serialises into a pipeline — exactly the behaviour
+//    of SIMPIC's distributed tridiagonal field solve.
+//
+// Clock propagation through messages is what makes coupled multi-app
+// schedules come out right: a density-solver rank that waits on coupler
+// data cannot advance past the coupler's clock.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/profile.hpp"
+#include "sim/trace.hpp"
+
+namespace cpx::sim {
+
+/// Contiguous rank interval [begin, end). All application instances in the
+/// coupled workflow own disjoint contiguous ranges.
+struct RankRange {
+  Rank begin = 0;
+  Rank end = 0;
+
+  int size() const { return end - begin; }
+  bool contains(Rank r) const { return r >= begin && r < end; }
+};
+
+/// One point-to-point message in a bulk exchange.
+struct Message {
+  Rank src = 0;
+  Rank dst = 0;
+  std::size_t bytes = 0;
+};
+
+class Cluster {
+ public:
+  Cluster(const MachineModel& machine, int num_ranks);
+
+  const MachineModel& machine() const { return machine_; }
+  int num_ranks() const { return num_ranks_; }
+  int num_nodes() const { return num_nodes_; }
+
+  /// Block placement: rank r lives on node r / cores_per_node.
+  int node_of(Rank rank) const;
+  /// Number of ranks resident on `node` (cores_per_node except the tail).
+  int ranks_on_node(int node) const;
+
+  double clock(Rank rank) const;
+  double max_clock() const;
+  double max_clock(RankRange range) const;
+  double min_clock(RankRange range) const;
+
+  /// Interns a profiling region.
+  RegionId region(std::string_view name);
+  Profile& profile() { return profile_; }
+  const Profile& profile() const { return profile_; }
+
+  // --- Compute ---
+  void compute(Rank rank, const Work& work, RegionId region);
+  void compute_seconds(Rank rank, double seconds, RegionId region);
+
+  // --- Point-to-point ---
+  /// Bulk BSP-style exchange of independent messages.
+  void exchange(std::span<const Message> messages, RegionId region);
+  /// Single eager message (use for pipelines / coupler hand-offs).
+  void send(Rank src, Rank dst, std::size_t bytes, RegionId region);
+
+  // --- Collectives over a contiguous range ---
+  void allreduce(RankRange range, std::size_t bytes, RegionId region);
+  void barrier(RankRange range, RegionId region);
+  void broadcast(RankRange range, Rank root, std::size_t bytes,
+                 RegionId region);
+  /// Gather of `bytes_per_rank` from every rank in `range` to `root`.
+  void gather(RankRange range, Rank root, std::size_t bytes_per_rank,
+              RegionId region);
+  /// Personalised all-to-all over the range (`bytes_per_pair` per pair).
+  void alltoall(RankRange range, std::size_t bytes_per_pair,
+                RegionId region);
+
+  /// Advances every rank in `range` to at least `time`, charging the jump
+  /// to `region` as communication (used for schedule-level waits).
+  void wait_until(RankRange range, double time, RegionId region);
+
+  /// Charges `seconds` of communication time to one rank without modelling
+  /// individual messages — used for latency-bound exchange rounds (e.g.
+  /// multigrid coarse levels) where per-message simulation would be wasteful.
+  void comm_delay(Rank rank, double seconds, RegionId region);
+
+  /// Zeroes every clock and the profile (region ids survive).
+  void reset();
+
+  /// Enables timeline recording (see sim/trace.hpp). Call before running;
+  /// reset() clears recorded events but keeps tracing enabled.
+  void enable_tracing(std::size_t max_events = 1 << 20);
+  bool tracing_enabled() const { return trace_ != nullptr; }
+  const Trace* trace() const { return trace_.get(); }
+
+ private:
+  void bump_to(Rank rank, double time, RegionId region);
+
+  void record(Rank rank, RegionId region, TraceKind kind, double start,
+              double end);
+
+  MachineModel machine_;
+  int num_ranks_;
+  int num_nodes_;
+  std::vector<double> clocks_;
+  Profile profile_;
+  std::unique_ptr<Trace> trace_;
+
+  // Scratch reused across exchange() calls to avoid reallocations.
+  std::vector<int> senders_per_node_;
+  std::vector<double> arrival_scratch_;
+};
+
+}  // namespace cpx::sim

@@ -1,0 +1,116 @@
+#include "sim/profile.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace cpx::sim {
+
+Profile::Profile(int num_ranks) : num_ranks_(num_ranks) {
+  CPX_REQUIRE(num_ranks >= 1, "Profile: need at least one rank");
+}
+
+RegionId Profile::region(std::string_view name) {
+  const RegionId existing = find_region(name);
+  if (existing >= 0) {
+    return existing;
+  }
+  names_.emplace_back(name);
+  compute_.emplace_back(static_cast<std::size_t>(num_ranks_), 0.0);
+  comm_.emplace_back(static_cast<std::size_t>(num_ranks_), 0.0);
+  return static_cast<RegionId>(names_.size() - 1);
+}
+
+RegionId Profile::find_region(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<RegionId>(i);
+    }
+  }
+  return -1;
+}
+
+const std::string& Profile::region_name(RegionId id) const {
+  CPX_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < names_.size(),
+              "Profile: bad region id " << id);
+  return names_[static_cast<std::size_t>(id)];
+}
+
+void Profile::ensure_region_storage(RegionId region) {
+  CPX_REQUIRE(region >= 0 && static_cast<std::size_t>(region) < names_.size(),
+              "Profile: unknown region id " << region);
+}
+
+void Profile::add_compute(Rank rank, RegionId region, double seconds) {
+  ensure_region_storage(region);
+  CPX_DCHECK(rank >= 0 && rank < num_ranks_);
+  CPX_DCHECK(seconds >= 0.0);
+  compute_[static_cast<std::size_t>(region)][static_cast<std::size_t>(rank)] +=
+      seconds;
+}
+
+void Profile::add_comm(Rank rank, RegionId region, double seconds) {
+  ensure_region_storage(region);
+  CPX_DCHECK(rank >= 0 && rank < num_ranks_);
+  CPX_DCHECK(seconds >= 0.0);
+  comm_[static_cast<std::size_t>(region)][static_cast<std::size_t>(rank)] +=
+      seconds;
+}
+
+RegionTimes Profile::rank_region(Rank rank, RegionId region) const {
+  CPX_REQUIRE(region >= 0 && static_cast<std::size_t>(region) < names_.size(),
+              "Profile: unknown region id " << region);
+  CPX_REQUIRE(rank >= 0 && rank < num_ranks_, "Profile: bad rank " << rank);
+  return {compute_[static_cast<std::size_t>(region)]
+                  [static_cast<std::size_t>(rank)],
+          comm_[static_cast<std::size_t>(region)][static_cast<std::size_t>(rank)]};
+}
+
+RegionTimes Profile::mean_over_ranks(RegionId region, Rank begin,
+                                     Rank end) const {
+  CPX_REQUIRE(begin >= 0 && end <= num_ranks_ && begin < end,
+              "Profile: bad rank interval [" << begin << ", " << end << ")");
+  RegionTimes sum;
+  for (Rank r = begin; r < end; ++r) {
+    const RegionTimes t = rank_region(r, region);
+    sum.compute += t.compute;
+    sum.comm += t.comm;
+  }
+  const double n = static_cast<double>(end - begin);
+  return {sum.compute / n, sum.comm / n};
+}
+
+RegionTimes Profile::max_over_ranks(RegionId region, Rank begin,
+                                    Rank end) const {
+  CPX_REQUIRE(begin >= 0 && end <= num_ranks_ && begin < end,
+              "Profile: bad rank interval [" << begin << ", " << end << ")");
+  RegionTimes best;
+  double best_total = -1.0;
+  for (Rank r = begin; r < end; ++r) {
+    const RegionTimes t = rank_region(r, region);
+    if (t.total() > best_total) {
+      best_total = t.total();
+      best = t;
+    }
+  }
+  return best;
+}
+
+RegionTimes Profile::rank_total(Rank rank) const {
+  RegionTimes sum;
+  for (std::size_t g = 0; g < names_.size(); ++g) {
+    sum += rank_region(rank, static_cast<RegionId>(g));
+  }
+  return sum;
+}
+
+void Profile::reset() {
+  for (auto& v : compute_) {
+    std::fill(v.begin(), v.end(), 0.0);
+  }
+  for (auto& v : comm_) {
+    std::fill(v.begin(), v.end(), 0.0);
+  }
+}
+
+}  // namespace cpx::sim

@@ -1,0 +1,74 @@
+#pragma once
+// Per-rank, per-region virtual-time accounting — the simulator's stand-in
+// for ARM MAP. Each compute kernel and communication call is tagged with a
+// region ("pressure_field", "spray", ...); the profile accumulates compute
+// and communication seconds separately so function-level breakdowns like
+// the paper's Fig 5 are first-class outputs.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpx::sim {
+
+using Rank = int;
+using RegionId = int;
+
+/// Compute/communication split for one region.
+struct RegionTimes {
+  double compute = 0.0;
+  double comm = 0.0;
+  double total() const { return compute + comm; }
+
+  RegionTimes& operator+=(const RegionTimes& other) {
+    compute += other.compute;
+    comm += other.comm;
+    return *this;
+  }
+};
+
+class Profile {
+ public:
+  explicit Profile(int num_ranks);
+
+  int num_ranks() const { return num_ranks_; }
+
+  /// Interns a region name, returning a stable id. Idempotent.
+  RegionId region(std::string_view name);
+
+  /// Looks up an existing region id; returns -1 if absent.
+  RegionId find_region(std::string_view name) const;
+
+  std::size_t num_regions() const { return names_.size(); }
+  const std::string& region_name(RegionId id) const;
+
+  void add_compute(Rank rank, RegionId region, double seconds);
+  void add_comm(Rank rank, RegionId region, double seconds);
+
+  /// Time recorded for one rank in one region.
+  RegionTimes rank_region(Rank rank, RegionId region) const;
+
+  /// Mean over a rank interval [begin, end).
+  RegionTimes mean_over_ranks(RegionId region, Rank begin, Rank end) const;
+
+  /// Max of (compute+comm) over a rank interval, with its split.
+  RegionTimes max_over_ranks(RegionId region, Rank begin, Rank end) const;
+
+  /// Sum over all regions for one rank.
+  RegionTimes rank_total(Rank rank) const;
+
+  /// Clears all accumulated time (region ids survive).
+  void reset();
+
+ private:
+  void ensure_region_storage(RegionId region);
+
+  int num_ranks_;
+  std::vector<std::string> names_;
+  // Indexed [region][rank]; grown lazily as regions are interned.
+  std::vector<std::vector<double>> compute_;
+  std::vector<std::vector<double>> comm_;
+};
+
+}  // namespace cpx::sim

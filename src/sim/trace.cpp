@@ -1,0 +1,47 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+#include "sim/cluster.hpp"
+#include "support/check.hpp"
+
+namespace cpx::sim {
+
+void Trace::record(Rank rank, RegionId region, TraceKind kind, double start,
+                   double end) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({rank, region, kind, start, end});
+}
+
+void Trace::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void write_chrome_trace(std::ostream& os, const Cluster& cluster) {
+  CPX_REQUIRE(cluster.tracing_enabled(),
+              "write_chrome_trace: tracing is not enabled on this cluster");
+  const Trace& trace = *cluster.trace();
+  const Profile& profile = cluster.profile();
+  os << "[\n";
+  bool first = true;
+  for (const TraceEvent& e : trace.events()) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    // Chrome trace-event "complete" events; virtual seconds -> micros.
+    os << R"({"name":")" << profile.region_name(e.region)
+       << R"(","cat":")"
+       << (e.kind == TraceKind::kCompute ? "compute" : "comm")
+       << R"(","ph":"X","ts":)" << e.start * 1e6 << R"(,"dur":)"
+       << (e.end - e.start) * 1e6 << R"(,"pid":)" << cluster.node_of(e.rank)
+       << R"(,"tid":)" << e.rank << "}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace cpx::sim

@@ -1,0 +1,52 @@
+#pragma once
+// Timeline tracing for the virtual cluster: when enabled, every compute
+// and communication interval is recorded as an event and can be exported
+// in the Chrome trace-event JSON format (load in chrome://tracing or
+// https://ui.perfetto.dev) — the simulator's answer to a Vampir/Score-P
+// timeline. Off by default: a 40k-rank engine run would produce tens of
+// millions of events; enable it for focused small runs.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/profile.hpp"
+
+namespace cpx::sim {
+
+enum class TraceKind { kCompute, kComm };
+
+struct TraceEvent {
+  Rank rank = 0;
+  RegionId region = -1;
+  TraceKind kind = TraceKind::kCompute;
+  double start = 0.0;  ///< virtual seconds
+  double end = 0.0;
+};
+
+/// Bounded event store (drops events beyond the cap and counts them).
+class Trace {
+ public:
+  explicit Trace(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  void record(Rank rank, RegionId region, TraceKind kind, double start,
+              double end);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t dropped() const { return dropped_; }
+  void clear();
+
+ private:
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+class Cluster;
+
+/// Writes the cluster's recorded trace as Chrome trace-event JSON.
+/// pid = node, tid = rank, ts/dur in microseconds of virtual time.
+void write_chrome_trace(std::ostream& os, const Cluster& cluster);
+
+}  // namespace cpx::sim

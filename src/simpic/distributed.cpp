@@ -1,0 +1,390 @@
+#include "simpic/distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace cpx::simpic {
+
+DistributedPic::DistributedPic(const PicOptions& options, int parts)
+    : options_(options) {
+  CPX_REQUIRE(parts >= 1, "DistributedPic: bad part count");
+  CPX_REQUIRE(options.cells >= parts,
+              "DistributedPic: fewer cells than parts");
+  CPX_REQUIRE(options.boundary == Boundary::kAbsorbing,
+              "DistributedPic: only absorbing walls are supported");
+  dx_ = options.length / static_cast<double>(options.cells);
+
+  ranks_.resize(static_cast<std::size_t>(parts));
+  for (int r = 0; r < parts; ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    const std::int64_t cell_begin = options.cells * r / parts;
+    const std::int64_t cell_end = options.cells * (r + 1) / parts;
+    rs.node_begin = cell_begin;
+    rs.node_end = cell_end;  // shared with the right neighbour
+    rs.x_lo = static_cast<double>(cell_begin) * dx_;
+    rs.x_hi = static_cast<double>(cell_end) * dx_;
+    const auto nodes = static_cast<std::size_t>(rs.node_end - rs.node_begin + 1);
+    rs.rho.assign(nodes, 0.0);
+    rs.phi.assign(nodes, 0.0);
+    rs.e.assign(nodes, 0.0);
+  }
+}
+
+int DistributedPic::owner_of(double x) const {
+  // Slices are near-uniform; start from the proportional guess and walk.
+  int r = std::clamp(
+      static_cast<int>(x / options_.length * num_parts()), 0,
+      num_parts() - 1);
+  while (r > 0 && x < ranks_[static_cast<std::size_t>(r)].x_lo) {
+    --r;
+  }
+  while (r + 1 < num_parts() && x >= ranks_[static_cast<std::size_t>(r)].x_hi) {
+    ++r;
+  }
+  return r;
+}
+
+void DistributedPic::load_uniform(int per_cell, double v_thermal,
+                                  double perturbation) {
+  CPX_REQUIRE(per_cell >= 1, "load_uniform: bad per_cell");
+  // Generate the exact global particle sequence of Pic::load_uniform (same
+  // RNG stream and order), routing each particle to its owner, so the
+  // distributed initial condition matches the sequential one bit-for-bit.
+  const std::int64_t total = options_.cells * per_cell;
+  Rng rng(options_.seed);
+  const double weight = -options_.length / static_cast<double>(total);
+  constexpr double kTwoPi = 6.28318530717958647692;
+  for (std::int64_t i = 0; i < total; ++i) {
+    const double x0 = (static_cast<double>(i) + 0.5) /
+                      static_cast<double>(total) * options_.length;
+    const double dx_pert = perturbation * options_.length / kTwoPi *
+                           std::sin(kTwoPi * x0 / options_.length);
+    const double x = std::clamp(x0 + dx_pert, 0.0, options_.length);
+    const double v = v_thermal > 0.0 ? rng.normal(0.0, v_thermal) : 0.0;
+    RankState& rs = ranks_[static_cast<std::size_t>(owner_of(x))];
+    rs.x.push_back(x);
+    rs.v.push_back(v);
+    rs.w.push_back(weight);
+  }
+  background_ = 1.0;
+}
+
+void DistributedPic::deposit() {
+  for (RankState& rs : ranks_) {
+    std::fill(rs.rho.begin(), rs.rho.end(), background_);
+    for (std::size_t i = 0; i < rs.x.size(); ++i) {
+      const double c = rs.x[i] / dx_;
+      auto left = static_cast<std::int64_t>(c);
+      left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
+      const double frac = c - static_cast<double>(left);
+      const double q = rs.w[i] / dx_;
+      const auto l0 = static_cast<std::size_t>(left - rs.node_begin);
+      CPX_DCHECK(left >= rs.node_begin && left + 1 <= rs.node_end);
+      rs.rho[l0] += q * (1.0 - frac);
+      rs.rho[l0 + 1] += q * frac;
+    }
+  }
+  // Merge the shared boundary nodes: both neighbours hold the node and
+  // each contributed its own particles (plus the background once each).
+  for (int r = 0; r + 1 < num_parts(); ++r) {
+    RankState& left = ranks_[static_cast<std::size_t>(r)];
+    RankState& right = ranks_[static_cast<std::size_t>(r + 1)];
+    const double merged = left.rho.back() + right.rho.front() - background_;
+    left.rho.back() = merged;
+    right.rho.front() = merged;
+    if (cluster_ != nullptr) {
+      cluster_->send(r, r + 1, sizeof(double), region_deposit_);
+      cluster_->send(r + 1, r, sizeof(double), region_deposit_);
+    }
+  }
+  if (cluster_ != nullptr) {
+    for (int r = 0; r < num_parts(); ++r) {
+      sim::Work w;
+      w.flops = 12.0 * static_cast<double>(
+                           ranks_[static_cast<std::size_t>(r)].x.size());
+      w.bytes = 48.0 * static_cast<double>(
+                           ranks_[static_cast<std::size_t>(r)].x.size());
+      cluster_->compute(r, w, region_deposit_);
+    }
+  }
+}
+
+void DistributedPic::solve_field() {
+  // Distributed Thomas algorithm on -phi'' = rho, Dirichlet walls.
+  // Unknowns are interior nodes 1..N-1; rank r handles the unknowns in
+  // (node_begin, node_end] (clipped to the interior). The elimination
+  // recurrence continues across rank boundaries — the forward pass ripples
+  // left to right, the back substitution right to left: the pipeline.
+  const std::int64_t n_nodes = options_.cells;  // unknowns 1..n_nodes-1
+  const double h2 = dx_ * dx_;
+
+  struct Elim {
+    std::vector<double> c;
+    std::vector<double> d;
+    std::int64_t first = 0;  ///< global index of first unknown handled
+  };
+  std::vector<Elim> elim(static_cast<std::size_t>(num_parts()));
+
+  // --- forward pass (rank r waits for rank r-1) ---
+  double c_prev = 0.0;
+  double d_prev = 0.0;
+  bool have_prev = false;
+  for (int r = 0; r < num_parts(); ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    Elim& el = elim[static_cast<std::size_t>(r)];
+    const std::int64_t lo = std::max<std::int64_t>(rs.node_begin + 1, 1);
+    const std::int64_t hi = std::min<std::int64_t>(rs.node_end, n_nodes - 1);
+    el.first = lo;
+    for (std::int64_t i = lo; i <= hi; ++i) {
+      const double rho_i =
+          rs.rho[static_cast<std::size_t>(i - rs.node_begin)];
+      double ci;
+      double di;
+      if (!have_prev) {
+        ci = -1.0 / 2.0;
+        di = rho_i * h2 / 2.0;
+        have_prev = true;
+      } else {
+        const double denom = 2.0 + c_prev;
+        ci = -1.0 / denom;
+        di = (rho_i * h2 + d_prev) / denom;
+      }
+      el.c.push_back(ci);
+      el.d.push_back(di);
+      c_prev = ci;
+      d_prev = di;
+    }
+    if (cluster_ != nullptr && r + 1 < num_parts()) {
+      cluster_->send(r, r + 1, 2 * sizeof(double), region_field_);
+    }
+  }
+
+  // --- back substitution (rank r waits for rank r+1) ---
+  double phi_next = 0.0;  // phi[n_nodes] = 0 wall
+  for (int r = num_parts() - 1; r >= 0; --r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    const Elim& el = elim[static_cast<std::size_t>(r)];
+    for (std::int64_t k = static_cast<std::int64_t>(el.c.size()) - 1;
+         k >= 0; --k) {
+      const std::int64_t i = el.first + k;
+      double phi_i;
+      if (i == n_nodes - 1) {
+        phi_i = el.d[static_cast<std::size_t>(k)];
+      } else {
+        phi_i = el.d[static_cast<std::size_t>(k)] -
+                el.c[static_cast<std::size_t>(k)] * phi_next;
+      }
+      rs.phi[static_cast<std::size_t>(i - rs.node_begin)] = phi_i;
+      phi_next = phi_i;
+    }
+    // Walls stay zero; shared nodes are filled on both sides below.
+    if (rs.node_begin == 0) {
+      rs.phi.front() = 0.0;
+    }
+    if (rs.node_end == n_nodes) {
+      rs.phi.back() = 0.0;
+    }
+    if (cluster_ != nullptr && r > 0) {
+      cluster_->send(r, r - 1, sizeof(double), region_field_);
+    }
+  }
+  // Shared node phi values: the *left* rank computes the shared node (its
+  // unknown range is (node_begin, node_end]); copy to the right
+  // neighbour's first node.
+  for (int r = 0; r + 1 < num_parts(); ++r) {
+    const RankState& left = ranks_[static_cast<std::size_t>(r)];
+    RankState& right = ranks_[static_cast<std::size_t>(r + 1)];
+    right.phi.front() = left.phi.back();
+  }
+
+  // --- E = -dphi/dx: central differences need one phi beyond each end ---
+  for (int r = 0; r < num_parts(); ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    const auto nodes = rs.phi.size();
+    const double phi_left_ghost =
+        rs.node_begin == 0
+            ? 0.0
+            : ranks_[static_cast<std::size_t>(r - 1)]
+                  .phi[ranks_[static_cast<std::size_t>(r - 1)].phi.size() - 2];
+    const double phi_right_ghost =
+        rs.node_end == n_nodes
+            ? 0.0
+            : ranks_[static_cast<std::size_t>(r + 1)].phi[1];
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const std::int64_t g = rs.node_begin + static_cast<std::int64_t>(i);
+      if (g == 0) {
+        rs.e[i] = -(rs.phi[1] - rs.phi[0]) / dx_;
+      } else if (g == n_nodes) {
+        rs.e[i] = -(rs.phi[nodes - 1] - rs.phi[nodes - 2]) / dx_;
+      } else {
+        const double phi_m = i == 0 ? phi_left_ghost : rs.phi[i - 1];
+        const double phi_p = i + 1 == nodes ? phi_right_ghost : rs.phi[i + 1];
+        rs.e[i] = -(phi_p - phi_m) / (2.0 * dx_);
+      }
+    }
+    if (cluster_ != nullptr) {
+      sim::Work w;
+      w.flops = 16.0 * static_cast<double>(nodes);
+      w.bytes = 64.0 * static_cast<double>(nodes);
+      cluster_->compute(r, w, region_field_);
+    }
+  }
+}
+
+void DistributedPic::push_and_migrate() {
+  last_migrations_ = 0;
+  const double qm = -1.0;
+  struct Moved {
+    double x;
+    double v;
+    double w;
+    int to;
+  };
+  std::vector<Moved> moved;
+
+  for (int r = 0; r < num_parts(); ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    std::size_t alive = 0;
+    for (std::size_t i = 0; i < rs.x.size(); ++i) {
+      const double c = rs.x[i] / dx_;
+      auto left = static_cast<std::int64_t>(c);
+      left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
+      const double frac = c - static_cast<double>(left);
+      const auto l0 = static_cast<std::size_t>(left - rs.node_begin);
+      const double e_here = rs.e[l0] * (1.0 - frac) + rs.e[l0 + 1] * frac;
+      const double v = rs.v[i] + options_.dt * qm * e_here;
+      const double x = rs.x[i] + options_.dt * v;
+      if (x < 0.0 || x > options_.length) {
+        continue;  // absorbed at the wall
+      }
+      if (x >= rs.x_lo && x < rs.x_hi) {
+        rs.x[alive] = x;
+        rs.v[alive] = v;
+        rs.w[alive] = rs.w[i];
+        ++alive;
+      } else {
+        moved.push_back({x, v, rs.w[i], owner_of(x)});
+      }
+    }
+    rs.x.resize(alive);
+    rs.v.resize(alive);
+    rs.w.resize(alive);
+    if (cluster_ != nullptr) {
+      sim::Work w;
+      w.flops = 20.0 * static_cast<double>(alive);
+      w.bytes = 72.0 * static_cast<double>(alive);
+      cluster_->compute(r, w, region_push_);
+    }
+  }
+  last_migrations_ = static_cast<std::int64_t>(moved.size());
+  std::vector<sim::Message> messages;
+  for (const Moved& m : moved) {
+    RankState& dst = ranks_[static_cast<std::size_t>(m.to)];
+    dst.x.push_back(m.x);
+    dst.v.push_back(m.v);
+    dst.w.push_back(m.w);
+  }
+  if (cluster_ != nullptr && !moved.empty()) {
+    // Migration traffic: particles move to adjacent slices in practice.
+    for (const Moved& m : moved) {
+      const int from = std::clamp(m.to > 0 ? m.to - 1 : m.to + 1, 0,
+                                  num_parts() - 1);
+      messages.push_back({from, m.to, 3 * sizeof(double)});
+    }
+    cluster_->exchange(messages, region_migrate_);
+  }
+}
+
+void DistributedPic::step() {
+  deposit();
+  solve_field();
+  push_and_migrate();
+}
+
+void DistributedPic::run(int steps) {
+  CPX_REQUIRE(steps >= 0, "run: bad step count");
+  for (int s = 0; s < steps; ++s) {
+    step();
+  }
+}
+
+std::int64_t DistributedPic::num_particles() const {
+  std::int64_t total = 0;
+  for (const RankState& rs : ranks_) {
+    total += static_cast<std::int64_t>(rs.x.size());
+  }
+  return total;
+}
+
+PicDiagnostics DistributedPic::diagnostics() const {
+  PicDiagnostics d;
+  d.num_particles = num_particles();
+  for (const RankState& rs : ranks_) {
+    for (std::size_t i = 0; i < rs.v.size(); ++i) {
+      d.kinetic_energy += 0.5 * std::abs(rs.w[i]) * rs.v[i] * rs.v[i];
+      d.total_charge += rs.w[i];
+    }
+    // Field energy over this rank's cells (nodes node_begin..node_end).
+    for (std::size_t i = 0; i + 1 < rs.e.size(); ++i) {
+      const double em = 0.5 * (rs.e[i] + rs.e[i + 1]);
+      d.field_energy += 0.5 * em * em * dx_;
+    }
+  }
+  return d;
+}
+
+std::vector<double> DistributedPic::gather_rho() const {
+  std::vector<double> out(static_cast<std::size_t>(options_.cells) + 1, 0.0);
+  for (const RankState& rs : ranks_) {
+    for (std::size_t i = 0; i < rs.rho.size(); ++i) {
+      out[static_cast<std::size_t>(rs.node_begin) + i] = rs.rho[i];
+    }
+  }
+  return out;
+}
+
+std::vector<double> DistributedPic::gather_phi() const {
+  std::vector<double> out(static_cast<std::size_t>(options_.cells) + 1, 0.0);
+  for (const RankState& rs : ranks_) {
+    for (std::size_t i = 0; i < rs.phi.size(); ++i) {
+      out[static_cast<std::size_t>(rs.node_begin) + i] = rs.phi[i];
+    }
+  }
+  return out;
+}
+
+std::vector<double> DistributedPic::gather_efield() const {
+  std::vector<double> out(static_cast<std::size_t>(options_.cells) + 1, 0.0);
+  for (const RankState& rs : ranks_) {
+    for (std::size_t i = 0; i < rs.e.size(); ++i) {
+      out[static_cast<std::size_t>(rs.node_begin) + i] = rs.e[i];
+    }
+  }
+  return out;
+}
+
+std::vector<double> DistributedPic::gather_positions() const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(num_particles()));
+  for (const RankState& rs : ranks_) {
+    out.insert(out.end(), rs.x.begin(), rs.x.end());
+  }
+  return out;
+}
+
+void DistributedPic::attach_cluster(sim::Cluster* cluster) {
+  cluster_ = cluster;
+  if (cluster_ != nullptr) {
+    CPX_REQUIRE(cluster_->num_ranks() >= num_parts(),
+                "attach_cluster: cluster too small");
+    region_deposit_ = cluster_->region("dist_simpic/deposit");
+    region_field_ = cluster_->region("dist_simpic/field");
+    region_push_ = cluster_->region("dist_simpic/push");
+    region_migrate_ = cluster_->region("dist_simpic/migrate");
+  }
+}
+
+}  // namespace cpx::simpic

@@ -1,0 +1,230 @@
+#include "simpic/pic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace cpx::simpic {
+
+Pic::Pic(const PicOptions& options) : options_(options) {
+  CPX_REQUIRE(options.cells >= 2, "Pic: need at least 2 cells");
+  CPX_REQUIRE(options.length > 0.0 && options.dt > 0.0, "Pic: bad geometry");
+  dx_ = options.length / static_cast<double>(options.cells);
+  const auto nodes = static_cast<std::size_t>(num_nodes());
+  rho_.assign(nodes, 0.0);
+  phi_.assign(nodes, 0.0);
+  e_.assign(nodes, 0.0);
+  background_ = 0.0;
+}
+
+void Pic::load_uniform(int per_cell, double v_thermal, double perturbation) {
+  CPX_REQUIRE(per_cell >= 1, "load_uniform: bad per_cell");
+  const std::int64_t total = options_.cells * per_cell;
+  x_.clear();
+  v_.clear();
+  w_.clear();
+  x_.reserve(static_cast<std::size_t>(total));
+  v_.reserve(static_cast<std::size_t>(total));
+  w_.reserve(static_cast<std::size_t>(total));
+
+  Rng rng(options_.seed);
+  // Weight so that the mean electron density is 1 (omega_p = 1); electrons
+  // carry negative charge, neutralised by a uniform ion background.
+  const double weight =
+      -options_.length / static_cast<double>(total);
+  constexpr double kTwoPi = 6.28318530717958647692;
+  for (std::int64_t i = 0; i < total; ++i) {
+    const double x0 = (static_cast<double>(i) + 0.5) /
+                      static_cast<double>(total) * options_.length;
+    const double dx_pert = perturbation * options_.length / kTwoPi *
+                           std::sin(kTwoPi * x0 / options_.length);
+    double x = x0 + dx_pert;
+    if (options_.boundary == Boundary::kPeriodic) {
+      x = std::fmod(x + options_.length, options_.length);
+    } else {
+      x = std::clamp(x, 0.0, options_.length);
+    }
+    const double v = v_thermal > 0.0 ? rng.normal(0.0, v_thermal) : 0.0;
+    add_particle(x, v, weight);
+  }
+  background_ = 1.0;  // uniform neutralising background of density 1
+}
+
+void Pic::add_particle(double x, double v, double weight) {
+  CPX_REQUIRE(x >= 0.0 && x <= options_.length,
+              "add_particle: x out of domain");
+  x_.push_back(x);
+  v_.push_back(v);
+  w_.push_back(weight);
+}
+
+void Pic::set_background(double density) {
+  CPX_REQUIRE(density >= 0.0, "set_background: negative density");
+  background_ = density;
+}
+
+double Pic::cell_of(double x) const {
+  return x / dx_;
+}
+
+void Pic::deposit() {
+  std::fill(rho_.begin(), rho_.end(), background_);
+  const auto nodes = static_cast<std::size_t>(num_nodes());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    const double c = cell_of(x_[i]);
+    auto left = static_cast<std::int64_t>(c);
+    left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
+    const double frac = c - static_cast<double>(left);
+    // Linear (CIC) weighting; divide by dx to convert charge to density.
+    const double q = w_[i] / dx_;
+    rho_[static_cast<std::size_t>(left)] += q * (1.0 - frac);
+    rho_[static_cast<std::size_t>(left) + 1] += q * frac;
+  }
+  if (options_.boundary == Boundary::kPeriodic) {
+    // Wrap the two wall nodes onto each other.
+    const double wall = rho_.front() + rho_.back() - background_;
+    rho_.front() = wall;
+    rho_.back() = wall;
+  }
+  (void)nodes;
+}
+
+std::vector<double> Pic::solve_poisson_dirichlet(
+    const std::vector<double>& rho, double dx) {
+  const std::size_t n = rho.size();
+  CPX_REQUIRE(n >= 3, "solve_poisson_dirichlet: need >= 3 nodes");
+  std::vector<double> phi(n, 0.0);
+  // Interior unknowns 1..n-2; -(phi[i-1] - 2 phi[i] + phi[i+1])/dx^2 = rho[i].
+  const std::size_t m = n - 2;
+  std::vector<double> c(m, 0.0);  // superdiagonal after elimination
+  std::vector<double> d(m, 0.0);  // rhs after elimination
+  const double h2 = dx * dx;
+  double b = 2.0;
+  c[0] = -1.0 / b;
+  d[0] = rho[1] * h2 / b;
+  for (std::size_t i = 1; i < m; ++i) {
+    const double denom = 2.0 + c[i - 1];
+    c[i] = -1.0 / denom;
+    d[i] = (rho[i + 1] * h2 + d[i - 1]) / denom;
+  }
+  phi[m] = d[m - 1];
+  for (std::size_t i = m - 1; i >= 1; --i) {
+    phi[i] = d[i - 1] - c[i - 1] * phi[i + 1];
+  }
+  return phi;
+}
+
+void Pic::solve_field() {
+  if (options_.boundary == Boundary::kPeriodic) {
+    // Periodic Poisson solve via cyclic reduction is overkill in 1-D; use
+    // the standard trick: subtract the mean charge (solvability), then
+    // solve with pinned phi[0] = 0 by integrating twice.
+    const std::size_t n = rho_.size();
+    std::vector<double> rho0(rho_.begin(), rho_.end() - 1);
+    double mean = 0.0;
+    for (double r : rho0) {
+      mean += r;
+    }
+    mean /= static_cast<double>(rho0.size());
+    for (double& r : rho0) {
+      r -= mean;
+    }
+    // E' = rho  ->  integrate; then remove mean E so the periodic integral
+    // of phi' vanishes.
+    std::vector<double> e(rho0.size() + 1, 0.0);
+    for (std::size_t i = 1; i < e.size(); ++i) {
+      e[i] = e[i - 1] + dx_ * 0.5 * (rho0[i - 1] +
+                                     rho0[i % rho0.size()]);
+    }
+    double e_mean = 0.0;
+    for (std::size_t i = 0; i < e.size() - 1; ++i) {
+      e_mean += e[i];
+    }
+    e_mean /= static_cast<double>(e.size() - 1);
+    for (double& v : e) {
+      v -= e_mean;
+    }
+    e_ = e;
+    // phi from E (for diagnostics only): phi' = -E.
+    phi_.assign(n, 0.0);
+    for (std::size_t i = 1; i < n; ++i) {
+      phi_[i] = phi_[i - 1] - dx_ * 0.5 * (e_[i - 1] + e_[i]);
+    }
+    return;
+  }
+
+  phi_ = solve_poisson_dirichlet(rho_, dx_);
+  // E = -dphi/dx, one-sided at the walls.
+  const std::size_t n = phi_.size();
+  e_[0] = -(phi_[1] - phi_[0]) / dx_;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    e_[i] = -(phi_[i + 1] - phi_[i - 1]) / (2.0 * dx_);
+  }
+  e_[n - 1] = -(phi_[n - 1] - phi_[n - 2]) / dx_;
+}
+
+void Pic::push() {
+  const double qm = -1.0;  // electron charge-to-mass in normalised units
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    const double c = cell_of(x_[i]);
+    auto left = static_cast<std::int64_t>(c);
+    left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
+    const double frac = c - static_cast<double>(left);
+    const double e_here = e_[static_cast<std::size_t>(left)] * (1.0 - frac) +
+                          e_[static_cast<std::size_t>(left) + 1] * frac;
+    double v = v_[i] + options_.dt * qm * e_here;
+    double x = x_[i] + options_.dt * v;
+
+    bool keep = true;
+    if (options_.boundary == Boundary::kPeriodic) {
+      x = std::fmod(x, options_.length);
+      if (x < 0.0) {
+        x += options_.length;
+      }
+    } else if (x < 0.0 || x > options_.length) {
+      keep = false;  // absorbed at the wall
+    }
+    if (keep) {
+      x_[alive] = x;
+      v_[alive] = v;
+      w_[alive] = w_[i];
+      ++alive;
+    }
+  }
+  x_.resize(alive);
+  v_.resize(alive);
+  w_.resize(alive);
+}
+
+void Pic::step() {
+  deposit();
+  solve_field();
+  push();
+}
+
+void Pic::run(int steps) {
+  CPX_REQUIRE(steps >= 0, "run: bad step count");
+  for (int s = 0; s < steps; ++s) {
+    step();
+  }
+}
+
+PicDiagnostics Pic::diagnostics() const {
+  PicDiagnostics d;
+  d.num_particles = num_particles();
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    // Mass of a particle equals |weight| in normalised units (q/m = -1).
+    d.kinetic_energy += 0.5 * std::abs(w_[i]) * v_[i] * v_[i];
+    d.total_charge += w_[i];
+  }
+  for (std::size_t i = 0; i + 1 < e_.size(); ++i) {
+    const double em = 0.5 * (e_[i] + e_[i + 1]);
+    d.field_energy += 0.5 * em * em * dx_;
+  }
+  return d;
+}
+
+}  // namespace cpx::simpic

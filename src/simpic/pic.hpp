@@ -1,0 +1,105 @@
+#pragma once
+// SIMPIC numerics: a 1-D electrostatic particle-in-cell code, reimplemented
+// from the published description of the Sandia/LECAD SIMPIC mini-app.
+//
+// Normalised units: the plasma frequency of a uniform electron background
+// at density n0 = 1 is omega_p = 1 (q/m = -1, epsilon_0 = 1, immobile
+// neutralising ion background). Each timestep:
+//   1. deposit particle charge to the grid (CIC / linear weighting),
+//   2. solve the 1-D Poisson equation  -phi'' = rho  (Thomas algorithm,
+//      Dirichlet phi = 0 at both walls),
+//   3. difference E = -dphi/dx onto the grid,
+//   4. gather E at particle positions (linear interpolation) and advance
+//      particles with the leapfrog scheme,
+//   5. apply boundary conditions (periodic or absorbing walls).
+//
+// This class provides the real physics at test/example scale; the
+// distributed performance behaviour (including the serial inter-rank
+// pipeline of the field solve) is modelled by simpic::Instance.
+
+#include <cstdint>
+#include <vector>
+
+namespace cpx::simpic {
+
+enum class Boundary { kPeriodic, kAbsorbing };
+
+struct PicOptions {
+  std::int64_t cells = 128;
+  double length = 1.0;
+  double dt = 0.05;  ///< in units of 1/omega_p
+  Boundary boundary = Boundary::kPeriodic;
+  std::uint64_t seed = 1234;
+};
+
+struct PicDiagnostics {
+  double kinetic_energy = 0.0;
+  double field_energy = 0.0;
+  double total_charge = 0.0;  ///< particle charge deposited on the grid
+  std::int64_t num_particles = 0;
+};
+
+class Pic {
+ public:
+  explicit Pic(const PicOptions& options);
+
+  /// Loads `per_cell` particles per cell, uniformly spaced with thermal
+  /// velocity `v_thermal`, and a sinusoidal position perturbation of
+  /// relative amplitude `perturbation` (mode 1).
+  void load_uniform(int per_cell, double v_thermal = 0.0,
+                    double perturbation = 0.0);
+
+  /// Adds one particle (weight w is its charge contribution).
+  void add_particle(double x, double v, double weight);
+
+  /// Sets the neutralising ion background density (load_uniform sets it to
+  /// 1; manual particle loading must set it so the plasma is neutral).
+  void set_background(double density);
+
+  std::int64_t num_particles() const {
+    return static_cast<std::int64_t>(x_.size());
+  }
+  std::int64_t num_nodes() const { return options_.cells + 1; }
+
+  const std::vector<double>& positions() const { return x_; }
+  const std::vector<double>& velocities() const { return v_; }
+  const std::vector<double>& rho() const { return rho_; }
+  const std::vector<double>& phi() const { return phi_; }
+  const std::vector<double>& efield() const { return e_; }
+
+  /// One full PIC timestep.
+  void step();
+  void run(int steps);
+
+  PicDiagnostics diagnostics() const;
+
+  // --- Individual stages (exposed for testing) ---
+  void deposit();
+  void solve_field();
+  void push();
+
+  /// Solves -phi'' = rho with Dirichlet ends on an arbitrary rhs (used by
+  /// the Poisson-accuracy tests). Grid spacing dx, n nodes.
+  static std::vector<double> solve_poisson_dirichlet(
+      const std::vector<double>& rho, double dx);
+
+ private:
+  double cell_of(double x) const;
+
+  PicOptions options_;
+  double dx_;
+
+  // Particle storage (structure-of-arrays, as in SIMPIC).
+  std::vector<double> x_;
+  std::vector<double> v_;
+  std::vector<double> w_;  ///< per-particle charge weight (negative)
+
+  // Grid fields on nodes [0, cells].
+  std::vector<double> rho_;
+  std::vector<double> phi_;
+  std::vector<double> e_;
+
+  double background_;  ///< neutralising ion background density
+};
+
+}  // namespace cpx::simpic

@@ -1,0 +1,25 @@
+#include "simpic/stc.hpp"
+
+namespace cpx::simpic {
+
+StcConfig base_stc_28m() {
+  return {"Base-STC-28M", 512'000, 100.0, 50'000, 28'000'000};
+}
+
+StcConfig base_stc_84m() {
+  return {"Base-STC-84M", 512'000, 300.0, 50'000, 84'000'000};
+}
+
+StcConfig base_stc_380m() {
+  return {"Base-STC-380M", 512'000, 1800.0, 50'000, 380'000'000};
+}
+
+StcConfig optimized_stc() {
+  return {"Optimized-STC", 1'180'000, 60'000.0, 450, 380'000'000};
+}
+
+std::vector<StcConfig> all_stc_configs() {
+  return {base_stc_28m(), base_stc_84m(), base_stc_380m(), optimized_stc()};
+}
+
+}  // namespace cpx::simpic

@@ -1,0 +1,43 @@
+#pragma once
+// SIMPIC test-case (STC) configurations — the paper's Fig 3 table plus the
+// Optimized-STC of §IV-C. Each configuration makes SIMPIC's strong-scaling
+// curve match a given pressure-solver mesh size: the "particles per cell"
+// knob sets the ratio of perfectly-parallel particle work to the
+// latency-bound field-solve pipeline, which is exactly what moves the
+// parallel-efficiency crossover.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpx::simpic {
+
+struct StcConfig {
+  std::string name;
+  std::int64_t cells = 0;
+  double particles_per_cell = 0.0;
+  int timesteps = 0;
+  /// The pressure-solver mesh size (cells) this configuration stands in
+  /// for; 0 when the configuration is not a proxy.
+  std::int64_t proxy_mesh_cells = 0;
+
+  std::int64_t total_particles() const {
+    return static_cast<std::int64_t>(
+        static_cast<double>(cells) * particles_per_cell);
+  }
+};
+
+/// Fig 3, row 1: proxy for the 28M-cell single-sector swirl case.
+StcConfig base_stc_28m();
+/// Fig 3, row 2: proxy for the 84M-cell triple-sector swirl case.
+StcConfig base_stc_84m();
+/// Fig 3, row 3: proxy for the ~380M-cell full-scale combustor.
+StcConfig base_stc_380m();
+/// §IV-C: proxy for the *optimised* pressure solver (1.18M cells, 60k
+/// particles per cell, 450 timesteps).
+StcConfig optimized_stc();
+
+/// All four named configurations, in paper order.
+std::vector<StcConfig> all_stc_configs();
+
+}  // namespace cpx::simpic

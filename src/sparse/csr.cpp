@@ -1,0 +1,355 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::sparse {
+
+CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
+                     std::vector<std::int64_t> row_offsets,
+                     std::vector<std::int32_t> col_indices,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_offsets_(std::move(row_offsets)),
+      col_indices_(std::move(col_indices)),
+      values_(std::move(values)) {
+  validate();
+}
+
+std::span<const std::int32_t> CsrMatrix::row_cols(std::int64_t r) const {
+  CPX_DCHECK(r >= 0 && r < rows_);
+  const auto begin = static_cast<std::size_t>(
+      row_offsets_[static_cast<std::size_t>(r)]);
+  const auto end = static_cast<std::size_t>(
+      row_offsets_[static_cast<std::size_t>(r) + 1]);
+  return {col_indices_.data() + begin, end - begin};
+}
+
+std::span<const double> CsrMatrix::row_values(std::int64_t r) const {
+  CPX_DCHECK(r >= 0 && r < rows_);
+  const auto begin = static_cast<std::size_t>(
+      row_offsets_[static_cast<std::size_t>(r)]);
+  const auto end = static_cast<std::size_t>(
+      row_offsets_[static_cast<std::size_t>(r) + 1]);
+  return {values_.data() + begin, end - begin};
+}
+
+double CsrMatrix::at(std::int64_t r, std::int64_t c) const {
+  const auto cols = row_cols(r);
+  const auto vals = row_values(r);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == c) {
+      return vals[i];
+    }
+  }
+  return 0.0;
+}
+
+void CsrMatrix::validate() const {
+  CPX_CHECK_MSG(rows_ >= 0 && cols_ >= 0, "negative dimensions");
+  CPX_CHECK_MSG(row_offsets_.size() == static_cast<std::size_t>(rows_) + 1,
+                "row_offsets size " << row_offsets_.size() << " != rows+1");
+  CPX_CHECK_MSG(row_offsets_.front() == 0, "row_offsets must start at 0");
+  CPX_CHECK_MSG(
+      row_offsets_.back() == static_cast<std::int64_t>(values_.size()),
+      "row_offsets end != nnz");
+  CPX_CHECK_MSG(col_indices_.size() == values_.size(),
+                "col/value size mismatch");
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    CPX_CHECK_MSG(row_offsets_[static_cast<std::size_t>(r)] <=
+                      row_offsets_[static_cast<std::size_t>(r) + 1],
+                  "non-monotone row_offsets at row " << r);
+    const auto cols = row_cols(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      CPX_CHECK_MSG(cols[i] >= 0 && cols[i] < cols_,
+                    "column out of range at row " << r);
+      if (i > 0) {
+        CPX_CHECK_MSG(cols[i - 1] < cols[i],
+                      "columns not strictly sorted at row " << r);
+      }
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::identity(std::int64_t n) {
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(n) + 1);
+  std::vector<std::int32_t> cols(static_cast<std::size_t>(n));
+  std::vector<double> vals(static_cast<std::size_t>(n), 1.0);
+  for (std::int64_t i = 0; i <= n; ++i) {
+    offsets[static_cast<std::size_t>(i)] = i;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    cols[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+  }
+  return CsrMatrix(n, n, std::move(offsets), std::move(cols),
+                   std::move(vals));
+}
+
+CsrMatrix csr_from_triplets(std::int64_t rows, std::int64_t cols,
+                            std::span<const Triplet> triplets) {
+  std::vector<Triplet> sorted(triplets.begin(), triplets.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<std::int32_t> out_cols;
+  std::vector<double> out_vals;
+  out_cols.reserve(sorted.size());
+  out_vals.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size();) {
+    const Triplet& t = sorted[i];
+    CPX_REQUIRE(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
+                "csr_from_triplets: entry (" << t.row << "," << t.col
+                                             << ") out of range");
+    double sum = 0.0;
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j].row == t.row &&
+           sorted[j].col == t.col) {
+      sum += sorted[j].value;
+      ++j;
+    }
+    out_cols.push_back(static_cast<std::int32_t>(t.col));
+    out_vals.push_back(sum);
+    ++offsets[static_cast<std::size_t>(t.row) + 1];
+    i = j;
+  }
+  for (std::size_t r = 1; r <= static_cast<std::size_t>(rows); ++r) {
+    offsets[r] += offsets[r - 1];
+  }
+  return CsrMatrix(rows, cols, std::move(offsets), std::move(out_cols),
+                   std::move(out_vals));
+}
+
+void spmv(const CsrMatrix& a, std::span<const double> x,
+          std::span<double> y) {
+  CPX_REQUIRE(x.size() == static_cast<std::size_t>(a.cols()),
+              "spmv: x size mismatch");
+  CPX_REQUIRE(y.size() == static_cast<std::size_t>(a.rows()),
+              "spmv: y size mismatch");
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    double sum = 0.0;
+    for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
+         k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      sum += vals[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void spmv_add(const CsrMatrix& a, std::span<const double> x,
+              std::span<double> y, double beta) {
+  CPX_REQUIRE(x.size() == static_cast<std::size_t>(a.cols()),
+              "spmv_add: x size mismatch");
+  CPX_REQUIRE(y.size() == static_cast<std::size_t>(a.rows()),
+              "spmv_add: y size mismatch");
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    double sum = 0.0;
+    for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
+         k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      sum += vals[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] =
+        sum + beta * y[static_cast<std::size_t>(r)];
+  }
+}
+
+CsrMatrix transpose(const CsrMatrix& a) {
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(a.cols()) + 1,
+                                    0);
+  for (std::int32_t c : a.col_indices()) {
+    ++offsets[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  std::vector<std::int32_t> cols(a.values().size());
+  std::vector<double> vals(a.values().size());
+  std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const auto rc = a.row_cols(r);
+    const auto rv = a.row_values(r);
+    for (std::size_t i = 0; i < rc.size(); ++i) {
+      const auto slot = static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(rc[i])]++);
+      cols[slot] = static_cast<std::int32_t>(r);
+      vals[slot] = rv[i];
+    }
+  }
+  return CsrMatrix(a.cols(), a.rows(), std::move(offsets), std::move(cols),
+                   std::move(vals));
+}
+
+CsrMatrix spgemm_twopass(const CsrMatrix& a, const CsrMatrix& b) {
+  CPX_REQUIRE(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
+  const std::int64_t m = a.rows();
+  const std::int64_t n = b.cols();
+
+  // Symbolic pass: count distinct columns per output row using a marker
+  // array (reads both inputs once, discards the structure).
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<std::int64_t> marker(static_cast<std::size_t>(n), -1);
+  for (std::int64_t r = 0; r < m; ++r) {
+    std::int64_t count = 0;
+    for (std::int32_t ak : a.row_cols(r)) {
+      for (std::int32_t bk : b.row_cols(ak)) {
+        if (marker[static_cast<std::size_t>(bk)] != r) {
+          marker[static_cast<std::size_t>(bk)] = r;
+          ++count;
+        }
+      }
+    }
+    offsets[static_cast<std::size_t>(r) + 1] = count;
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+
+  // Numeric pass: re-read both inputs, accumulate values.
+  const auto nnz = static_cast<std::size_t>(offsets.back());
+  std::vector<std::int32_t> cols(nnz);
+  std::vector<double> vals(nnz);
+  std::fill(marker.begin(), marker.end(), -1);
+  std::vector<std::int64_t> position(static_cast<std::size_t>(n), 0);
+  for (std::int64_t r = 0; r < m; ++r) {
+    const auto row_begin = offsets[static_cast<std::size_t>(r)];
+    std::int64_t cursor = row_begin;
+    const auto ac = a.row_cols(r);
+    const auto av = a.row_values(r);
+    for (std::size_t i = 0; i < ac.size(); ++i) {
+      const std::int32_t ak = ac[i];
+      const double aval = av[i];
+      const auto bc = b.row_cols(ak);
+      const auto bv = b.row_values(ak);
+      for (std::size_t j = 0; j < bc.size(); ++j) {
+        const std::int32_t c = bc[j];
+        if (marker[static_cast<std::size_t>(c)] != r) {
+          marker[static_cast<std::size_t>(c)] = r;
+          position[static_cast<std::size_t>(c)] = cursor;
+          cols[static_cast<std::size_t>(cursor)] = c;
+          vals[static_cast<std::size_t>(cursor)] = aval * bv[j];
+          ++cursor;
+        } else {
+          vals[static_cast<std::size_t>(
+              position[static_cast<std::size_t>(c)])] += aval * bv[j];
+        }
+      }
+    }
+    // Sort the row's columns (values follow).
+    const auto row_end = cursor;
+    std::vector<std::pair<std::int32_t, double>> row;
+    row.reserve(static_cast<std::size_t>(row_end - row_begin));
+    for (std::int64_t k = row_begin; k < row_end; ++k) {
+      row.emplace_back(cols[static_cast<std::size_t>(k)],
+                       vals[static_cast<std::size_t>(k)]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::int64_t k = row_begin; k < row_end; ++k) {
+      cols[static_cast<std::size_t>(k)] =
+          row[static_cast<std::size_t>(k - row_begin)].first;
+      vals[static_cast<std::size_t>(k)] =
+          row[static_cast<std::size_t>(k - row_begin)].second;
+    }
+  }
+  return CsrMatrix(m, n, std::move(offsets), std::move(cols),
+                   std::move(vals));
+}
+
+CsrMatrix spgemm_spa(const CsrMatrix& a, const CsrMatrix& b) {
+  CPX_REQUIRE(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
+  const std::int64_t m = a.rows();
+  const std::int64_t n = b.cols();
+
+  // Single pass: dense sparse accumulator gives O(1) scatter into the
+  // current output row; rows are appended to growable arrays (the "large
+  // chunk of memory per task, compacted afterwards" scheme — sequential
+  // here, so the compaction is the final shrink_to_fit).
+  std::vector<double> spa(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::int64_t> marker(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> row_cols;
+
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<std::int32_t> cols;
+  std::vector<double> vals;
+  cols.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  vals.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+
+  for (std::int64_t r = 0; r < m; ++r) {
+    row_cols.clear();
+    const auto ac = a.row_cols(r);
+    const auto av = a.row_values(r);
+    for (std::size_t i = 0; i < ac.size(); ++i) {
+      const std::int32_t ak = ac[i];
+      const double aval = av[i];
+      const auto bc = b.row_cols(ak);
+      const auto bv = b.row_values(ak);
+      for (std::size_t j = 0; j < bc.size(); ++j) {
+        const std::int32_t c = bc[j];
+        if (marker[static_cast<std::size_t>(c)] != r) {
+          marker[static_cast<std::size_t>(c)] = r;
+          spa[static_cast<std::size_t>(c)] = aval * bv[j];
+          row_cols.push_back(c);
+        } else {
+          spa[static_cast<std::size_t>(c)] += aval * bv[j];
+        }
+      }
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    for (std::int32_t c : row_cols) {
+      cols.push_back(c);
+      vals.push_back(spa[static_cast<std::size_t>(c)]);
+    }
+    offsets[static_cast<std::size_t>(r) + 1] =
+        static_cast<std::int64_t>(cols.size());
+  }
+  return CsrMatrix(m, n, std::move(offsets), std::move(cols),
+                   std::move(vals));
+}
+
+CsrMatrix galerkin_product(const CsrMatrix& r, const CsrMatrix& a,
+                           const CsrMatrix& p) {
+  const CsrMatrix ap = spgemm_spa(a, p);
+  return spgemm_spa(r, ap);
+}
+
+double frobenius_distance(const CsrMatrix& a, const CsrMatrix& b) {
+  CPX_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+              "frobenius_distance: shape mismatch");
+  double sum = 0.0;
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const auto ac = a.row_cols(r);
+    const auto av = a.row_values(r);
+    const auto bc = b.row_cols(r);
+    const auto bv = b.row_values(r);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ac.size() || j < bc.size()) {
+      if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
+        sum += av[i] * av[i];
+        ++i;
+      } else if (i >= ac.size() || bc[j] < ac[i]) {
+        sum += bv[j] * bv[j];
+        ++j;
+      } else {
+        const double d = av[i] - bv[j];
+        sum += d * d;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace cpx::sparse

@@ -1,0 +1,89 @@
+#pragma once
+// Compressed-sparse-row matrices and the kernels the paper's §IV-B
+// optimisation study targets: SpMV, SpGEMM (reference two-pass and
+// optimised single-pass with a sparse accumulator), transpose, and the
+// Galerkin triple product R*A*P used in AMG setup.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cpx::sparse {
+
+struct Triplet {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+  double value = 0.0;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::int64_t rows, std::int64_t cols,
+            std::vector<std::int64_t> row_offsets,
+            std::vector<std::int32_t> col_indices,
+            std::vector<double> values);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t nnz() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+  const std::vector<std::int64_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<std::int32_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Row r as (cols, values) spans.
+  std::span<const std::int32_t> row_cols(std::int64_t r) const;
+  std::span<const double> row_values(std::int64_t r) const;
+
+  /// Value at (r, c), 0 if not stored (linear scan of the row).
+  double at(std::int64_t r, std::int64_t c) const;
+
+  /// Checks offsets are monotone, columns in range and sorted per row.
+  void validate() const;
+
+  static CsrMatrix identity(std::int64_t n);
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<std::int64_t> row_offsets_;
+  std::vector<std::int32_t> col_indices_;
+  std::vector<double> values_;
+};
+
+/// Builds a CSR matrix from (possibly unsorted, duplicate) triplets;
+/// duplicates are summed, rows end up sorted by column.
+CsrMatrix csr_from_triplets(std::int64_t rows, std::int64_t cols,
+                            std::span<const Triplet> triplets);
+
+/// y = A x.
+void spmv(const CsrMatrix& a, std::span<const double> x,
+          std::span<double> y);
+
+/// y = A x + beta y.
+void spmv_add(const CsrMatrix& a, std::span<const double> x,
+              std::span<double> y, double beta);
+
+CsrMatrix transpose(const CsrMatrix& a);
+
+/// Reference SpGEMM: symbolic pass sizes the output, numeric pass fills it
+/// (the "input matrices read twice" baseline of §IV-B).
+CsrMatrix spgemm_twopass(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Optimised SpGEMM: single pass with a dense sparse-accumulator (SPA)
+/// giving O(1) access to any output element, rows built into per-row
+/// scratch then compacted into contiguous storage (§IV-B optimisations 1-2).
+CsrMatrix spgemm_spa(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Galerkin coarse operator R A P (computed as R*(A*P)).
+CsrMatrix galerkin_product(const CsrMatrix& r, const CsrMatrix& a,
+                           const CsrMatrix& p);
+
+/// Frobenius-norm distance between two matrices (for equivalence tests).
+double frobenius_distance(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace cpx::sparse

@@ -1,0 +1,74 @@
+#include "sparse/identity_prefix.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace cpx::sparse {
+
+IdentityPrefixMatrix::IdentityPrefixMatrix(std::int64_t identity_rows,
+                                           std::int64_t cols, CsrMatrix rest)
+    : identity_rows_(identity_rows), cols_(cols), rest_(std::move(rest)) {
+  CPX_REQUIRE(identity_rows >= 0, "IdentityPrefixMatrix: negative prefix");
+  CPX_REQUIRE(cols >= identity_rows,
+              "IdentityPrefixMatrix: prefix wider than the matrix");
+  CPX_REQUIRE(rest_.cols() == cols,
+              "IdentityPrefixMatrix: rest column count mismatch");
+}
+
+IdentityPrefixMatrix IdentityPrefixMatrix::from_csr(const CsrMatrix& a) {
+  std::int64_t prefix = 0;
+  while (prefix < a.rows() && prefix < a.cols()) {
+    const auto cols = a.row_cols(prefix);
+    const auto vals = a.row_values(prefix);
+    if (cols.size() == 1 && cols[0] == prefix && vals[0] == 1.0) {
+      ++prefix;
+    } else {
+      break;
+    }
+  }
+  // Slice the remaining rows into their own CSR.
+  const auto& offsets = a.row_offsets();
+  const auto base = offsets[static_cast<std::size_t>(prefix)];
+  std::vector<std::int64_t> rest_offsets;
+  rest_offsets.reserve(static_cast<std::size_t>(a.rows() - prefix) + 1);
+  for (std::int64_t r = prefix; r <= a.rows(); ++r) {
+    rest_offsets.push_back(offsets[static_cast<std::size_t>(r)] - base);
+  }
+  std::vector<std::int32_t> rest_cols(
+      a.col_indices().begin() + base, a.col_indices().end());
+  std::vector<double> rest_vals(a.values().begin() + base, a.values().end());
+  return IdentityPrefixMatrix(
+      prefix, a.cols(),
+      CsrMatrix(a.rows() - prefix, a.cols(), std::move(rest_offsets),
+                std::move(rest_cols), std::move(rest_vals)));
+}
+
+void IdentityPrefixMatrix::apply(std::span<const double> x,
+                                 std::span<double> y) const {
+  CPX_REQUIRE(x.size() == static_cast<std::size_t>(cols_),
+              "apply: x size mismatch");
+  CPX_REQUIRE(y.size() == static_cast<std::size_t>(rows()),
+              "apply: y size mismatch");
+  // Identity block: straight copy, no index loads.
+  std::copy(x.begin(), x.begin() + identity_rows_, y.begin());
+  spmv(rest_, x, y.subspan(static_cast<std::size_t>(identity_rows_)));
+}
+
+CsrMatrix IdentityPrefixMatrix::to_csr() const {
+  std::vector<Triplet> t;
+  t.reserve(static_cast<std::size_t>(identity_rows_ + rest_.nnz()));
+  for (std::int64_t i = 0; i < identity_rows_; ++i) {
+    t.push_back({i, i, 1.0});
+  }
+  for (std::int64_t r = 0; r < rest_.rows(); ++r) {
+    const auto cols = rest_.row_cols(r);
+    const auto vals = rest_.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      t.push_back({identity_rows_ + r, cols[k], vals[k]});
+    }
+  }
+  return csr_from_triplets(rows(), cols_, t);
+}
+
+}  // namespace cpx::sparse

@@ -1,0 +1,53 @@
+#pragma once
+// Identity-prefix matrix: the §IV-B interpolation/restriction optimisation.
+//
+// "During interpolation and restriction, which uses SpMV, values at the
+//  same points are mapped directly to the mesh above or below. As a
+//  result, the matrix can be rearranged such that the first rows are an
+//  identity matrix, which reduces computation and saves memory bandwidth."
+//
+// For node-nested hierarchies the first `identity_rows` rows of P are unit
+// rows e_i: applying them is a memcpy instead of a sparse dot product, and
+// neither their column indices nor values need to be stored.
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace cpx::sparse {
+
+class IdentityPrefixMatrix {
+ public:
+  /// Wraps `rest` as the trailing rows under an `identity_rows`-row unit
+  /// prefix: the represented operator is
+  ///     [ I 0 ; rest ]  with overall shape (identity_rows + rest.rows())
+  ///                     x cols, cols >= identity_rows.
+  IdentityPrefixMatrix(std::int64_t identity_rows, std::int64_t cols,
+                       CsrMatrix rest);
+
+  /// Detects the longest unit-row prefix of `a` (row i == e_i) and splits
+  /// it off; the remainder stays in CSR form.
+  static IdentityPrefixMatrix from_csr(const CsrMatrix& a);
+
+  std::int64_t rows() const { return identity_rows_ + rest_.rows(); }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t identity_rows() const { return identity_rows_; }
+
+  /// Stored nonzeros (the savings vs a full CSR: identity_rows entries of
+  /// index + value storage disappear).
+  std::int64_t stored_nnz() const { return rest_.nnz(); }
+
+  /// y = A x, with the identity prefix applied as a copy.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Expands back to a plain CSR (for equivalence testing).
+  CsrMatrix to_csr() const;
+
+ private:
+  std::int64_t identity_rows_;
+  std::int64_t cols_;
+  CsrMatrix rest_;
+};
+
+}  // namespace cpx::sparse

@@ -1,0 +1,91 @@
+#include "sparse/renumber.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace cpx::sparse {
+
+Renumbering renumber_sort(std::span<const std::int64_t> global_ids) {
+  Renumbering out;
+  out.locals_to_global.assign(global_ids.begin(), global_ids.end());
+  std::sort(out.locals_to_global.begin(), out.locals_to_global.end());
+  out.locals_to_global.erase(
+      std::unique(out.locals_to_global.begin(), out.locals_to_global.end()),
+      out.locals_to_global.end());
+  out.renumbered.reserve(global_ids.size());
+  for (std::int64_t g : global_ids) {
+    const auto it = std::lower_bound(out.locals_to_global.begin(),
+                                     out.locals_to_global.end(), g);
+    out.renumbered.push_back(static_cast<std::int32_t>(
+        it - out.locals_to_global.begin()));
+  }
+  return out;
+}
+
+Renumbering renumber_hash_merge(std::span<const std::int64_t> global_ids,
+                                int num_chunks) {
+  CPX_REQUIRE(num_chunks >= 1, "renumber_hash_merge: bad chunk count");
+  const std::size_t n = global_ids.size();
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(num_chunks) - 1) /
+      static_cast<std::size_t>(num_chunks);
+
+  // Phase 1: each "task" hashes the ids of its chunk (first-touch).
+  std::vector<std::vector<std::int64_t>> keys(
+      static_cast<std::size_t>(num_chunks));
+  for (int c = 0; c < num_chunks; ++c) {
+    const std::size_t begin = static_cast<std::size_t>(c) * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    std::unordered_map<std::int64_t, std::int32_t> map;
+    map.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      map.emplace(global_ids[i], 0);
+    }
+    auto& k = keys[static_cast<std::size_t>(c)];
+    k.reserve(map.size());
+    for (const auto& [g, unused] : map) {
+      k.push_back(g);
+    }
+    std::sort(k.begin(), k.end());
+  }
+
+  // Phase 2: pairwise merge of the sorted key sets (the "parallel merge
+  // sort into a global array").
+  while (keys.size() > 1) {
+    std::vector<std::vector<std::int64_t>> merged;
+    merged.reserve((keys.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < keys.size(); i += 2) {
+      std::vector<std::int64_t> m;
+      m.reserve(keys[i].size() + keys[i + 1].size());
+      std::merge(keys[i].begin(), keys[i].end(), keys[i + 1].begin(),
+                 keys[i + 1].end(), std::back_inserter(m));
+      m.erase(std::unique(m.begin(), m.end()), m.end());
+      merged.push_back(std::move(m));
+    }
+    if (keys.size() % 2 == 1) {
+      merged.push_back(std::move(keys.back()));
+    }
+    keys = std::move(merged);
+  }
+
+  Renumbering out;
+  out.locals_to_global = keys.empty() ? std::vector<std::int64_t>{}
+                                      : std::move(keys.front());
+
+  // Phase 3: reverse mapping distributed back — one global hash map giving
+  // O(1) per-entry translation.
+  std::unordered_map<std::int64_t, std::int32_t> reverse;
+  reverse.reserve(out.locals_to_global.size());
+  for (std::size_t i = 0; i < out.locals_to_global.size(); ++i) {
+    reverse.emplace(out.locals_to_global[i], static_cast<std::int32_t>(i));
+  }
+  out.renumbered.reserve(n);
+  for (std::int64_t g : global_ids) {
+    out.renumbered.push_back(reverse.at(g));
+  }
+  return out;
+}
+
+}  // namespace cpx::sparse

@@ -1,0 +1,37 @@
+#pragma once
+// Halo-column renumbering strategies (paper §IV-B, optimisation 4).
+//
+// In distributed AMG the rows of a matrix are spread across ranks in CSR
+// format. After a halo exchange, a rank holds entries referring to global
+// column ids it has not seen before and must renumber them into a compact
+// local range. The paper contrasts:
+//   * the baseline: sort the full id stream and binary-search each entry
+//     ("efficient parallel reordering is difficult to achieve"), and
+//   * the optimisation: build a hash map per task, merge the key sets with
+//     a merge sort, then distribute the local ids back via reverse mapping.
+// Both are implemented here; they must produce identical mappings, and the
+// bench bench_amg_kernels compares their cost.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cpx::sparse {
+
+struct Renumbering {
+  /// Distinct global ids in ascending order; local id = position.
+  std::vector<std::int64_t> locals_to_global;
+  /// The input stream rewritten to local ids.
+  std::vector<std::int32_t> renumbered;
+};
+
+/// Baseline: copy + sort + unique + per-entry binary search.
+Renumbering renumber_sort(std::span<const std::int64_t> global_ids);
+
+/// Optimised: hash-map first-touch assignment over `num_chunks` simulated
+/// tasks, merged key sets, reverse-mapped back (num_chunks = 1 degenerates
+/// to a plain single hash map).
+Renumbering renumber_hash_merge(std::span<const std::int64_t> global_ids,
+                                int num_chunks = 4);
+
+}  // namespace cpx::sparse

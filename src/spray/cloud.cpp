@@ -1,0 +1,132 @@
+#include "spray/cloud.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::spray {
+
+Cloud::Cloud(const CloudOptions& options)
+    : options_(options), rng_(options.seed) {
+  CPX_REQUIRE(options.num_particles >= 0, "Cloud: bad particle count");
+  CPX_REQUIRE(options.num_ranks >= 1, "Cloud: bad rank count");
+  CPX_REQUIRE(options.injector_length > 0.0 && options.injector_length <= 1.0,
+              "Cloud: bad injector_length");
+  x_.reserve(static_cast<std::size_t>(options.num_particles));
+  inject(options.num_particles);
+}
+
+void Cloud::inject(std::int64_t count) {
+  // Exponential axial profile truncated to [0, 1): inverse-CDF sampling.
+  const double lambda = options_.injector_length;
+  const double norm = 1.0 - std::exp(-1.0 / lambda);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const double u = rng_.uniform();
+    const double x = -lambda * std::log(1.0 - u * norm);
+    x_.push_back(std::min(x, std::nextafter(1.0, 0.0)));
+  }
+}
+
+int Cloud::rank_of(double x) const {
+  const int r = static_cast<int>(x * options_.num_ranks);
+  return std::clamp(r, 0, options_.num_ranks - 1);
+}
+
+std::vector<std::int64_t> Cloud::spatial_counts() const {
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(options_.num_ranks), 0);
+  for (double x : x_) {
+    ++counts[static_cast<std::size_t>(rank_of(x))];
+  }
+  return counts;
+}
+
+std::vector<std::int64_t> Cloud::counts(Strategy strategy,
+                                        int spray_ranks) const {
+  switch (strategy) {
+    case Strategy::kSpatial:
+      return spatial_counts();
+    case Strategy::kBalanced: {
+      const std::int64_t n = num_particles();
+      const std::int64_t p = options_.num_ranks;
+      std::vector<std::int64_t> counts(static_cast<std::size_t>(p), n / p);
+      for (std::int64_t i = 0; i < n % p; ++i) {
+        ++counts[static_cast<std::size_t>(i)];
+      }
+      return counts;
+    }
+    case Strategy::kAsyncTask: {
+      CPX_REQUIRE(spray_ranks >= 1 && spray_ranks <= options_.num_ranks,
+                  "counts: bad spray_ranks " << spray_ranks);
+      // Dedicated spray workers pull from a shared queue: balanced across
+      // the spray communicator, zero on the solver ranks.
+      std::vector<std::int64_t> counts(
+          static_cast<std::size_t>(options_.num_ranks), 0);
+      const std::int64_t n = num_particles();
+      for (int r = 0; r < spray_ranks; ++r) {
+        counts[static_cast<std::size_t>(r)] =
+            n / spray_ranks + (r < n % spray_ranks ? 1 : 0);
+      }
+      return counts;
+    }
+  }
+  CPX_CHECK_MSG(false, "counts: unknown strategy");
+}
+
+LoadStats Cloud::load_stats(Strategy strategy, int spray_ranks) const {
+  const auto counts = this->counts(strategy, spray_ranks);
+  LoadStats s;
+  for (std::int64_t c : counts) {
+    s.total += c;
+    s.max_rank = std::max(s.max_rank, c);
+  }
+  // For the async strategy the effective worker pool is spray_ranks.
+  const int workers = strategy == Strategy::kAsyncTask
+                          ? spray_ranks
+                          : options_.num_ranks;
+  s.mean = static_cast<double>(s.total) / workers;
+  s.imbalance = s.mean > 0.0 ? static_cast<double>(s.max_rank) / s.mean : 1.0;
+  return s;
+}
+
+void Cloud::step() {
+  const auto old_counts = spatial_counts();
+  std::size_t alive = 0;
+  std::int64_t evaporated = 0;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    if (rng_.uniform() < options_.evaporation_rate) {
+      ++evaporated;
+      continue;
+    }
+    double x = x_[i] + options_.drift_per_step * (0.5 + rng_.uniform());
+    if (x >= 1.0) {
+      ++evaporated;  // left the domain downstream
+      continue;
+    }
+    x_[alive++] = x;
+  }
+  x_.resize(alive);
+  inject(evaporated);  // steady injection replaces losses
+
+  const auto new_counts = spatial_counts();
+  last_migrations_ = 0;
+  for (std::size_t r = 0; r < new_counts.size(); ++r) {
+    last_migrations_ += std::abs(new_counts[r] - old_counts[r]);
+  }
+  last_migrations_ /= 2;
+}
+
+double hot_block_fraction(double injector_length, int num_ranks) {
+  CPX_REQUIRE(injector_length > 0.0 && injector_length <= 1.0,
+              "hot_block_fraction: bad injector_length");
+  CPX_REQUIRE(num_ranks >= 1, "hot_block_fraction: bad rank count");
+  // Fraction of the truncated-exponential mass in the first of num_ranks
+  // equal blocks.
+  const double lambda = injector_length;
+  const double norm = 1.0 - std::exp(-1.0 / lambda);
+  const double block = 1.0 / static_cast<double>(num_ranks);
+  return (1.0 - std::exp(-block / lambda)) / norm;
+}
+
+}  // namespace cpx::spray

@@ -1,0 +1,104 @@
+#include "spray/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx::spray {
+
+Instance::Instance(std::string name, const InstanceConfig& config,
+                   sim::RankRange ranks)
+    : name_(std::move(name)), config_(config), ranks_(ranks) {
+  CPX_REQUIRE(ranks.size() >= 1, "Instance: empty rank range");
+  CPX_REQUIRE(config.num_particles >= 1, "Instance: no particles");
+  CPX_REQUIRE(config.spray_rank_fraction > 0.0 &&
+                  config.spray_rank_fraction <= 1.0,
+              "Instance: bad spray_rank_fraction");
+}
+
+void Instance::step(sim::Cluster& cluster) {
+  const sim::RegionId region_push = cluster.region(name_ + "/push");
+  const sim::RegionId region_comm = cluster.region(name_ + "/comm");
+  const int p = ranks_.size();
+  const double total = static_cast<double>(config_.num_particles);
+  const double mean = total / p;
+
+  switch (config_.strategy) {
+    case Strategy::kSpatial: {
+      // Hot ranks carry the injector share; everyone else a uniform tail.
+      const double hot = std::max(
+          hot_block_fraction(config_.injector_length, p), 1.0 / p);
+      for (int l = 0; l < p; ++l) {
+        const double particles = l == 0 ? hot * total : mean * 0.5;
+        sim::Work w;
+        w.flops = particles * config_.flops_per_particle;
+        w.bytes = particles * config_.bytes_per_particle;
+        cluster.compute(ranks_.begin + l, w, region_push);
+      }
+      // Neighbour migration + the source-term gather that serialises on
+      // the hot rank (all ranks contribute to the injector region's gas
+      // coupling terms).
+      message_scratch_.clear();
+      const auto mig_bytes = static_cast<std::size_t>(
+          config_.migration_fraction * mean *
+          static_cast<double>(config_.bytes_per_migrated_particle));
+      for (int l = 0; l + 1 < p; ++l) {
+        message_scratch_.push_back(
+            {ranks_.begin + l, ranks_.begin + l + 1, mig_bytes});
+        message_scratch_.push_back(
+            {ranks_.begin + l + 1, ranks_.begin + l, mig_bytes});
+      }
+      cluster.exchange(message_scratch_, region_comm);
+      cluster.gather(ranks_, ranks_.begin, 2 * sizeof(double) * 8,
+                     region_comm);
+      break;
+    }
+    case Strategy::kBalanced: {
+      for (int l = 0; l < p; ++l) {
+        sim::Work w;
+        w.flops = mean * config_.flops_per_particle;
+        w.bytes = mean * config_.bytes_per_particle;
+        cluster.compute(ranks_.begin + l, w, region_push);
+      }
+      // Redistribution back to spatial owners every step: the particles a
+      // rank holds are unrelated to its mesh partition, so the gas-field
+      // data / updated particles cross in a personalised all-to-all.
+      const auto pair_bytes = static_cast<std::size_t>(
+          std::max(1.0, mean / p *
+                            static_cast<double>(
+                                config_.bytes_per_migrated_particle)));
+      cluster.alltoall(ranks_, pair_bytes, region_comm);
+      break;
+    }
+    case Strategy::kAsyncTask: {
+      // Dedicated spray ranks drain a balanced queue; the solver ranks'
+      // only involvement is the one-sided hand-off (tiny).
+      const int workers = std::max(
+          1, static_cast<int>(p * config_.spray_rank_fraction));
+      const double per_worker = total / workers;
+      for (int l = 0; l < workers; ++l) {
+        sim::Work w;
+        w.flops = per_worker * config_.flops_per_particle;
+        w.bytes = per_worker * config_.bytes_per_particle;
+        cluster.compute(ranks_.begin + l, w, region_push);
+      }
+      message_scratch_.clear();
+      for (int l = 0; l < workers; ++l) {
+        // One-sided exposure epoch with a solver-side partner.
+        const sim::Rank partner =
+            ranks_.begin + workers + (l % std::max(1, p - workers));
+        if (partner < ranks_.end) {
+          message_scratch_.push_back(
+              {ranks_.begin + l, partner, 4 * sizeof(double)});
+        }
+      }
+      if (!message_scratch_.empty()) {
+        cluster.exchange(message_scratch_, region_comm);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace cpx::spray

@@ -1,0 +1,15 @@
+#include "support/check.hpp"
+
+namespace cpx::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << "CPX_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw CheckError(oss.str());
+}
+
+}  // namespace cpx::detail

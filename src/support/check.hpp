@@ -1,0 +1,57 @@
+#pragma once
+// Error-handling primitives used across the library.
+//
+// CPX_CHECK is an always-on invariant check (never compiled out: this
+// library is a simulator whose correctness matters more than the last few
+// percent of speed). CPX_DCHECK is compiled out in NDEBUG builds and is
+// meant for hot loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cpx {
+
+/// Exception thrown by CPX_CHECK / CPX_REQUIRE failures.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace cpx
+
+/// Always-on invariant check. Throws cpx::CheckError on failure.
+#define CPX_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::cpx::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+    }                                                                    \
+  } while (false)
+
+/// Always-on invariant check with a streamed message:
+///   CPX_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define CPX_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream cpx_check_oss_;                                 \
+      cpx_check_oss_ << msg;                                             \
+      ::cpx::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                  cpx_check_oss_.str());                 \
+    }                                                                    \
+  } while (false)
+
+/// Precondition check on public API arguments.
+#define CPX_REQUIRE(expr, msg) CPX_CHECK_MSG(expr, msg)
+
+#ifdef NDEBUG
+#define CPX_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define CPX_DCHECK(expr) CPX_CHECK(expr)
+#endif

@@ -1,0 +1,34 @@
+#pragma once
+// Leveled logging to stderr. Default level is Warn so test and bench output
+// stays clean; examples raise it to Info.
+
+#include <sstream>
+#include <string>
+
+namespace cpx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace cpx
+
+#define CPX_LOG(level, msg)                                    \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::cpx::log_level())) {                \
+      std::ostringstream cpx_log_oss_;                         \
+      cpx_log_oss_ << msg;                                     \
+      ::cpx::detail::log_emit(level, cpx_log_oss_.str());      \
+    }                                                          \
+  } while (false)
+
+#define CPX_LOG_DEBUG(msg) CPX_LOG(::cpx::LogLevel::kDebug, msg)
+#define CPX_LOG_INFO(msg) CPX_LOG(::cpx::LogLevel::kInfo, msg)
+#define CPX_LOG_WARN(msg) CPX_LOG(::cpx::LogLevel::kWarn, msg)
+#define CPX_LOG_ERROR(msg) CPX_LOG(::cpx::LogLevel::kError, msg)

@@ -1,0 +1,47 @@
+#pragma once
+// Dense linear least squares, used by the empirical performance model to
+// fit runtime / parallel-efficiency curves (Section V of the paper: "fit a
+// curve to the graph").
+//
+// The curve families we fit (e.g. T(p) = a/p + b + c*log2(p) + d*p) are
+// linear in their coefficients, so ordinary least squares over a basis-
+// function design matrix is exact. The normal equations are solved with a
+// Cholesky factorisation plus a tiny Tikhonov ridge for rank safety.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace cpx {
+
+/// Column-major dense symmetric-positive-definite solve helper.
+/// Solves (A^T A + ridge I) x = A^T b where A is m x n (row-major rows).
+/// Throws CheckError if the system is not SPD even with the ridge.
+std::vector<double> solve_normal_equations(std::span<const double> a,
+                                           std::size_t rows, std::size_t cols,
+                                           std::span<const double> b,
+                                           double ridge = 1e-12);
+
+/// A single basis function phi_j(x).
+using BasisFn = std::function<double(double)>;
+
+/// Ordinary least squares fit of y ~= sum_j coef[j] * basis[j](x).
+/// Optionally weighted (weights.size() == xs.size(), or empty for uniform).
+std::vector<double> fit_basis(std::span<const double> xs,
+                              std::span<const double> ys,
+                              std::span<const BasisFn> basis,
+                              std::span<const double> weights = {});
+
+/// Evaluate a fitted basis expansion at x.
+double eval_basis(std::span<const double> coefs, std::span<const BasisFn> basis,
+                  double x);
+
+/// Polynomial fit of the given degree; returns coefficients c0..cdeg
+/// (lowest order first).
+std::vector<double> fit_polynomial(std::span<const double> xs,
+                                   std::span<const double> ys, int degree);
+
+/// Evaluate a polynomial with coefficients lowest-order-first.
+double eval_polynomial(std::span<const double> coefs, double x);
+
+}  // namespace cpx

@@ -1,0 +1,98 @@
+#include "support/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace cpx {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      opts.positionals_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    CPX_REQUIRE(!arg.empty(), "Options: bare '--' is not a valid option");
+    // Only --key=value and boolean --flag forms are supported; a separate
+    // "--key value" form would be ambiguous with positional arguments.
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opts.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      opts.values_[arg] = "true";
+    }
+  }
+  return opts;
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long Options::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  CPX_REQUIRE(end != nullptr && *end == '\0',
+              "Options: --" << key << " expects an integer, got '"
+                            << it->second << "'");
+  return v;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  CPX_REQUIRE(end != nullptr && *end == '\0',
+              "Options: --" << key << " expects a number, got '" << it->second
+                            << "'");
+  return v;
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  CPX_REQUIRE(false, "Options: --" << key << " expects a boolean, got '" << v
+                                   << "'");
+  return fallback;  // unreachable
+}
+
+void Options::describe(const std::string& key, const std::string& help) {
+  docs_.emplace_back(key, help);
+}
+
+std::string Options::help_text(const std::string& program) const {
+  std::ostringstream oss;
+  oss << "usage: " << program << " [options]\n";
+  for (const auto& [key, help] : docs_) {
+    oss << "  --" << key << "\n      " << help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace cpx

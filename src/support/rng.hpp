@@ -1,0 +1,110 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// Everything in this library that uses randomness (mesh jitter, particle
+// initialisation, spray hotspots) goes through Rng so runs are reproducible
+// from a single seed. The generator is xoshiro256** seeded via splitmix64;
+// both are tiny, fast, and have well-understood statistical quality.
+
+#include <cstdint>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cpx {
+
+/// splitmix64 step — used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    CPX_DCHECK(n > 0);
+    // Lemire's multiply-shift rejection-free bound is overkill here; simple
+    // modulo bias is negligible for the n << 2^64 values we use.
+    return (*this)() % n;
+  }
+
+  /// Standard normal via Box-Muller (polar form would need caching; this
+  /// stays stateless per call apart from the generator).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) {
+      u1 = uniform();
+    }
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.28318530717958647692;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate.
+  double exponential(double rate) {
+    CPX_DCHECK(rate > 0.0);
+    double u = uniform();
+    while (u <= 0.0) {
+      u = uniform();
+    }
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+/// Stateless 64-bit mix of (seed, a, b) — handy for per-entity deterministic
+/// randomness without carrying generator state (e.g. per-cell jitter).
+constexpr std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t a,
+                                 std::uint64_t b = 0) {
+  std::uint64_t s = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                    (b * 0xc2b2ae3d27d4eb4fULL);
+  return splitmix64(s);
+}
+
+}  // namespace cpx

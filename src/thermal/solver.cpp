@@ -1,0 +1,158 @@
+#include "thermal/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amg/pcg.hpp"
+#include "support/check.hpp"
+
+namespace cpx::thermal {
+
+ThermalSolver::ThermalSolver(const mesh::UnstructuredMesh& mesh,
+                             const ThermalOptions& options)
+    : options_(options),
+      volumes_(mesh.volumes()),
+      temperature_(static_cast<std::size_t>(mesh.num_cells()), 0.0),
+      source_(static_cast<std::size_t>(mesh.num_cells()), 0.0),
+      fixed_(static_cast<std::size_t>(mesh.num_cells()), false),
+      mesh_(&mesh) {
+  CPX_REQUIRE(options.conductivity > 0.0 && options.dt > 0.0,
+              "ThermalSolver: bad options");
+
+  // Conduction operator: two-point flux k * A_f / |dc| per face.
+  std::vector<sparse::Triplet> t;
+  t.reserve(static_cast<std::size_t>(4 * mesh.num_edges()));
+  for (const mesh::Edge& e : mesh.edges()) {
+    const mesh::Vec3& pa = mesh.centroids()[static_cast<std::size_t>(e.a)];
+    const mesh::Vec3& pb = mesh.centroids()[static_cast<std::size_t>(e.b)];
+    const double dist = std::sqrt(
+        (pa.x - pb.x) * (pa.x - pb.x) + (pa.y - pb.y) * (pa.y - pb.y) +
+        (pa.z - pb.z) * (pa.z - pb.z));
+    CPX_CHECK_MSG(dist > 0.0, "ThermalSolver: coincident centroids");
+    const double k = options.conductivity * e.area / dist;
+    t.push_back({e.a, e.a, k});
+    t.push_back({e.b, e.b, k});
+    t.push_back({e.a, e.b, -k});
+    t.push_back({e.b, e.a, -k});
+  }
+  conduction_ =
+      sparse::csr_from_triplets(mesh.num_cells(), mesh.num_cells(), t);
+}
+
+void ThermalSolver::build_system() {
+  const std::int64_t n = conduction_.rows();
+  std::vector<sparse::Triplet> t;
+  t.reserve(static_cast<std::size_t>(conduction_.nnz() + n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    if (fixed_[static_cast<std::size_t>(r)]) {
+      t.push_back({r, r, 1.0});
+      continue;
+    }
+    const auto cols = conduction_.row_cols(r);
+    const auto vals = conduction_.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      // Drop couplings into fixed cells from the matrix; their (known)
+      // contribution moves to the right-hand side in step().
+      if (!fixed_[static_cast<std::size_t>(cols[i])]) {
+        t.push_back({r, cols[i], vals[i]});
+      }
+    }
+    t.push_back({r, r, volumes_[static_cast<std::size_t>(r)] / options_.dt});
+  }
+  system_ = sparse::csr_from_triplets(n, n, t);
+  amg::AmgOptions amg_opts;
+  amg_opts.coarse_size = 32;
+  amg_ = std::make_unique<amg::AmgHierarchy>(system_, amg_opts);
+  system_current_ = true;
+}
+
+void ThermalSolver::set_uniform(double temperature) {
+  std::fill(temperature_.begin(), temperature_.end(), temperature);
+}
+
+void ThermalSolver::set_cell(mesh::CellId cell, double temperature) {
+  CPX_REQUIRE(cell >= 0 && cell < num_cells(), "set_cell: bad cell");
+  temperature_[static_cast<std::size_t>(cell)] = temperature;
+}
+
+void ThermalSolver::fix_cell(mesh::CellId cell) {
+  CPX_REQUIRE(cell >= 0 && cell < num_cells(), "fix_cell: bad cell");
+  fixed_[static_cast<std::size_t>(cell)] = true;
+  system_current_ = false;
+}
+
+void ThermalSolver::set_source(mesh::CellId cell, double power) {
+  CPX_REQUIRE(cell >= 0 && cell < num_cells(), "set_source: bad cell");
+  source_[static_cast<std::size_t>(cell)] = power;
+}
+
+int ThermalSolver::step() {
+  if (!system_current_) {
+    build_system();
+  }
+  const auto n = temperature_.size();
+  std::vector<double> rhs(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (fixed_[c]) {
+      rhs[c] = temperature_[c];
+      continue;
+    }
+    rhs[c] = volumes_[c] / options_.dt * temperature_[c] + source_[c];
+  }
+  // Known (fixed) temperatures contribute through the dropped couplings.
+  for (std::int64_t r = 0; r < conduction_.rows(); ++r) {
+    if (fixed_[static_cast<std::size_t>(r)]) {
+      continue;
+    }
+    const auto cols = conduction_.row_cols(r);
+    const auto vals = conduction_.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (fixed_[static_cast<std::size_t>(cols[i])]) {
+        rhs[static_cast<std::size_t>(r)] -=
+            vals[i] * temperature_[static_cast<std::size_t>(cols[i])];
+      }
+    }
+  }
+  const amg::PcgResult result =
+      amg::pcg(system_, temperature_, rhs, options_.cg_tolerance,
+               options_.cg_max_iterations, amg::make_amg_preconditioner(*amg_));
+  CPX_CHECK_MSG(result.converged, "ThermalSolver: CG did not converge ("
+                                      << result.iterations << " iterations)");
+  return result.iterations;
+}
+
+int ThermalSolver::run(int steps) {
+  CPX_REQUIRE(steps >= 1, "run: bad step count");
+  int iters = 0;
+  for (int s = 0; s < steps; ++s) {
+    iters = step();
+  }
+  return iters;
+}
+
+double ThermalSolver::total_energy() const {
+  double e = 0.0;
+  for (std::size_t c = 0; c < temperature_.size(); ++c) {
+    e += volumes_[c] * temperature_[c];
+  }
+  return e;
+}
+
+int ThermalSolver::solve_steady(double tol, int max_steps) {
+  CPX_REQUIRE(tol > 0.0 && max_steps >= 1, "solve_steady: bad inputs");
+  for (int s = 1; s <= max_steps; ++s) {
+    const std::vector<double> before = temperature_;
+    step();
+    double max_change = 0.0;
+    for (std::size_t c = 0; c < before.size(); ++c) {
+      max_change = std::max(max_change,
+                            std::abs(temperature_[c] - before[c]));
+    }
+    if (max_change < tol) {
+      return s;
+    }
+  }
+  return max_steps + 1;
+}
+
+}  // namespace cpx::thermal

@@ -1,0 +1,79 @@
+#pragma once
+// Thermal solver for engine-casing conjugate heat transfer — the §VI
+// "work is ongoing to include FEM solvers for thermal coupling of the
+// engine casing" extension, implemented here as a finite-volume heat-
+// conduction solver on the unstructured mesh (two-point flux between cell
+// centroids), advanced with implicit backward Euler and solved by the
+// library's AMG-preconditioned conjugate gradient.
+//
+//   (V/dt) T^{n+1} + K T^{n+1} = (V/dt) T^n + q
+//
+// with K the conduction operator (k * area / centroid distance per face)
+// and optional fixed-temperature (Dirichlet) cells for the casing's outer
+// wall.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "amg/hierarchy.hpp"
+#include "mesh/mesh.hpp"
+#include "sparse/csr.hpp"
+
+namespace cpx::thermal {
+
+struct ThermalOptions {
+  double conductivity = 1.0;
+  double dt = 0.1;
+  double cg_tolerance = 1e-10;
+  int cg_max_iterations = 500;
+};
+
+class ThermalSolver {
+ public:
+  ThermalSolver(const mesh::UnstructuredMesh& mesh,
+                const ThermalOptions& options);
+
+  std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(temperature_.size());
+  }
+
+  void set_uniform(double temperature);
+  void set_cell(mesh::CellId cell, double temperature);
+  /// Pins a cell to its current temperature (Dirichlet condition).
+  void fix_cell(mesh::CellId cell);
+  /// Volumetric heat source for a cell (energy per time).
+  void set_source(mesh::CellId cell, double power);
+
+  const std::vector<double>& temperature() const { return temperature_; }
+
+  /// One implicit step; returns the CG iteration count.
+  int step();
+  int run(int steps);
+
+  /// Total thermal energy sum(V_c * T_c).
+  double total_energy() const;
+
+  /// Steady-state solve (iterates steps until the temperature change per
+  /// step drops below `tol`); returns steps taken (or max_steps + 1).
+  int solve_steady(double tol, int max_steps);
+
+ private:
+  void build_system();
+
+  ThermalOptions options_;
+  std::vector<double> volumes_;
+  std::vector<double> temperature_;
+  std::vector<double> source_;
+  std::vector<bool> fixed_;
+  // Conduction operator K and the implicit system A = V/dt + K with
+  // Dirichlet rows replaced by identity.
+  sparse::CsrMatrix conduction_;
+  sparse::CsrMatrix system_;
+  std::unique_ptr<amg::AmgHierarchy> amg_;
+  bool system_current_ = false;
+  const mesh::UnstructuredMesh* mesh_;
+};
+
+}  // namespace cpx::thermal

@@ -1,0 +1,243 @@
+#include "workflow/case_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <span>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace cpx::workflow {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) {
+    if (tok[0] == '#') {
+      break;
+    }
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Splits "key=value" tokens into a map; plain tokens are rejected.
+std::map<std::string, std::string> parse_kv(
+    std::span<const std::string> tokens, int line_no) {
+  std::map<std::string, std::string> kv;
+  for (const std::string& tok : tokens) {
+    const auto eq = tok.find('=');
+    CPX_REQUIRE(eq != std::string::npos && eq > 0,
+                "case file line " << line_no << ": expected key=value, got '"
+                                  << tok << "'");
+    kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return kv;
+}
+
+std::int64_t to_int(const std::string& value, int line_no) {
+  try {
+    return std::stoll(value);
+  } catch (const std::exception&) {
+    CPX_REQUIRE(false, "case file line " << line_no
+                                         << ": expected an integer, got '"
+                                         << value << "'");
+  }
+  return 0;
+}
+
+simpic::StcConfig stc_by_name(const std::string& name, int line_no) {
+  if (name == "base-28m") {
+    return simpic::base_stc_28m();
+  }
+  if (name == "base-84m") {
+    return simpic::base_stc_84m();
+  }
+  if (name == "base-380m") {
+    return simpic::base_stc_380m();
+  }
+  if (name == "optimized") {
+    return simpic::optimized_stc();
+  }
+  CPX_REQUIRE(false, "case file line "
+                         << line_no << ": unknown stc '" << name
+                         << "' (use base-28m|base-84m|base-380m|optimized)");
+  return {};
+}
+
+}  // namespace
+
+EngineCase load_engine_case(std::istream& in) {
+  EngineCase ec;
+  ec.name = "unnamed case";
+  std::map<std::string, int> index_of;  // instance name -> index
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& directive = tokens[0];
+
+    if (directive == "name") {
+      CPX_REQUIRE(tokens.size() >= 2,
+                  "case file line " << line_no << ": name needs a value");
+      ec.name.clear();
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        ec.name += (i > 1 ? " " : "") + tokens[i];
+      }
+    } else if (directive == "pressure_steps_per_density_step") {
+      CPX_REQUIRE(tokens.size() == 2,
+                  "case file line " << line_no << ": expected one value");
+      ec.pressure_steps_per_density_step =
+          static_cast<int>(to_int(tokens[1], line_no));
+    } else if (directive == "coupled_pressure_steps_per_run") {
+      CPX_REQUIRE(tokens.size() == 2,
+                  "case file line " << line_no << ": expected one value");
+      ec.coupled_pressure_steps_per_run =
+          static_cast<double>(to_int(tokens[1], line_no));
+    } else if (directive == "instance") {
+      CPX_REQUIRE(tokens.size() >= 3, "case file line "
+                                          << line_no
+                                          << ": instance <kind> <name> ...");
+      const std::string& kind = tokens[1];
+      InstanceSpec spec;
+      spec.name = tokens[2];
+      CPX_REQUIRE(index_of.count(spec.name) == 0,
+                  "case file line " << line_no << ": duplicate instance '"
+                                    << spec.name << "'");
+      const auto kv =
+          parse_kv(std::span(tokens).subspan(3), line_no);
+      if (kind == "mgcfd" || kind == "thermal") {
+        spec.kind = kind == "mgcfd" ? AppKind::kMgcfd : AppKind::kThermal;
+        CPX_REQUIRE(kv.count("cells") == 1,
+                    "case file line " << line_no << ": " << kind
+                                      << " needs cells=<n>");
+        spec.mesh_cells = to_int(kv.at("cells"), line_no);
+        spec.iterations_per_density_step =
+            kv.count("iters") != 0
+                ? static_cast<int>(to_int(kv.at("iters"), line_no))
+                : (kind == "mgcfd" ? 20 : 1);
+      } else if (kind == "simpic") {
+        spec.kind = AppKind::kSimpic;
+        CPX_REQUIRE(kv.count("stc") == 1, "case file line "
+                                              << line_no
+                                              << ": simpic needs stc=<name>");
+        spec.stc = stc_by_name(kv.at("stc"), line_no);
+        spec.mesh_cells = spec.stc.proxy_mesh_cells;
+        spec.iterations_per_density_step = 1;
+      } else {
+        CPX_REQUIRE(false, "case file line "
+                               << line_no << ": unknown instance kind '"
+                               << kind
+                               << "' (mgcfd|simpic|thermal)");
+      }
+      index_of[spec.name] = static_cast<int>(ec.instances.size());
+      ec.instances.push_back(std::move(spec));
+    } else if (directive == "coupler") {
+      CPX_REQUIRE(tokens.size() >= 4,
+                  "case file line "
+                      << line_no
+                      << ": coupler <sliding|steady> <a> <b> ...");
+      CouplerSpec cu;
+      const std::string& kind = tokens[1];
+      CPX_REQUIRE(kind == "sliding" || kind == "steady",
+                  "case file line " << line_no << ": unknown coupler kind '"
+                                    << kind << "'");
+      cu.kind = kind == "sliding" ? coupler::InterfaceKind::kSlidingPlane
+                                  : coupler::InterfaceKind::kSteadyState;
+      for (int side = 0; side < 2; ++side) {
+        const std::string& ref = tokens[static_cast<std::size_t>(2 + side)];
+        CPX_REQUIRE(index_of.count(ref) == 1,
+                    "case file line " << line_no << ": unknown instance '"
+                                      << ref << "'");
+        (side == 0 ? cu.instance_a : cu.instance_b) = index_of.at(ref);
+      }
+      const auto kv = parse_kv(std::span(tokens).subspan(4), line_no);
+      cu.exchange_every =
+          kv.count("every") != 0
+              ? static_cast<int>(to_int(kv.at("every"), line_no))
+              : (cu.kind == coupler::InterfaceKind::kSlidingPlane ? 1 : 20);
+      if (kv.count("cells") != 0) {
+        cu.interface_cells = to_int(kv.at("cells"), line_no);
+      } else {
+        const std::int64_t smaller = std::min(
+            ec.instances[static_cast<std::size_t>(cu.instance_a)].mesh_cells,
+            ec.instances[static_cast<std::size_t>(cu.instance_b)].mesh_cells);
+        const double fraction =
+            cu.kind == coupler::InterfaceKind::kSlidingPlane
+                ? kSlidingInterfaceFraction
+                : kSteadyInterfaceFraction;
+        cu.interface_cells = std::max<std::int64_t>(
+            1,
+            static_cast<std::int64_t>(static_cast<double>(smaller) * fraction));
+      }
+      cu.name = "cu_" + tokens[2] + "_" + tokens[3];
+      ec.couplers.push_back(std::move(cu));
+    } else {
+      CPX_REQUIRE(false, "case file line " << line_no
+                                           << ": unknown directive '"
+                                           << directive << "'");
+    }
+  }
+  CPX_REQUIRE(!ec.instances.empty(), "case file: no instances defined");
+  return ec;
+}
+
+EngineCase load_engine_case_file(const std::string& path) {
+  std::ifstream in(path);
+  CPX_REQUIRE(in.good(), "load_engine_case_file: cannot open " << path);
+  return load_engine_case(in);
+}
+
+void save_engine_case(std::ostream& out, const EngineCase& ec) {
+  out << "name " << ec.name << "\n"
+      << "pressure_steps_per_density_step "
+      << ec.pressure_steps_per_density_step << "\n"
+      << "coupled_pressure_steps_per_run "
+      << static_cast<long long>(ec.coupled_pressure_steps_per_run) << "\n\n";
+  for (const InstanceSpec& spec : ec.instances) {
+    switch (spec.kind) {
+      case AppKind::kMgcfd:
+        out << "instance mgcfd " << spec.name << " cells=" << spec.mesh_cells
+            << " iters=" << spec.iterations_per_density_step << "\n";
+        break;
+      case AppKind::kThermal:
+        out << "instance thermal " << spec.name
+            << " cells=" << spec.mesh_cells
+            << " iters=" << spec.iterations_per_density_step << "\n";
+        break;
+      case AppKind::kSimpic: {
+        std::string stc;
+        if (spec.stc.name == "Optimized-STC") {
+          stc = "optimized";
+        } else if (spec.stc.proxy_mesh_cells == 28'000'000) {
+          stc = "base-28m";
+        } else if (spec.stc.proxy_mesh_cells == 84'000'000) {
+          stc = "base-84m";
+        } else {
+          stc = "base-380m";
+        }
+        out << "instance simpic " << spec.name << " stc=" << stc << "\n";
+        break;
+      }
+    }
+  }
+  out << "\n";
+  for (const CouplerSpec& cu : ec.couplers) {
+    out << "coupler "
+        << (cu.kind == coupler::InterfaceKind::kSlidingPlane ? "sliding"
+                                                             : "steady")
+        << " " << ec.instances[static_cast<std::size_t>(cu.instance_a)].name
+        << " " << ec.instances[static_cast<std::size_t>(cu.instance_b)].name
+        << " every=" << cu.exchange_every
+        << " cells=" << cu.interface_cells << "\n";
+  }
+}
+
+}  // namespace cpx::workflow

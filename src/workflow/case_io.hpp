@@ -1,0 +1,37 @@
+#pragma once
+// Plain-text engine-case files, so users can define their own coupled
+// simulations for the planner without recompiling. Format (one directive
+// per line, '#' comments):
+//
+//   name My Engine Case
+//   pressure_steps_per_density_step 2
+//   coupled_pressure_steps_per_run 2000
+//
+//   instance mgcfd   rotor1    cells=24000000 [iters=20]
+//   instance simpic  combustor stc=base-380m
+//   instance thermal casing    cells=40000000 [iters=1]
+//
+//   coupler sliding rotor1 combustor [every=1]  [cells=100000]
+//   coupler steady  combustor casing [every=20] [cells=500000]
+//
+// Instance names must be unique; couplers reference them. Coupler `cells`
+// defaults to the paper's interface fractions of the smaller side
+// (sliding: 0.42%, steady: 5%). SIMPIC `stc` values: base-28m, base-84m,
+// base-380m, optimized.
+
+#include <iosfwd>
+#include <string>
+
+#include "workflow/engine_case.hpp"
+
+namespace cpx::workflow {
+
+/// Parses a case description; throws CheckError with the offending line
+/// number on malformed input.
+EngineCase load_engine_case(std::istream& in);
+EngineCase load_engine_case_file(const std::string& path);
+
+/// Writes a case in the same format (round-trips through load).
+void save_engine_case(std::ostream& out, const EngineCase& engine_case);
+
+}  // namespace cpx::workflow

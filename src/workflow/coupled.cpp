@@ -1,0 +1,158 @@
+#include "workflow/coupled.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mgcfd/instance.hpp"
+#include "thermal/instance.hpp"
+#include "simpic/instance.hpp"
+#include "support/check.hpp"
+
+namespace cpx::workflow {
+
+int RankAssignment::total() const {
+  return std::accumulate(app_ranks.begin(), app_ranks.end(), 0) +
+         std::accumulate(cu_ranks.begin(), cu_ranks.end(), 0);
+}
+
+CoupledSimulation::CoupledSimulation(const EngineCase& engine_case,
+                                     const sim::MachineModel& machine,
+                                     const RankAssignment& assignment)
+    : case_(engine_case), machine_(machine), assignment_(assignment) {
+  CPX_REQUIRE(assignment.app_ranks.size() == engine_case.instances.size(),
+              "CoupledSimulation: app rank list size mismatch");
+  CPX_REQUIRE(assignment.cu_ranks.size() == engine_case.couplers.size(),
+              "CoupledSimulation: CU rank list size mismatch");
+
+  cluster_ = std::make_unique<sim::Cluster>(machine, assignment.total());
+
+  // Lay instances out in case order, coupler units after them.
+  sim::Rank next = 0;
+  for (std::size_t i = 0; i < case_.instances.size(); ++i) {
+    const int p = assignment.app_ranks[i];
+    CPX_REQUIRE(p >= 1, "CoupledSimulation: instance "
+                            << case_.instances[i].name << " has no ranks");
+    const sim::RankRange range{next, next + p};
+    next += p;
+    app_ranges_.push_back(range);
+    apps_.push_back(make_app(case_.instances[i], range));
+  }
+  for (std::size_t i = 0; i < case_.couplers.size(); ++i) {
+    const CouplerSpec& spec = case_.couplers[i];
+    const int p = assignment.cu_ranks[i];
+    CPX_REQUIRE(p >= 1, "CoupledSimulation: coupler " << spec.name
+                                                      << " has no ranks");
+    const sim::RankRange range{next, next + p};
+    next += p;
+    cu_ranges_.push_back(range);
+
+    coupler::UnitConfig config;
+    config.kind = spec.kind;
+    config.interface_cells = spec.interface_cells;
+    config.tree_search = spec.tree_search;
+    cus_.push_back(std::make_unique<coupler::CouplerUnit>(
+        spec.name, config, range,
+        *apps_[static_cast<std::size_t>(spec.instance_a)],
+        *apps_[static_cast<std::size_t>(spec.instance_b)]));
+  }
+}
+
+std::unique_ptr<sim::App> CoupledSimulation::make_app(
+    const InstanceSpec& spec, sim::RankRange ranks) const {
+  switch (spec.kind) {
+    case AppKind::kMgcfd:
+      return std::make_unique<mgcfd::Instance>(spec.name, spec.mesh_cells,
+                                               ranks);
+    case AppKind::kSimpic: {
+      const double weight = static_cast<double>(spec.stc.timesteps) /
+                            case_.coupled_pressure_steps_per_run;
+      return std::make_unique<simpic::Instance>(
+          spec.name, spec.stc, ranks, simpic::WorkModel{}, weight);
+    }
+    case AppKind::kThermal:
+      return std::make_unique<thermal::Instance>(spec.name, spec.mesh_cells,
+                                                 ranks);
+  }
+  CPX_CHECK_MSG(false, "make_app: unknown app kind");
+}
+
+void CoupledSimulation::step_instance(int index) {
+  const InstanceSpec& spec =
+      case_.instances[static_cast<std::size_t>(index)];
+  sim::App& app = *apps_[static_cast<std::size_t>(index)];
+  if (spec.kind == AppKind::kSimpic) {
+    for (int s = 0; s < case_.pressure_steps_per_density_step; ++s) {
+      app.step(*cluster_);
+    }
+  } else {
+    for (int it = 0; it < spec.iterations_per_density_step; ++it) {
+      app.step(*cluster_);
+    }
+  }
+}
+
+void CoupledSimulation::run(int density_steps) {
+  CPX_REQUIRE(density_steps >= 1, "run: bad step count");
+  for (int d = 0; d < density_steps; ++d) {
+    const int step_index = density_steps_run_ + d;
+    // Density (and other non-pressure) instances advance first...
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      if (case_.instances[i].kind != AppKind::kSimpic) {
+        step_instance(static_cast<int>(i));
+      }
+    }
+    // ...then the pressure proxy (two pressure steps per density step)...
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      if (case_.instances[i].kind == AppKind::kSimpic) {
+        step_instance(static_cast<int>(i));
+      }
+    }
+    // ...then every coupler whose cadence fires this step.
+    if (coupling_enabled_) {
+      for (std::size_t i = 0; i < cus_.size(); ++i) {
+        if (step_index % case_.couplers[i].exchange_every == 0) {
+          cus_[i]->exchange(*cluster_);
+        }
+      }
+    }
+  }
+  density_steps_run_ += density_steps;
+}
+
+double CoupledSimulation::runtime() const { return cluster_->max_clock(); }
+
+double CoupledSimulation::instance_runtime(int index) const {
+  CPX_REQUIRE(index >= 0 &&
+                  static_cast<std::size_t>(index) < app_ranges_.size(),
+              "instance_runtime: bad index " << index);
+  return cluster_->max_clock(app_ranges_[static_cast<std::size_t>(index)]);
+}
+
+double CoupledSimulation::standalone_runtime(int index,
+                                             int density_steps) const {
+  CPX_REQUIRE(index >= 0 &&
+                  static_cast<std::size_t>(index) < case_.instances.size(),
+              "standalone_runtime: bad index " << index);
+  const InstanceSpec& spec =
+      case_.instances[static_cast<std::size_t>(index)];
+  const int p = assignment_.app_ranks[static_cast<std::size_t>(index)];
+  sim::Cluster cluster(machine_, p);
+  const auto app = make_app(spec, {0, p});
+  const int steps_per_density =
+      spec.kind == AppKind::kSimpic ? case_.pressure_steps_per_density_step
+                                    : spec.iterations_per_density_step;
+  for (int d = 0; d < density_steps; ++d) {
+    for (int s = 0; s < steps_per_density; ++s) {
+      app->step(cluster);
+    }
+  }
+  return cluster.max_clock();
+}
+
+sim::App& CoupledSimulation::app(int index) {
+  CPX_REQUIRE(index >= 0 && static_cast<std::size_t>(index) < apps_.size(),
+              "app: bad index " << index);
+  return *apps_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace cpx::workflow

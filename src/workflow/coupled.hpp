@@ -1,0 +1,80 @@
+#pragma once
+// The coupled mini-app simulation: instantiates an EngineCase on the
+// virtual cluster with a given rank assignment and advances the coupling
+// schedule:
+//   per density step:
+//     * every density instance runs its solver iterations,
+//     * sliding-plane CUs exchange (every density step),
+//     * the pressure proxy runs pressure_steps_per_density_step steps,
+//     * steady-state CUs exchange on their cadence (every 20 steps).
+// Because coupler exchanges move real (virtual-time) messages between the
+// instances' boundary ranks, the simulation progresses at the pace of the
+// slowest component — the load-balancing problem the performance model
+// solves.
+
+#include <memory>
+#include <vector>
+
+#include "cpx/unit.hpp"
+#include "sim/cluster.hpp"
+#include "workflow/engine_case.hpp"
+
+namespace cpx::workflow {
+
+struct RankAssignment {
+  std::vector<int> app_ranks;  ///< per EngineCase instance
+  std::vector<int> cu_ranks;   ///< per EngineCase coupler
+
+  int total() const;
+};
+
+class CoupledSimulation {
+ public:
+  CoupledSimulation(const EngineCase& engine_case,
+                    const sim::MachineModel& machine,
+                    const RankAssignment& assignment);
+
+  /// Advances the schedule; cumulative (can be called repeatedly).
+  void run(int density_steps);
+
+  int density_steps_run() const { return density_steps_run_; }
+
+  /// Total coupled runtime so far (max clock over all ranks).
+  double runtime() const;
+
+  /// Coupled runtime of one instance (max clock over its ranks).
+  double instance_runtime(int index) const;
+
+  /// Disables/enables coupler exchanges. Running the same case once with
+  /// and once without coupling isolates the coupling overhead of §V-B:
+  ///   overhead = (T_coupled - T_uncoupled) / T_coupled.
+  void set_coupling_enabled(bool enabled) { coupling_enabled_ = enabled; }
+
+  /// Runtime of instance `index` run alone on a fresh cluster with the
+  /// same rank count and the same number of density steps (the per-
+  /// instance "actual" of Fig 8a / Fig 9a).
+  double standalone_runtime(int index, int density_steps) const;
+
+  const EngineCase& engine_case() const { return case_; }
+  const RankAssignment& assignment() const { return assignment_; }
+  sim::Cluster& cluster() { return *cluster_; }
+  sim::App& app(int index);
+
+ private:
+  std::unique_ptr<sim::App> make_app(const InstanceSpec& spec,
+                                     sim::RankRange ranks) const;
+  void step_instance(int index);
+
+  EngineCase case_;
+  sim::MachineModel machine_;
+  RankAssignment assignment_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::vector<std::unique_ptr<sim::App>> apps_;
+  std::vector<sim::RankRange> app_ranges_;
+  std::vector<std::unique_ptr<coupler::CouplerUnit>> cus_;
+  std::vector<sim::RankRange> cu_ranges_;
+  int density_steps_run_ = 0;
+  bool coupling_enabled_ = true;
+};
+
+}  // namespace cpx::workflow

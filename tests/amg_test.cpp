@@ -1,0 +1,366 @@
+// Tests for the AMG module: smoother convergence, aggregation invariants,
+// hierarchy setup across all interpolation/smoother/cycle variants, and
+// AMG-preconditioned CG beating plain CG — the numerical backbone of the
+// pressure-solver surrogate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "amg/aggregation.hpp"
+#include "amg/hierarchy.hpp"
+#include "amg/pcg.hpp"
+#include "amg/smoothers.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace cpx::amg {
+namespace {
+
+double residual_norm(const sparse::CsrMatrix& a, std::span<const double> x,
+                     std::span<const double> b) {
+  std::vector<double> r(x.size());
+  residual(a, x, b, r);
+  double s = 0.0;
+  for (double v : r) {
+    s += v * v;
+  }
+  return std::sqrt(s);
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = rng.uniform(-1.0, 1.0);
+  }
+  return v;
+}
+
+class SmootherConvergence
+    : public ::testing::TestWithParam<SmootherKind> {};
+
+TEST_P(SmootherConvergence, ReducesResidualMonotonically) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(12, 12);
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 1);
+  std::vector<double> x(n, 0.0);
+  std::vector<double> scratch(n);
+  SmootherOptions opt;
+  opt.kind = GetParam();
+  double prev = residual_norm(a, x, b);
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    smooth(a, x, b, opt, scratch);
+    const double now = residual_norm(a, x, b);
+    EXPECT_LE(now, prev * 1.0001) << "sweep " << sweep;
+    prev = now;
+  }
+  EXPECT_LT(prev, 0.7 * residual_norm(a, std::vector<double>(n, 0.0), b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SmootherConvergence,
+                         ::testing::Values(SmootherKind::kJacobi,
+                                           SmootherKind::kGaussSeidel,
+                                           SmootherKind::kHybridGs,
+                                           SmootherKind::kL1Jacobi));
+
+TEST(Smoother, GaussSeidelBeatsJacobiPerSweep) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(16, 16);
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 2);
+  std::vector<double> xj(n, 0.0);
+  std::vector<double> xg(n, 0.0);
+  std::vector<double> scratch(n);
+  SmootherOptions jac{SmootherKind::kJacobi, 0.7, 8};
+  SmootherOptions gs{SmootherKind::kGaussSeidel, 0.7, 8};
+  for (int s = 0; s < 10; ++s) {
+    smooth(a, xj, b, jac, scratch);
+    smooth(a, xg, b, gs, scratch);
+  }
+  EXPECT_LT(residual_norm(a, xg, b), residual_norm(a, xj, b));
+}
+
+TEST(Smoother, HybridGsBetweenJacobiAndGs) {
+  // With one block Hybrid GS *is* GS; with n blocks it approaches Jacobi.
+  const sparse::CsrMatrix a = sparse::laplacian_1d(64);
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 3);
+  std::vector<double> x_gs(n, 0.0);
+  std::vector<double> x_hyb1(n, 0.0);
+  std::vector<double> scratch(n);
+  SmootherOptions gs{SmootherKind::kGaussSeidel, 1.0, 1};
+  SmootherOptions hyb1{SmootherKind::kHybridGs, 1.0, 1};
+  smooth(a, x_gs, b, gs, scratch);
+  smooth(a, x_hyb1, b, hyb1, scratch);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_gs[i], x_hyb1[i], 1e-14);
+  }
+}
+
+TEST(Aggregation, StrengthGraphDropsWeakAndDiagonal) {
+  // Anisotropic 2-point stencil: strong in x (-1), weak in y (-0.01).
+  std::vector<sparse::Triplet> t;
+  const auto id = [](std::int64_t i, std::int64_t j) { return j * 4 + i; };
+  for (std::int64_t j = 0; j < 4; ++j) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      const std::int64_t c = id(i, j);
+      t.push_back({c, c, 2.02});
+      if (i > 0) {
+        t.push_back({c, id(i - 1, j), -1.0});
+      }
+      if (i + 1 < 4) {
+        t.push_back({c, id(i + 1, j), -1.0});
+      }
+      if (j > 0) {
+        t.push_back({c, id(i, j - 1), -0.01});
+      }
+      if (j + 1 < 4) {
+        t.push_back({c, id(i, j + 1), -0.01});
+      }
+    }
+  }
+  const sparse::CsrMatrix a = sparse::csr_from_triplets(16, 16, t);
+  const sparse::CsrMatrix s = strength_graph(a, 0.25);
+  for (std::int64_t r = 0; r < 16; ++r) {
+    EXPECT_DOUBLE_EQ(s.at(r, r), 0.0);  // no diagonal
+  }
+  // Strong x-connections kept, weak y-connections dropped.
+  EXPECT_NE(s.at(id(1, 0), id(0, 0)), 0.0);
+  EXPECT_EQ(s.at(id(0, 1), id(0, 0)), 0.0);
+}
+
+TEST(Aggregation, EveryNodeAssignedExactlyOnce) {
+  const sparse::CsrMatrix a = sparse::laplacian_3d(6, 6, 6);
+  const Aggregation agg = aggregate_greedy(strength_graph(a, 0.08));
+  EXPECT_GT(agg.num_aggregates, 0);
+  EXPECT_LT(agg.num_aggregates, a.rows());
+  for (std::int32_t g : agg.aggregate_of) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, agg.num_aggregates);
+  }
+}
+
+TEST(Aggregation, TentativeProlongatorPartitionsUnity) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(10, 10);
+  const Aggregation agg = aggregate_greedy(strength_graph(a, 0.08));
+  const sparse::CsrMatrix p = tentative_prolongator(agg, a.rows());
+  // Each row has exactly one unit entry.
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    ASSERT_EQ(p.row_cols(r).size(), 1u);
+    EXPECT_DOUBLE_EQ(p.row_values(r)[0], 1.0);
+  }
+}
+
+TEST(Aggregation, ExtendedInterpolationIsDenserThanSmoothed) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(12, 12);
+  const Aggregation agg = aggregate_greedy(strength_graph(a, 0.08));
+  const auto tentative =
+      build_interpolation(a, agg, InterpKind::kTentative);
+  const auto smoothed = build_interpolation(a, agg, InterpKind::kSmoothed);
+  const auto extended = build_interpolation(a, agg, InterpKind::kExtended);
+  EXPECT_GT(smoothed.nnz(), tentative.nnz());
+  EXPECT_GT(extended.nnz(), smoothed.nnz());
+}
+
+using HierarchyParams = std::tuple<InterpKind, SmootherKind, CycleKind>;
+
+class HierarchyVariants : public ::testing::TestWithParam<HierarchyParams> {};
+
+TEST_P(HierarchyVariants, SolvesPoissonProblem) {
+  const auto [interp, smoother, cycle] = GetParam();
+  const sparse::CsrMatrix a = sparse::laplacian_2d(20, 20);
+  AmgOptions opt;
+  opt.interp = interp;
+  opt.smoother.kind = smoother;
+  opt.cycle = cycle;
+  opt.coarse_size = 16;
+  AmgHierarchy h(a, opt);
+  EXPECT_GE(h.num_levels(), 2);
+
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 5);
+  std::vector<double> x(n, 0.0);
+  // Budget sized for the slowest variant (tentative interpolation with
+  // Jacobi smoothing); the better variants converge in a handful of cycles.
+  const int cycles = h.solve(x, b, 1e-8, 200);
+  EXPECT_LE(cycles, 200) << "did not converge";
+  EXPECT_LT(residual_norm(a, x, b), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, HierarchyVariants,
+    ::testing::Combine(::testing::Values(InterpKind::kTentative,
+                                         InterpKind::kSmoothed,
+                                         InterpKind::kExtended),
+                       ::testing::Values(SmootherKind::kJacobi,
+                                         SmootherKind::kHybridGs,
+                                         SmootherKind::kGaussSeidel),
+                       ::testing::Values(CycleKind::kV, CycleKind::kW,
+                                         CycleKind::kK)));
+
+TEST(Hierarchy, WCycleConvergesAtLeastAsFastAsVCycle) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(40, 40);
+  AmgOptions v;
+  v.cycle = CycleKind::kV;
+  AmgOptions w;
+  w.cycle = CycleKind::kW;
+  AmgHierarchy hv(a, v);
+  AmgHierarchy hw(a, w);
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 21);
+  std::vector<double> xv(n, 0.0);
+  std::vector<double> xw(n, 0.0);
+  const int cv = hv.solve(xv, b, 1e-8, 100);
+  const int cw = hw.solve(xw, b, 1e-8, 100);
+  EXPECT_LE(cw, cv);
+}
+
+TEST(Hierarchy, SpgemmChoiceDoesNotChangeResult) {
+  const sparse::CsrMatrix a = sparse::laplacian_3d(8, 8, 8);
+  AmgOptions two;
+  two.spgemm = SpgemmKind::kTwoPass;
+  AmgOptions spa;
+  spa.spgemm = SpgemmKind::kSpa;
+  AmgHierarchy h_two(a, two);
+  AmgHierarchy h_spa(a, spa);
+  ASSERT_EQ(h_two.num_levels(), h_spa.num_levels());
+  for (int l = 0; l < h_two.num_levels(); ++l) {
+    EXPECT_NEAR(
+        sparse::frobenius_distance(h_two.level(l).a, h_spa.level(l).a), 0.0,
+        1e-10);
+  }
+}
+
+TEST(Hierarchy, OperatorComplexityIsModest) {
+  const sparse::CsrMatrix a = sparse::laplacian_3d(10, 10, 10);
+  AmgOptions opt;
+  opt.interp = InterpKind::kSmoothed;
+  AmgHierarchy h(a, opt);
+  EXPECT_GT(h.operator_complexity(), 1.0);
+  EXPECT_LT(h.operator_complexity(), 3.5);
+}
+
+TEST(Hierarchy, SmoothedConvergesFasterThanTentative) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(30, 30);
+  AmgOptions tent;
+  tent.interp = InterpKind::kTentative;
+  AmgOptions smoothed;
+  smoothed.interp = InterpKind::kSmoothed;
+  AmgHierarchy ht(a, tent);
+  AmgHierarchy hs(a, smoothed);
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 6);
+  std::vector<double> xt(n, 0.0);
+  std::vector<double> xs(n, 0.0);
+  const int ct = ht.solve(xt, b, 1e-8, 100);
+  const int cs = hs.solve(xs, b, 1e-8, 100);
+  EXPECT_LT(cs, ct);
+}
+
+TEST(Aggregation, TruncationPreservesRowSumsAndSparsifies) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(14, 14);
+  const Aggregation agg = aggregate_greedy(strength_graph(a, 0.08));
+  const sparse::CsrMatrix p =
+      build_interpolation(a, agg, InterpKind::kExtended);
+  const sparse::CsrMatrix pt = truncate_prolongator(p, 0.15);
+  EXPECT_LT(pt.nnz(), p.nnz());
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    double before = 0.0;
+    for (double v : p.row_values(r)) {
+      before += v;
+    }
+    double after = 0.0;
+    for (double v : pt.row_values(r)) {
+      after += v;
+    }
+    EXPECT_NEAR(before, after, 1e-12) << "row " << r;
+  }
+  // threshold 0 is the identity.
+  EXPECT_NEAR(sparse::frobenius_distance(truncate_prolongator(p, 0.0), p),
+              0.0, 1e-15);
+}
+
+TEST(Hierarchy, TruncationCutsOperatorComplexity) {
+  const sparse::CsrMatrix a = sparse::laplacian_3d(12, 12, 12);
+  AmgOptions dense_opt;
+  dense_opt.interp = InterpKind::kExtended;
+  AmgOptions trunc_opt = dense_opt;
+  trunc_opt.interp_truncation = 0.4;
+  AmgHierarchy h_dense(a, dense_opt);
+  AmgHierarchy h_trunc(a, trunc_opt);
+  // Aggressive truncation cuts the stored hierarchy substantially (the
+  // cost is a few extra cycles, checked below).
+  EXPECT_LT(h_trunc.operator_complexity(),
+            0.7 * h_dense.operator_complexity());
+
+  // And the truncated hierarchy still solves the problem.
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 31);
+  std::vector<double> x(n, 0.0);
+  const int cycles = h_trunc.solve(x, b, 1e-8, 100);
+  EXPECT_LE(cycles, 100);
+}
+
+TEST(Pcg, UnpreconditionedSolvesSmallSystem) {
+  const sparse::CsrMatrix a = sparse::laplacian_1d(50);
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b(n, 1.0);
+  std::vector<double> x(n, 0.0);
+  const PcgResult res = pcg(a, x, b, 1e-10, 200);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-7);
+}
+
+TEST(Pcg, AmgPreconditionerCutsIterations) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(32, 32);
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 9);
+
+  std::vector<double> x_plain(n, 0.0);
+  const PcgResult plain = pcg(a, x_plain, b, 1e-8, 2000);
+  ASSERT_TRUE(plain.converged);
+
+  AmgOptions opt;
+  AmgHierarchy h(a, opt);
+  std::vector<double> x_amg(n, 0.0);
+  const PcgResult amg =
+      pcg(a, x_amg, b, 1e-8, 2000, make_amg_preconditioner(h));
+  ASSERT_TRUE(amg.converged);
+  EXPECT_LT(amg.iterations, plain.iterations / 3)
+      << "AMG should dramatically cut CG iterations";
+}
+
+TEST(Pcg, JacobiPreconditionerHelpsScaledSystem) {
+  // Badly scaled diagonal: Jacobi normalises it.
+  std::vector<sparse::Triplet> t;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    t.push_back({i, i, i % 2 == 0 ? 1.0 : 1000.0});
+    if (i > 0) {
+      t.push_back({i, i - 1, -0.1});
+      t.push_back({i - 1, i, -0.1});
+    }
+  }
+  const sparse::CsrMatrix a = sparse::csr_from_triplets(100, 100, t);
+  const std::vector<double> b(100, 1.0);
+  std::vector<double> x0(100, 0.0);
+  std::vector<double> x1(100, 0.0);
+  const PcgResult plain = pcg(a, x0, b, 1e-10, 500);
+  const PcgResult jac =
+      pcg(a, x1, b, 1e-10, 500, make_jacobi_preconditioner(a));
+  EXPECT_TRUE(jac.converged);
+  EXPECT_LE(jac.iterations, plain.iterations);
+}
+
+TEST(Pcg, ZeroRhsReturnsImmediately) {
+  const sparse::CsrMatrix a = sparse::laplacian_1d(10);
+  std::vector<double> x(10, 0.0);
+  const std::vector<double> b(10, 0.0);
+  const PcgResult res = pcg(a, x, b, 1e-10, 10);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+}  // namespace
+}  // namespace cpx::amg

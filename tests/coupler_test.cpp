@@ -1,0 +1,471 @@
+// Tests for the CPX coupler: k-d tree vs brute-force search equivalence
+// and complexity, inverse-distance interpolation properties, sliding-plane
+// rotation, and the coupler-unit performance model on the virtual cluster.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpx/field_coupler.hpp"
+#include "cpx/interpolation.hpp"
+#include "cpx/search.hpp"
+#include "cpx/unit.hpp"
+#include "mgcfd/distributed.hpp"
+#include "mgcfd/instance.hpp"
+#include "sim/cluster.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace cpx::coupler {
+namespace {
+
+std::vector<mesh::Vec3> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<mesh::Vec3> pts(n);
+  for (auto& p : pts) {
+    p = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+         rng.uniform(-1.0, 1.0)};
+  }
+  return pts;
+}
+
+class KdTreeVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdTreeVsBrute, SameNearestNeighbour) {
+  const auto pts = random_points(static_cast<std::size_t>(GetParam()), 17);
+  const KdTree tree(pts);
+  Rng rng(99);
+  for (int q = 0; q < 200; ++q) {
+    const mesh::Vec3 query{rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2),
+                           rng.uniform(-1.2, 1.2)};
+    const std::int64_t brute = nearest_brute(pts, query);
+    const std::int64_t fast = tree.nearest(query);
+    // Indices may differ only on exact ties; distances must match.
+    EXPECT_NEAR(distance_squared(pts[static_cast<std::size_t>(fast)], query),
+                distance_squared(pts[static_cast<std::size_t>(brute)], query),
+                1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeVsBrute,
+                         ::testing::Values(1, 2, 10, 100, 5000));
+
+TEST(KdTree, VisitsLogarithmicallyFewNodes) {
+  const auto pts = random_points(100'000, 3);
+  const KdTree tree(pts);
+  Rng rng(5);
+  std::int64_t total_visited = 0;
+  const int queries = 100;
+  for (int q = 0; q < queries; ++q) {
+    tree.nearest({rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+                  rng.uniform(-1.0, 1.0)});
+    total_visited += tree.last_visited();
+  }
+  // Expected ~log2(1e5) * small constant, certainly far below n.
+  EXPECT_LT(total_visited / queries, 2000);
+}
+
+TEST(KdTree, ExactHitFindsItself) {
+  const auto pts = random_points(1000, 7);
+  const KdTree tree(pts);
+  for (std::size_t i = 0; i < pts.size(); i += 97) {
+    EXPECT_EQ(tree.nearest(pts[i]), static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Idw, WeightsArePartitionOfUnity) {
+  const auto donors = random_points(500, 21);
+  const auto targets = random_points(50, 22);
+  const auto stencils = build_idw_stencils(donors, targets, 4);
+  ASSERT_EQ(stencils.size(), targets.size());
+  for (const Stencil& s : stencils) {
+    EXPECT_EQ(s.donors.size(), 4u);
+    double sum = 0.0;
+    for (double w : s.weights) {
+      EXPECT_GE(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Idw, ReproducesConstantFieldExactly) {
+  const auto donors = random_points(300, 31);
+  const auto targets = random_points(40, 32);
+  const auto stencils = build_idw_stencils(donors, targets, 4);
+  const std::vector<double> field(donors.size(), 3.25);
+  std::vector<double> out(targets.size());
+  apply_stencils(stencils, field, out);
+  for (double v : out) {
+    EXPECT_NEAR(v, 3.25, 1e-12);
+  }
+}
+
+TEST(Idw, ExactHitInjectsDonorValue) {
+  const auto donors = random_points(100, 41);
+  const std::vector<mesh::Vec3> targets = {donors[7]};
+  const auto stencils = build_idw_stencils(donors, targets, 4);
+  std::vector<double> field(donors.size(), 0.0);
+  field[7] = 42.0;
+  std::vector<double> out(1);
+  apply_stencils(stencils, field, out);
+  EXPECT_DOUBLE_EQ(out[0], 42.0);
+}
+
+TEST(Idw, SmoothFieldInterpolatedAccurately) {
+  // Dense donors, linear field: IDW should be close (not exact).
+  const auto donors = random_points(20'000, 51);
+  const auto targets = random_points(20, 52);
+  const auto stencils = build_idw_stencils(donors, targets, 4);
+  std::vector<double> field(donors.size());
+  for (std::size_t i = 0; i < donors.size(); ++i) {
+    field[i] = 2.0 * donors[i].x - donors[i].y + 0.5 * donors[i].z;
+  }
+  std::vector<double> out(targets.size());
+  apply_stencils(stencils, field, out);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const double expected =
+        2.0 * targets[t].x - targets[t].y + 0.5 * targets[t].z;
+    EXPECT_NEAR(out[t], expected, 0.08);
+  }
+}
+
+TEST(Idw, ConservativeTransferPreservesTotals) {
+  const auto donors = random_points(200, 91);
+  const auto targets = random_points(350, 92);
+  const auto consistent = build_idw_stencils(donors, targets, 4);
+  const auto conservative =
+      make_conservative(consistent, donors.size());
+
+  Rng rng(93);
+  std::vector<double> field(donors.size());
+  double donor_sum = 0.0;
+  for (double& v : field) {
+    v = rng.uniform(0.0, 2.0);
+  }
+  // Only donors actually reached by some stencil can be conserved.
+  std::vector<bool> reached(donors.size(), false);
+  for (const Stencil& s : conservative) {
+    for (std::int64_t d : s.donors) {
+      reached[static_cast<std::size_t>(d)] = true;
+    }
+  }
+  for (std::size_t d = 0; d < donors.size(); ++d) {
+    if (reached[d]) {
+      donor_sum += field[d];
+    }
+  }
+  std::vector<double> out(targets.size());
+  apply_stencils(conservative, field, out);
+  double target_sum = 0.0;
+  for (double v : out) {
+    target_sum += v;
+  }
+  EXPECT_NEAR(target_sum, donor_sum, 1e-9 * donor_sum);
+
+  // The consistent stencils, by contrast, preserve constants but not sums.
+  std::vector<double> ones(donors.size(), 1.0);
+  apply_stencils(consistent, ones, out);
+  for (double v : out) {
+    EXPECT_NEAR(v, 1.0, 1e-12);
+  }
+}
+
+TEST(RotateZ, PreservesRadiusAndZ) {
+  const auto pts = random_points(100, 61);
+  const auto rotated = rotate_z(pts, 0.3);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double r0 = std::hypot(pts[i].x, pts[i].y);
+    const double r1 = std::hypot(rotated[i].x, rotated[i].y);
+    EXPECT_NEAR(r0, r1, 1e-12);
+    EXPECT_DOUBLE_EQ(pts[i].z, rotated[i].z);
+  }
+}
+
+TEST(RotateZ, FullTurnIsIdentity) {
+  const auto pts = random_points(20, 62);
+  const auto rotated = rotate_z(pts, 2.0 * 3.14159265358979323846);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(pts[i].x, rotated[i].x, 1e-9);
+    EXPECT_NEAR(pts[i].y, rotated[i].y, 1e-9);
+  }
+}
+
+// --- Functional field coupling ---
+
+TEST(FieldCoupler, ExtractsInterfaceBand) {
+  const mesh::UnstructuredMesh m =
+      mesh::make_annulus_mesh(6, 24, 10, 1.0, 2.0, 60.0, 1.0);
+  // One axial layer of cells sits near z = 0.05 (dz = 0.1).
+  const auto cells = extract_plane_cells(m, 0.05, 0.035);
+  EXPECT_EQ(static_cast<int>(cells.size()), 6 * 24);
+  for (mesh::CellId c : cells) {
+    EXPECT_LT(std::abs(m.centroids()[static_cast<std::size_t>(c)].z - 0.05),
+              0.05);
+  }
+}
+
+TEST(FieldCoupler, TransfersConstantExactly) {
+  const auto donors = random_points(400, 71);
+  const auto targets = random_points(60, 72);
+  FieldCoupler fc(donors, targets, InterfaceKind::kSteadyState);
+  const std::vector<double> field(donors.size(), 7.5);
+  std::vector<double> out(targets.size());
+  fc.transfer(field, out);
+  for (double v : out) {
+    EXPECT_NEAR(v, 7.5, 1e-12);
+  }
+}
+
+TEST(FieldCoupler, SteadyMapsOnceSlidingRemapsWhenMoved) {
+  const auto donors = random_points(200, 73);
+  const auto targets = random_points(50, 74);
+  std::vector<double> field(donors.size(), 1.0);
+  std::vector<double> out(targets.size());
+
+  FieldCoupler steady(donors, targets, InterfaceKind::kSteadyState);
+  steady.transfer(field, out);
+  steady.transfer(field, out);
+  steady.transfer(field, out);
+  EXPECT_EQ(steady.remap_count(), 1);
+
+  FieldCoupler sliding(donors, targets, InterfaceKind::kSlidingPlane);
+  sliding.transfer(field, out);
+  sliding.advance_rotation(0.01);
+  sliding.transfer(field, out);
+  sliding.advance_rotation(0.01);
+  sliding.transfer(field, out);
+  EXPECT_EQ(sliding.remap_count(), 3);
+  // No motion between transfers: no remap.
+  sliding.transfer(field, out);
+  EXPECT_EQ(sliding.remap_count(), 3);
+}
+
+TEST(FieldCoupler, RotationallySymmetricFieldIsRotationInvariant) {
+  // Donor field depending only on radius: transferring before and after a
+  // donor-side rotation must give the same target values.
+  const mesh::UnstructuredMesh donor_mesh =
+      mesh::make_annulus_mesh(16, 96, 1, 1.0, 2.0, 360.0, 0.1);
+  const mesh::UnstructuredMesh target_mesh =
+      mesh::make_annulus_mesh(12, 72, 1, 1.0, 2.0, 360.0, 0.1, 77);
+  const auto donors = donor_mesh.centroids();
+  const auto targets = target_mesh.centroids();
+  std::vector<double> field(donors.size());
+  for (std::size_t i = 0; i < donors.size(); ++i) {
+    field[i] = std::hypot(donors[i].x, donors[i].y);  // radius
+  }
+  FieldCoupler fc(donors, targets, InterfaceKind::kSlidingPlane);
+  std::vector<double> before(targets.size());
+  fc.transfer(field, before);
+  fc.advance_rotation(0.37);
+  std::vector<double> after(targets.size());
+  fc.transfer(field, after);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    // Tolerance ~ the radial donor spacing: the rotated stencil samples
+    // different donors, so values agree to interpolation accuracy.
+    EXPECT_NEAR(before[t], after[t], 0.04) << "target " << t;
+  }
+}
+
+TEST(FieldCoupler, SmoothFieldAccuracyAcrossMeshes) {
+  // Transfer a smooth azimuthal field between two differently refined
+  // annulus interfaces and check pointwise accuracy.
+  const mesh::UnstructuredMesh donor_mesh =
+      mesh::make_annulus_mesh(10, 96, 1, 1.0, 2.0, 360.0, 0.05);
+  const mesh::UnstructuredMesh target_mesh =
+      mesh::make_annulus_mesh(7, 64, 1, 1.0, 2.0, 360.0, 0.05, 5);
+  const auto donors = donor_mesh.centroids();
+  const auto targets = target_mesh.centroids();
+  std::vector<double> field(donors.size());
+  for (std::size_t i = 0; i < donors.size(); ++i) {
+    field[i] = std::atan2(donors[i].y, donors[i].x);
+  }
+  FieldCoupler fc(donors, targets, InterfaceKind::kSteadyState);
+  std::vector<double> out(targets.size());
+  fc.transfer(field, out);
+  int checked = 0;
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const double expected = std::atan2(targets[t].y, targets[t].x);
+    // Skip the branch cut of atan2.
+    if (std::abs(expected) > 2.8) {
+      continue;
+    }
+    EXPECT_NEAR(out[t], expected, 0.1) << "target " << t;
+    ++checked;
+  }
+  EXPECT_GT(checked, 300);
+}
+
+TEST(FieldCoupler, RejectsBadUsage) {
+  const auto donors = random_points(10, 81);
+  const auto targets = random_points(10, 82);
+  FieldCoupler steady(donors, targets, InterfaceKind::kSteadyState);
+  EXPECT_THROW(steady.advance_rotation(0.1), CheckError);
+  std::vector<double> small(3);
+  std::vector<double> out(targets.size());
+  EXPECT_THROW(steady.transfer(small, out), CheckError);
+}
+
+TEST(FieldCoupler, EndToEndCoupledRowsTransferPhysics) {
+  // Integration: two real distributed Euler rows coupled through the
+  // field coupler. Uniform flow must stay uniform (exact constant
+  // transfer + free-stream fixed point); a density pulse at the upstream
+  // exit must appear at the downstream inlet after transfer.
+  const mesh::UnstructuredMesh row =
+      mesh::make_annulus_mesh(5, 16, 8, 1.0, 2.0, 30.0, 1.0);
+  const double dz = 1.0 / 8.0;
+  mgcfd::EulerOptions euler;
+  euler.mg_levels = 1;
+  euler.cfl = 0.4;
+  mgcfd::DistributedSolver upstream(row, 3, euler);
+  mgcfd::DistributedSolver downstream(row, 3, euler);
+  const mgcfd::State inf = mgcfd::freestream(0.4, 1.0, 1.0, {0, 0, 1});
+  upstream.set_uniform(inf);
+  downstream.set_uniform(inf);
+
+  const auto exit_cells = extract_plane_cells(row, 1.0 - dz / 2, dz / 2.5);
+  const auto inlet_cells = extract_plane_cells(row, dz / 2, dz / 2.5);
+  ASSERT_FALSE(exit_cells.empty());
+  auto targets = gather_centroids(row, inlet_cells);
+  for (auto& p : targets) {
+    p.z += 1.0 - dz;
+  }
+  FieldCoupler fc(gather_centroids(row, exit_cells), targets,
+                  InterfaceKind::kSteadyState);
+
+  const auto couple_once = [&]() {
+    const auto u = upstream.gather_solution();
+    std::vector<double> donor(exit_cells.size());
+    std::vector<double> target(inlet_cells.size());
+    std::vector<mgcfd::State> states(inlet_cells.size());
+    for (int k = 0; k < 5; ++k) {
+      for (std::size_t i = 0; i < exit_cells.size(); ++i) {
+        donor[i] = u[static_cast<std::size_t>(exit_cells[i])]
+                    [static_cast<std::size_t>(k)];
+      }
+      fc.transfer(donor, target);
+      for (std::size_t i = 0; i < inlet_cells.size(); ++i) {
+        states[i][static_cast<std::size_t>(k)] = target[i];
+      }
+    }
+    for (std::size_t i = 0; i < inlet_cells.size(); ++i) {
+      downstream.set_cell(inlet_cells[i], states[i]);
+    }
+  };
+
+  // Phase 1: uniform flow stays uniform under coupling.
+  for (int s = 0; s < 5; ++s) {
+    upstream.step();
+    downstream.step();
+    couple_once();
+  }
+  for (const mgcfd::State& u : downstream.gather_solution()) {
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_NEAR(u[static_cast<std::size_t>(k)],
+                  inf[static_cast<std::size_t>(k)], 1e-9);
+    }
+  }
+
+  // Phase 2: a pulse at the upstream exit crosses the interface.
+  for (mesh::CellId c : exit_cells) {
+    mgcfd::State bumped = inf;
+    bumped[0] *= 1.05;
+    bumped[4] *= 1.05;
+    upstream.set_cell(c, bumped);
+  }
+  upstream.step();
+  downstream.step();
+  couple_once();
+  double inlet_rho = 0.0;
+  const auto d = downstream.gather_solution();
+  for (mesh::CellId c : inlet_cells) {
+    inlet_rho += d[static_cast<std::size_t>(c)][0];
+  }
+  inlet_rho /= static_cast<double>(inlet_cells.size());
+  EXPECT_GT(inlet_rho, 1.02 * inf[0]);
+}
+
+// --- Coupler unit on the virtual cluster ---
+
+struct UnitFixture {
+  sim::Cluster cluster{sim::MachineModel::archer2(), 300};
+  mgcfd::Instance a{"a", 8'000'000, {0, 128}};
+  mgcfd::Instance b{"b", 8'000'000, {128, 256}};
+};
+
+TEST(CouplerUnit, ExchangeAdvancesClocksOnBothSides) {
+  UnitFixture f;
+  UnitConfig cfg;
+  cfg.interface_cells = 50'000;
+  CouplerUnit cu("cu_test", cfg, {256, 300}, f.a, f.b);
+  cu.exchange(f.cluster);
+  EXPECT_GT(f.cluster.clock(0), 0.0);    // side A boundary
+  EXPECT_GT(f.cluster.clock(128), 0.0);  // side B boundary
+  EXPECT_GT(f.cluster.clock(256), 0.0);  // CU rank
+}
+
+TEST(CouplerUnit, SlidingRemapsEveryExchangeSteadyOnlyOnce) {
+  UnitFixture fs;
+  UnitConfig sliding;
+  sliding.kind = InterfaceKind::kSlidingPlane;
+  sliding.interface_cells = 200'000;
+  CouplerUnit cu_s("cu_s", sliding, {256, 300}, fs.a, fs.b);
+  cu_s.exchange(fs.cluster);
+  const double t1 = fs.cluster.max_clock({256, 300});
+  cu_s.exchange(fs.cluster);
+  const double sliding_second = fs.cluster.max_clock({256, 300}) - t1;
+
+  UnitFixture ft;
+  UnitConfig steady = sliding;
+  steady.kind = InterfaceKind::kSteadyState;
+  CouplerUnit cu_t("cu_t", steady, {256, 300}, ft.a, ft.b);
+  cu_t.exchange(ft.cluster);
+  const double u1 = ft.cluster.max_clock({256, 300});
+  cu_t.exchange(ft.cluster);
+  const double steady_second = ft.cluster.max_clock({256, 300}) - u1;
+
+  // After the first exchange the steady interface skips the mapping.
+  EXPECT_LT(steady_second, 0.8 * sliding_second);
+}
+
+TEST(CouplerUnit, TreeSearchBeatsBruteForce) {
+  UnitFixture f;
+  UnitConfig tree;
+  tree.interface_cells = 500'000;
+  tree.tree_search = true;
+  UnitConfig brute = tree;
+  brute.tree_search = false;
+  CouplerUnit cu_tree("cu_tree", tree, {256, 300}, f.a, f.b);
+  CouplerUnit cu_brute("cu_brute", brute, {256, 300}, f.a, f.b);
+  const double t_tree = cu_tree.mapping_seconds(f.cluster);
+  const double t_brute = cu_brute.mapping_seconds(f.cluster);
+  EXPECT_GT(t_brute / t_tree, 100.0);
+}
+
+TEST(CouplerUnit, MoreCuRanksCutMappingTime) {
+  UnitFixture f;
+  UnitConfig cfg;
+  cfg.interface_cells = 500'000;
+  CouplerUnit small("cu1", cfg, {256, 260}, f.a, f.b);
+  CouplerUnit large("cu2", cfg, {256, 300}, f.a, f.b);
+  EXPECT_GT(small.mapping_seconds(f.cluster),
+            5.0 * large.mapping_seconds(f.cluster));
+}
+
+TEST(CouplerUnit, ResetRestoresMappingLatch) {
+  UnitFixture f;
+  UnitConfig steady;
+  steady.kind = InterfaceKind::kSteadyState;
+  steady.interface_cells = 200'000;
+  CouplerUnit cu("cu", steady, {256, 300}, f.a, f.b);
+  cu.exchange(f.cluster);
+  const double t1 = f.cluster.max_clock({256, 300});
+  cu.reset();
+  cu.exchange(f.cluster);
+  // Second exchange remaps again after reset, costing as much compute.
+  const double second = f.cluster.max_clock({256, 300}) - t1;
+  EXPECT_GT(second, 0.5 * t1);
+}
+
+}  // namespace
+}  // namespace cpx::coupler

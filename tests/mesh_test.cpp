@@ -1,0 +1,246 @@
+// Tests for meshes, partitioning, halos, coarsening, and the analytic
+// partition-statistics model (including its validation against measured
+// RCB partitions — the property the paper-scale runs depend on).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "mesh/coarsen.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/partition.hpp"
+#include "mesh/stats.hpp"
+#include "support/check.hpp"
+
+namespace cpx::mesh {
+namespace {
+
+TEST(Mesh, BoxMeshCountsAndDegrees) {
+  const UnstructuredMesh m = make_box_mesh(4, 3, 2);
+  EXPECT_EQ(m.num_cells(), 24);
+  // Edge count of a structured box: 3*n - boundary deficits.
+  EXPECT_EQ(m.num_edges(), (4 - 1) * 3 * 2 + 4 * (3 - 1) * 2 + 4 * 3 * (2 - 1));
+  // Interior cell of a big box has degree 6.
+  const UnstructuredMesh big = make_box_mesh(5, 5, 5);
+  bool found_degree6 = false;
+  for (CellId c = 0; c < big.num_cells(); ++c) {
+    if (big.degree(c) == 6) {
+      found_degree6 = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_degree6);
+}
+
+TEST(Mesh, JitterIsDeterministic) {
+  const UnstructuredMesh a = make_box_mesh(3, 3, 3, 99);
+  const UnstructuredMesh b = make_box_mesh(3, 3, 3, 99);
+  for (std::size_t i = 0; i < a.centroids().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.centroids()[i].x, b.centroids()[i].x);
+  }
+  const UnstructuredMesh c = make_box_mesh(3, 3, 3, 100);
+  EXPECT_NE(a.centroids()[0].x, c.centroids()[0].x);
+}
+
+TEST(Mesh, AnnulusMeshGeometry) {
+  const UnstructuredMesh m =
+      make_annulus_mesh(8, 16, 4, 1.0, 2.0, 30.0, 0.5);
+  EXPECT_EQ(m.num_cells(), 8 * 16 * 4);
+  for (const Vec3& p : m.centroids()) {
+    const double r = std::sqrt(p.x * p.x + p.y * p.y);
+    EXPECT_GT(r, 0.9);
+    EXPECT_LT(r, 2.1);
+  }
+  m.validate();
+}
+
+TEST(Mesh, FullWheelAnnulusHasPeriodicEdges) {
+  const UnstructuredMesh wedge =
+      make_annulus_mesh(4, 16, 2, 1.0, 2.0, 90.0, 0.5);
+  const UnstructuredMesh wheel =
+      make_annulus_mesh(4, 16, 2, 1.0, 2.0, 360.0, 0.5);
+  // Same cell counts, but the wheel closes the azimuthal direction.
+  EXPECT_EQ(wedge.num_cells(), wheel.num_cells());
+  EXPECT_GT(wheel.num_edges(), wedge.num_edges());
+}
+
+TEST(Mesh, BoxDimsForHitsTarget) {
+  const auto d = box_dims_for(1'000'000);
+  const std::int64_t cells =
+      static_cast<std::int64_t>(d[0]) * d[1] * d[2];
+  EXPECT_GT(cells, 800'000);
+  EXPECT_LT(cells, 1'250'000);
+}
+
+TEST(Partition, RcbBalancesCells) {
+  const UnstructuredMesh m = make_box_mesh(20, 20, 20);
+  for (int parts : {2, 3, 7, 16}) {
+    const Partitioning p = partition_rcb(m, parts);
+    std::int64_t mn = m.num_cells();
+    std::int64_t mx = 0;
+    for (int i = 0; i < parts; ++i) {
+      const std::int64_t c = p.owned_count(i);
+      mn = std::min(mn, c);
+      mx = std::max(mx, c);
+    }
+    EXPECT_GT(mn, 0);
+    // RCB with proportional splits is near-perfectly balanced.
+    EXPECT_LE(static_cast<double>(mx) / static_cast<double>(mn), 1.05)
+        << "parts=" << parts;
+  }
+}
+
+TEST(Partition, EveryCellAssigned) {
+  const UnstructuredMesh m = make_box_mesh(10, 10, 10);
+  const Partitioning p = partition_rcb(m, 8);
+  for (int part : p.part_of) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 8);
+  }
+}
+
+TEST(Partition, LocalMeshesCoverAllEdges) {
+  const UnstructuredMesh m = make_box_mesh(12, 12, 12);
+  const Partitioning p = partition_rcb(m, 8);
+  const auto locals = extract_local_meshes(m, p);
+  ASSERT_EQ(locals.size(), 8u);
+  std::int64_t owned_total = 0;
+  std::int64_t interior_edges = 0;
+  std::int64_t cut_edges = 0;
+  for (const LocalMesh& lm : locals) {
+    owned_total += lm.num_owned();
+    for (const auto& e : lm.edges) {
+      const bool a_ghost = e.a >= lm.num_owned();
+      const bool b_ghost = e.b >= lm.num_owned();
+      EXPECT_FALSE(a_ghost && b_ghost);
+      if (a_ghost || b_ghost) {
+        ++cut_edges;
+      } else {
+        ++interior_edges;
+      }
+    }
+  }
+  EXPECT_EQ(owned_total, m.num_cells());
+  // Each cut edge appears in exactly two parts.
+  EXPECT_EQ(interior_edges + cut_edges / 2, m.num_edges());
+  EXPECT_EQ(cut_edges % 2, 0);
+}
+
+TEST(Partition, SendListsMatchRecvCounts) {
+  const UnstructuredMesh m = make_box_mesh(10, 10, 10);
+  const Partitioning p = partition_rcb(m, 6);
+  const auto locals = extract_local_meshes(m, p);
+  const auto send_count_to = [&](int from_part, int to_part) -> std::int64_t {
+    for (const auto& s : locals[static_cast<std::size_t>(from_part)].sends) {
+      if (s.neighbor == to_part) {
+        return static_cast<std::int64_t>(s.cells.size());
+      }
+    }
+    ADD_FAILURE() << "no send list from " << from_part << " to " << to_part;
+    return -1;
+  };
+  for (const LocalMesh& lm : locals) {
+    ASSERT_EQ(lm.sends.size(), lm.recvs.size());
+    for (const auto& rc : lm.recvs) {
+      // My ghost count from a neighbour == that neighbour's send list to me.
+      EXPECT_EQ(rc.count, send_count_to(rc.neighbor, lm.part));
+    }
+    // Ghost total matches sum of recv counts.
+    std::int64_t recv_total = 0;
+    for (const auto& rc : lm.recvs) {
+      recv_total += rc.count;
+    }
+    EXPECT_EQ(recv_total, lm.num_ghosts());
+  }
+}
+
+TEST(Partition, HaloShrinksRelativeToOwnedAsPartsGrow) {
+  const UnstructuredMesh m = make_box_mesh(24, 24, 24);
+  const HaloSummary h8 = summarize_halos(m, partition_rcb(m, 8));
+  const HaloSummary h64 = summarize_halos(m, partition_rcb(m, 64));
+  // Surface-to-volume: owned shrinks by 8x, halo only by ~4x.
+  EXPECT_LT(h64.mean_owned, h8.mean_owned / 7.0);
+  EXPECT_GT(h64.mean_halo, h8.mean_halo / 5.0);
+}
+
+TEST(PartitionStats, AnalyticMatchesMeasuredWithin35Percent) {
+  // The analytic surface model must track real RCB partitions well enough
+  // to drive the performance model at unmeasurable scales.
+  const UnstructuredMesh m = make_box_mesh(32, 32, 32);
+  for (int parts : {8, 16, 64}) {
+    const PartitionStats measured =
+        PartitionStats::measure(m, partition_rcb(m, parts));
+    const PartitionStats analytic =
+        PartitionStats::analytic(m.num_cells(), parts);
+    EXPECT_NEAR(analytic.owned_mean, measured.owned_mean,
+                0.01 * measured.owned_mean);
+    EXPECT_NEAR(analytic.halo_mean, measured.halo_mean,
+                0.35 * measured.halo_mean)
+        << "parts=" << parts;
+  }
+}
+
+TEST(PartitionStats, SinglePartHasNoHalo) {
+  const PartitionStats s = PartitionStats::analytic(1'000'000, 1);
+  EXPECT_EQ(s.halo_mean, 0.0);
+  EXPECT_EQ(s.neighbors_mean, 0.0);
+}
+
+TEST(PartitionStats, HaloCappedByRemoteCells) {
+  // Tiny mesh, many parts: halo cannot exceed what exists.
+  const PartitionStats s = PartitionStats::analytic(100, 50);
+  EXPECT_LE(s.halo_mean, 98.0);
+}
+
+TEST(Coarsen, PairwiseRoughlyHalves) {
+  const UnstructuredMesh m = make_box_mesh(10, 10, 10);
+  const Coarsening c = coarsen_pairwise(m);
+  EXPECT_LT(c.num_coarse(), m.num_cells() * 6 / 10);
+  EXPECT_GE(c.num_coarse(), m.num_cells() / 2);
+  // Every fine cell maps to a valid aggregate.
+  for (CellId agg : c.coarse_of) {
+    EXPECT_GE(agg, 0);
+    EXPECT_LT(agg, c.num_coarse());
+  }
+}
+
+TEST(Coarsen, VolumeIsConserved) {
+  const UnstructuredMesh m = make_annulus_mesh(6, 12, 4, 1.0, 2.0, 45.0, 1.0);
+  const Coarsening c = coarsen_pairwise(m);
+  const double fine_vol =
+      std::accumulate(m.volumes().begin(), m.volumes().end(), 0.0);
+  const double coarse_vol = std::accumulate(c.coarse.volumes().begin(),
+                                            c.coarse.volumes().end(), 0.0);
+  EXPECT_NEAR(fine_vol, coarse_vol, 1e-9 * fine_vol);
+}
+
+TEST(Coarsen, HierarchyShrinksMonotonically) {
+  const UnstructuredMesh m = make_box_mesh(12, 12, 12);
+  const Hierarchy h = build_hierarchy(m, 5);
+  ASSERT_GE(h.num_levels(), 4);
+  for (int l = 1; l < h.num_levels(); ++l) {
+    EXPECT_LT(h.meshes[static_cast<std::size_t>(l)].num_cells(),
+              h.meshes[static_cast<std::size_t>(l - 1)].num_cells());
+  }
+}
+
+TEST(Mesh, RejectsInvalidConstruction) {
+  std::vector<Vec3> pts = {{0, 0, 0}, {1, 0, 0}};
+  std::vector<double> vols = {1.0, 1.0};
+  std::vector<Edge> bad_edge = {{0, 5, 1.0, {1, 0, 0}}};
+  EXPECT_THROW(UnstructuredMesh(pts, vols, bad_edge), CheckError);
+  std::vector<Edge> self_edge = {{1, 1, 1.0, {1, 0, 0}}};
+  EXPECT_THROW(UnstructuredMesh(pts, vols, self_edge), CheckError);
+  std::vector<double> bad_vols = {1.0, -1.0};
+  EXPECT_THROW(UnstructuredMesh(pts, bad_vols, {}), CheckError);
+}
+
+TEST(Partition, RejectsMorePartsThanCells) {
+  const UnstructuredMesh m = make_box_mesh(2, 2, 1);
+  EXPECT_THROW(partition_rcb(m, 10), CheckError);
+}
+
+}  // namespace
+}  // namespace cpx::mesh

@@ -1,0 +1,275 @@
+// Tests for the empirical performance model: curve fitting (including the
+// serial p-term that drives SIMPIC's optimum), benchmark sweeps, and
+// Algorithm 1's greedy rank distribution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "mgcfd/instance.hpp"
+#include "perfmodel/allocator.hpp"
+#include "perfmodel/curve.hpp"
+#include "perfmodel/persistence.hpp"
+#include "perfmodel/sweep.hpp"
+#include "simpic/instance.hpp"
+#include "simpic/stc.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace cpx::perfmodel {
+namespace {
+
+std::vector<ScalingPoint> synthetic_points(double a, double b, double c,
+                                           double d) {
+  std::vector<ScalingPoint> pts;
+  for (double p = 64; p <= 40000; p *= 1.7) {
+    pts.push_back({p, a / p + b + c * std::log2(p) + d * p});
+  }
+  return pts;
+}
+
+TEST(ScalingCurve, RecoversAllFourTerms) {
+  const auto pts = synthetic_points(5000.0, 0.02, 0.005, 3e-5);
+  const ScalingCurve curve = ScalingCurve::fit(pts);
+  EXPECT_LT(curve.max_fit_error(), 1e-6);
+  EXPECT_NEAR(curve.coefficients()[0], 5000.0, 1.0);
+  EXPECT_NEAR(curve.coefficients()[3], 3e-5, 1e-8);
+}
+
+TEST(ScalingCurve, PureParallelWork) {
+  const auto pts = synthetic_points(1000.0, 0.0, 0.0, 0.0);
+  const ScalingCurve curve = ScalingCurve::fit(pts);
+  EXPECT_LT(curve.max_fit_error(), 1e-8);
+  EXPECT_NEAR(curve.time_at(12345.0), 1000.0 / 12345.0, 1e-7);
+}
+
+TEST(ScalingCurve, SerialTermCreatesOptimum) {
+  // a/p + d*p has a minimum at sqrt(a/d); the fitted curve must reproduce
+  // it so Alg 1 stops allocating there (SIMPIC's behaviour).
+  const double a = 10000.0;
+  const double d = 7e-5;
+  const auto pts = synthetic_points(a, 0.0, 0.0, d);
+  const ScalingCurve curve = ScalingCurve::fit(pts);
+  const double p_star = std::sqrt(a / d);
+  EXPECT_LT(curve.time_at(p_star), curve.time_at(p_star / 3.0));
+  EXPECT_LT(curve.time_at(p_star), curve.time_at(p_star * 3.0));
+}
+
+TEST(ScalingCurve, CoefficientsNeverNegative) {
+  // Noisy decreasing data must not produce a curve that dips negative.
+  std::vector<ScalingPoint> pts;
+  Rng rng(4);
+  for (double p = 100; p < 10000; p *= 2) {
+    pts.push_back({p, (500.0 / p) * rng.uniform(0.9, 1.1)});
+  }
+  const ScalingCurve curve = ScalingCurve::fit(pts);
+  for (double coef : curve.coefficients()) {
+    EXPECT_GE(coef, 0.0);
+  }
+  for (double p = 50; p < 1e6; p *= 3) {
+    EXPECT_GT(curve.time_at(p), 0.0);
+  }
+}
+
+TEST(ScalingCurve, EfficiencyAtBaseIsOne) {
+  const auto pts = synthetic_points(2000.0, 0.1, 0.0, 0.0);
+  const ScalingCurve curve = ScalingCurve::fit(pts);
+  EXPECT_NEAR(curve.efficiency_at(100.0, 100.0), 1.0, 1e-12);
+  EXPECT_LT(curve.efficiency_at(10000.0, 100.0), 1.0);
+}
+
+TEST(ScalingCurve, RejectsBadInput) {
+  std::vector<ScalingPoint> one = {{100.0, 1.0}};
+  EXPECT_THROW(ScalingCurve::fit(one), CheckError);
+  std::vector<ScalingPoint> bad = {{100.0, 1.0}, {200.0, -1.0}};
+  EXPECT_THROW(ScalingCurve::fit(bad), CheckError);
+}
+
+TEST(Sweep, MeasuresMgcfdScaling) {
+  const std::vector<int> cores = {128, 512, 2048};
+  const auto pts = measure_scaling(
+      [](sim::RankRange r) {
+        return std::make_unique<mgcfd::Instance>("m", 24'000'000, r);
+      },
+      sim::MachineModel::archer2(), cores, 2);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_GT(pts[0].seconds, pts[2].seconds);
+  const ScalingCurve curve = ScalingCurve::fit(pts);
+  EXPECT_LT(curve.max_fit_error(), 0.1);
+}
+
+TEST(Sweep, FitPredictsHeldOutPoint) {
+  const std::vector<int> cores = {100, 200, 400, 800, 1600, 3200};
+  const auto factory = [](sim::RankRange r) -> std::unique_ptr<sim::App> {
+    return std::make_unique<simpic::Instance>("s", simpic::base_stc_84m(),
+                                              r);
+  };
+  const auto machine = sim::MachineModel::archer2();
+  const ScalingCurve curve = fit_scaling(factory, machine, cores, 2);
+  // Held-out measurement at 1131 cores.
+  const std::vector<int> held = {1131};
+  const auto pt = measure_scaling(factory, machine, held, 2);
+  EXPECT_NEAR(curve.time_at(1131.0), pt[0].seconds, 0.1 * pt[0].seconds);
+}
+
+TEST(ScalingCurve, LoocvNearZeroOnExactData) {
+  const auto pts = synthetic_points(3000.0, 0.05, 0.0, 2e-5);
+  EXPECT_LT(loocv_relative_error(pts), 1e-6);
+}
+
+TEST(ScalingCurve, LoocvDetectsModelMismatch) {
+  // Data outside the curve family (a p^0.5 term) must show up as held-out
+  // error even though the in-sample fit may look acceptable.
+  std::vector<ScalingPoint> pts;
+  for (double p = 64; p <= 40000; p *= 2.1) {
+    pts.push_back({p, 2000.0 / p + 0.01 * std::sqrt(p)});
+  }
+  EXPECT_GT(loocv_relative_error(pts), 0.01);
+  EXPECT_THROW(
+      loocv_relative_error(std::vector<ScalingPoint>{{1, 1}, {2, 1}}),
+      CheckError);
+}
+
+// --- Algorithm 1 ---
+
+InstanceModel flat_model(const std::string& name, double a, double d = 0.0,
+                         int min_ranks = 1) {
+  std::vector<ScalingPoint> pts;
+  for (double p = 16; p <= 50000; p *= 2) {
+    pts.push_back({p, a / p + d * p + 1e-6});
+  }
+  InstanceModel m;
+  m.name = name;
+  m.curve = ScalingCurve::fit(pts);
+  m.min_ranks = min_ranks;
+  return m;
+}
+
+TEST(Allocator, BalancesTwoEqualApps) {
+  std::vector<InstanceModel> apps = {flat_model("a", 1000.0),
+                                     flat_model("b", 1000.0)};
+  const Allocation alloc = distribute_ranks(apps, {}, 1000);
+  EXPECT_NEAR(alloc.app_ranks[0], alloc.app_ranks[1], 1);
+  EXPECT_EQ(alloc.app_ranks[0] + alloc.app_ranks[1], 1000);
+}
+
+TEST(Allocator, GivesMoreToBiggerApp) {
+  std::vector<InstanceModel> apps = {flat_model("small", 100.0),
+                                     flat_model("big", 900.0)};
+  const Allocation alloc = distribute_ranks(apps, {}, 1000);
+  // Perfect-scaling apps balance when ranks are proportional to work.
+  EXPECT_NEAR(alloc.app_ranks[1], 900, 20);
+  EXPECT_NEAR(alloc.app_time, apps[0].time(alloc.app_ranks[0]), 1.0);
+}
+
+TEST(Allocator, ScaleMultipliesRuntime) {
+  InstanceModel base = flat_model("x", 100.0);
+  InstanceModel scaled = base;
+  scaled.scale = 30.0;  // 24M mesh, 250 steps vs 8M base, 25 steps
+  EXPECT_NEAR(scaled.time(100) / base.time(100), 30.0, 1e-9);
+}
+
+TEST(Allocator, StopsAtSerialOptimum) {
+  // An app with a strong serial term must not be fed past its optimum.
+  std::vector<InstanceModel> apps = {flat_model("pipeline", 10000.0, 1e-4)};
+  const Allocation alloc = distribute_ranks(apps, {}, 50000);
+  const double p_star = std::sqrt(10000.0 / 1e-4);  // = 10000
+  EXPECT_NEAR(alloc.app_ranks[0], p_star, 0.15 * p_star);
+}
+
+TEST(Allocator, RespectsMinimaAndCaps) {
+  InstanceModel capped = flat_model("capped", 1000.0);
+  capped.max_ranks = 50;
+  InstanceModel floored = flat_model("floored", 1.0);
+  floored.min_ranks = 100;
+  std::vector<InstanceModel> apps = {capped, floored};
+  const Allocation alloc = distribute_ranks(apps, {}, 1000);
+  EXPECT_LE(alloc.app_ranks[0], 50);
+  EXPECT_GE(alloc.app_ranks[1], 100);
+}
+
+TEST(Allocator, PredictedRuntimeIsMaxAppPlusMaxCu) {
+  std::vector<InstanceModel> apps = {flat_model("a", 500.0),
+                                     flat_model("b", 100.0)};
+  std::vector<InstanceModel> cus = {flat_model("cu", 10.0)};
+  const Allocation alloc = distribute_ranks(apps, cus, 600);
+  EXPECT_NEAR(alloc.predicted_runtime, alloc.app_time + alloc.cu_time,
+              1e-12);
+  EXPECT_GT(alloc.app_time, alloc.cu_time);
+}
+
+TEST(Allocator, CouplerGetsRanksWhenItDominates) {
+  std::vector<InstanceModel> apps = {flat_model("app", 10.0)};
+  std::vector<InstanceModel> cus = {flat_model("fat_cu", 1000.0)};
+  const Allocation alloc = distribute_ranks(apps, cus, 500);
+  EXPECT_GT(alloc.cu_ranks[0], alloc.app_ranks[0]);
+}
+
+TEST(Allocator, ThrowsWhenBudgetBelowMinima) {
+  InstanceModel m = flat_model("m", 10.0);
+  m.min_ranks = 100;
+  std::vector<InstanceModel> apps = {m, m};
+  EXPECT_THROW(distribute_ranks(apps, {}, 150), CheckError);
+}
+
+TEST(Persistence, RoundTripsModels) {
+  ModelSet models;
+  InstanceModel app = flat_model("mgcfd_24m", 123.456, 7.8e-5, 100);
+  app.scale = 2.5e4;
+  app.max_ranks = 12345;
+  models.apps.push_back(app);
+  InstanceModel cu = flat_model("cu_a_b", 0.125);
+  models.cus.push_back(cu);
+
+  std::ostringstream out;
+  save_models(out, models);
+  std::istringstream in(out.str());
+  const ModelSet loaded = load_models(in);
+
+  ASSERT_EQ(loaded.apps.size(), 1u);
+  ASSERT_EQ(loaded.cus.size(), 1u);
+  EXPECT_EQ(loaded.apps[0].name, "mgcfd_24m");
+  EXPECT_EQ(loaded.apps[0].min_ranks, 100);
+  EXPECT_EQ(loaded.apps[0].max_ranks, 12345);
+  EXPECT_DOUBLE_EQ(loaded.apps[0].scale, 2.5e4);
+  // The curve evaluates identically everywhere we care about.
+  for (double p : {1.0, 64.0, 1000.0, 40000.0}) {
+    EXPECT_DOUBLE_EQ(loaded.apps[0].curve.time_at(p),
+                     models.apps[0].curve.time_at(p))
+        << "p=" << p;
+    EXPECT_DOUBLE_EQ(loaded.cus[0].curve.time_at(p),
+                     models.cus[0].curve.time_at(p));
+  }
+}
+
+TEST(Persistence, RejectsMalformedFiles) {
+  const char* bad[] = {
+      "app x scale=1 min=1 max=2 a=1 b=0 c=0",       // missing header + d
+      "# cpx-perfmodel v1\nbogus x",                 // bad tag
+      "# cpx-perfmodel v1\napp x scale=oops min=1 max=2 a=1 b=0 c=0 d=0",
+      "",                                             // no header
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(load_models(in), CheckError) << text;
+  }
+}
+
+TEST(Persistence, FromCoefficientsRejectsNegatives) {
+  EXPECT_THROW(ScalingCurve::from_coefficients({1.0, -0.5, 0.0, 0.0}),
+               CheckError);
+  EXPECT_THROW(ScalingCurve::from_coefficients({1.0, 2.0}), CheckError);
+}
+
+TEST(Allocator, MakeComputesSizeAndIterScale) {
+  // The paper's example: 24M mesh / 250 steps vs the 8M / 25-step base
+  // case gives a 30x initial runtime.
+  const InstanceModel m = InstanceModel::make(
+      "mgcfd24", flat_model("base", 10.0).curve, 8e6, 25.0, 24e6, 250.0);
+  EXPECT_NEAR(m.scale, 30.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cpx::perfmodel

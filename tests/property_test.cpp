@@ -1,0 +1,269 @@
+// Property-based tests: randomized sweeps asserting invariants that must
+// hold for *any* input — the virtual cluster's accounting identities, the
+// allocator's feasibility and optimality properties, the analytic
+// partition model's bounds, and conservation laws of the physics kernels.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "mesh/mesh.hpp"
+#include "mesh/partition.hpp"
+#include "mesh/stats.hpp"
+#include "perfmodel/allocator.hpp"
+#include "sim/cluster.hpp"
+#include "simpic/pic.hpp"
+#include "workflow/case_io.hpp"
+#include "support/rng.hpp"
+
+namespace cpx {
+namespace {
+
+// --- Virtual cluster accounting identities -------------------------------
+
+class ClusterAccounting : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterAccounting, ClockEqualsProfiledTimePerRank) {
+  // Invariant: every clock advance is attributed to exactly one region,
+  // so for each rank, clock == sum over regions of (compute + comm).
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int p = 8 + static_cast<int>(rng.uniform_index(120));
+  sim::Cluster cluster(sim::MachineModel::archer2(), p);
+  const sim::RegionId regions[3] = {cluster.region("a"), cluster.region("b"),
+                                    cluster.region("c")};
+
+  for (int op = 0; op < 300; ++op) {
+    const auto choice = rng.uniform_index(5);
+    const sim::RegionId region = regions[rng.uniform_index(3)];
+    const auto rank = static_cast<sim::Rank>(
+        rng.uniform_index(static_cast<std::uint64_t>(p)));
+    switch (choice) {
+      case 0:
+        cluster.compute_seconds(rank, rng.uniform(0.0, 0.01), region);
+        break;
+      case 1: {
+        const auto dst = static_cast<sim::Rank>(
+            rng.uniform_index(static_cast<std::uint64_t>(p)));
+        if (dst != rank) {
+          cluster.send(rank, dst, rng.uniform_index(1 << 16), region);
+        }
+        break;
+      }
+      case 2:
+        cluster.allreduce({0, p}, 8, region);
+        break;
+      case 3: {
+        std::vector<sim::Message> msgs;
+        for (int m = 0; m < 5; ++m) {
+          const auto src = static_cast<sim::Rank>(
+              rng.uniform_index(static_cast<std::uint64_t>(p)));
+          const auto dst = static_cast<sim::Rank>(
+              rng.uniform_index(static_cast<std::uint64_t>(p)));
+          if (src != dst) {
+            msgs.push_back({src, dst, rng.uniform_index(1 << 14)});
+          }
+        }
+        if (!msgs.empty()) {
+          cluster.exchange(msgs, region);
+        }
+        break;
+      }
+      default:
+        cluster.comm_delay(rank, rng.uniform(0.0, 0.001), region);
+        break;
+    }
+  }
+
+  for (sim::Rank r = 0; r < p; ++r) {
+    const sim::RegionTimes total = cluster.profile().rank_total(r);
+    EXPECT_NEAR(cluster.clock(r), total.total(), 1e-9)
+        << "rank " << r << " of " << p;
+  }
+}
+
+TEST_P(ClusterAccounting, ClocksNeverDecrease) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const int p = 4 + static_cast<int>(rng.uniform_index(60));
+  sim::Cluster cluster(sim::MachineModel::archer2(), p);
+  const sim::RegionId region = cluster.region("r");
+  std::vector<double> previous(static_cast<std::size_t>(p), 0.0);
+  for (int op = 0; op < 200; ++op) {
+    const auto rank = static_cast<sim::Rank>(
+        rng.uniform_index(static_cast<std::uint64_t>(p)));
+    if (rng.uniform() < 0.5) {
+      cluster.compute_seconds(rank, rng.uniform(0.0, 0.01), region);
+    } else {
+      cluster.allreduce({0, p}, 8, region);
+    }
+    for (sim::Rank r = 0; r < p; ++r) {
+      EXPECT_GE(cluster.clock(r),
+                previous[static_cast<std::size_t>(r)] - 1e-15);
+      previous[static_cast<std::size_t>(r)] = cluster.clock(r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterAccounting,
+                         ::testing::Range(1, 11));
+
+// --- Allocator feasibility and quality ----------------------------------
+
+class AllocatorProperties : public ::testing::TestWithParam<int> {};
+
+perfmodel::InstanceModel random_model(Rng& rng, const std::string& name) {
+  std::vector<perfmodel::ScalingPoint> pts;
+  const double a = rng.uniform(10.0, 5000.0);
+  const double b = rng.uniform(0.0, 0.01);
+  const double d = rng.uniform() < 0.3 ? rng.uniform(0.0, 1e-4) : 0.0;
+  for (double p = 16; p <= 60000; p *= 2) {
+    pts.push_back({p, a / p + b + d * p});
+  }
+  perfmodel::InstanceModel m;
+  m.name = name;
+  m.curve = perfmodel::ScalingCurve::fit(pts);
+  m.scale = rng.uniform(1.0, 50.0);
+  m.min_ranks = 1 + static_cast<int>(rng.uniform_index(50));
+  return m;
+}
+
+TEST_P(AllocatorProperties, FeasibleBalancedAndBeatsEqualSplit) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const int n_apps = 2 + static_cast<int>(rng.uniform_index(10));
+  std::vector<perfmodel::InstanceModel> apps;
+  for (int i = 0; i < n_apps; ++i) {
+    apps.push_back(random_model(rng, "app" + std::to_string(i)));
+  }
+  const int budget =
+      n_apps * 60 + static_cast<int>(rng.uniform_index(20000));
+  const perfmodel::Allocation alloc =
+      perfmodel::distribute_ranks(apps, {}, budget);
+
+  // Feasibility: within budget and per-instance bounds.
+  int used = 0;
+  for (int i = 0; i < n_apps; ++i) {
+    EXPECT_GE(alloc.app_ranks[static_cast<std::size_t>(i)],
+              apps[static_cast<std::size_t>(i)].min_ranks);
+    EXPECT_LE(alloc.app_ranks[static_cast<std::size_t>(i)],
+              apps[static_cast<std::size_t>(i)].max_ranks);
+    used += alloc.app_ranks[static_cast<std::size_t>(i)];
+  }
+  EXPECT_LE(used, budget);
+
+  // Reported runtime is the actual max over instances.
+  double worst = 0.0;
+  for (int i = 0; i < n_apps; ++i) {
+    worst = std::max(worst,
+                     apps[static_cast<std::size_t>(i)].time(
+                         alloc.app_ranks[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_NEAR(alloc.app_time, worst, 1e-9 * worst);
+
+  // Quality: greedy never loses to the equal split (both respecting the
+  // same minima).
+  std::vector<int> equal(static_cast<std::size_t>(n_apps), budget / n_apps);
+  double equal_worst = 0.0;
+  for (int i = 0; i < n_apps; ++i) {
+    const auto& m = apps[static_cast<std::size_t>(i)];
+    const int r = std::clamp(equal[static_cast<std::size_t>(i)],
+                             m.min_ranks, m.max_ranks);
+    equal_worst = std::max(equal_worst, m.time(r));
+  }
+  EXPECT_LE(alloc.app_time, equal_worst * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperties,
+                         ::testing::Range(1, 21));
+
+// --- Analytic partition model bounds -------------------------------------
+
+class PartitionModelBounds
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionModelBounds, AnalyticTracksMeasuredHalo) {
+  const auto [side, parts] = GetParam();
+  const mesh::UnstructuredMesh m = mesh::make_box_mesh(side, side, side);
+  const mesh::PartitionStats measured =
+      mesh::PartitionStats::measure(m, mesh::partition_rcb(m, parts));
+  const mesh::PartitionStats analytic =
+      mesh::PartitionStats::analytic(m.num_cells(), parts);
+  EXPECT_NEAR(analytic.owned_mean, measured.owned_mean,
+              0.01 * measured.owned_mean);
+  EXPECT_NEAR(analytic.halo_mean, measured.halo_mean,
+              0.4 * measured.halo_mean)
+      << "side=" << side << " parts=" << parts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionModelBounds,
+    ::testing::Combine(::testing::Values(16, 24, 32),
+                       ::testing::Values(4, 8, 27, 64)));
+
+// --- Physics conservation under random configurations --------------------
+
+class PicConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(PicConservation, ChargeAndCountInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  simpic::PicOptions opt;
+  opt.cells = 32 << rng.uniform_index(3);        // 32/64/128
+  opt.dt = rng.uniform(0.005, 0.05);
+  opt.boundary = simpic::Boundary::kPeriodic;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  simpic::Pic pic(opt);
+  const int ppc = 5 + static_cast<int>(rng.uniform_index(30));
+  pic.load_uniform(ppc, rng.uniform(0.0, 0.5), rng.uniform(0.0, 0.05));
+  const auto n0 = pic.num_particles();
+  pic.run(30);
+  // Periodic walls: particle count conserved exactly; total deposited
+  // charge equals the (constant) total particle charge.
+  EXPECT_EQ(pic.num_particles(), n0);
+  pic.deposit();
+  const double dx = opt.length / static_cast<double>(opt.cells);
+  double deposited = 0.0;
+  for (std::size_t i = 0; i + 1 < pic.rho().size(); ++i) {
+    deposited += (pic.rho()[i] - 1.0) * dx;
+  }
+  EXPECT_NEAR(deposited, -opt.length, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PicConservation, ::testing::Range(1, 9));
+
+// --- Case-file parser robustness -----------------------------------------
+
+class CaseIoFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CaseIoFuzz, RandomInputNeverCrashes) {
+  // Random token soup must either parse or throw CheckError — never crash
+  // or loop.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL);
+  const char* words[] = {"instance", "coupler",  "mgcfd",   "simpic",
+                         "thermal",  "sliding",  "steady",  "name",
+                         "cells=10", "cells=x",  "iters=2", "every=0",
+                         "stc=base-28m", "a",    "b",       "=",
+                         "#",        "cells=99999999"};
+  std::string text;
+  const int lines = 1 + static_cast<int>(rng.uniform_index(12));
+  for (int l = 0; l < lines; ++l) {
+    const int tokens = static_cast<int>(rng.uniform_index(6));
+    for (int t = 0; t < tokens; ++t) {
+      text += words[rng.uniform_index(std::size(words))];
+      text += ' ';
+    }
+    text += '\n';
+  }
+  std::istringstream in(text);
+  try {
+    const workflow::EngineCase ec = workflow::load_engine_case(in);
+    EXPECT_FALSE(ec.instances.empty());  // success implies a valid case
+  } catch (const CheckError&) {
+    // Expected for most random inputs.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaseIoFuzz, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace cpx

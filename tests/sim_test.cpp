@@ -1,0 +1,365 @@
+// Tests for the virtual cluster: machine model costs, clock propagation
+// through messages and collectives, profiling accounting, and emergent
+// behaviours the mini-apps rely on (pipeline serialisation, strong-scaling
+// shapes responding to machine parameters).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include <sstream>
+
+#include "sim/cluster.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "support/check.hpp"
+
+namespace cpx::sim {
+namespace {
+
+TEST(MachineModel, ComputeRoofline) {
+  MachineModel m = MachineModel::archer2();
+  // Pure flops: time ~ flops / rate.
+  Work flops_only{3.0e9, 0.0, 1.0};
+  EXPECT_NEAR(m.compute_time(flops_only), 1.0 + m.kernel_overhead, 1e-9);
+  // Pure memory: bandwidth share assumes a fully packed node (1/128).
+  Work mem_only{0.0, 350.0e9, 1.0};
+  EXPECT_NEAR(m.compute_time(mem_only), 128.0 + m.kernel_overhead, 1e-6);
+  // A flop-heavy kernel is compute-bound, not memory-bound.
+  Work mixed{3.0e9, 1.0e6, 1.0};
+  EXPECT_NEAR(m.compute_time(mixed), 1.0 + m.kernel_overhead, 1e-9);
+}
+
+TEST(MachineModel, CollectiveScalesLogarithmically) {
+  MachineModel m = MachineModel::archer2();
+  const double t128 = m.allreduce_time(128, 1, 8);
+  const double t16k = m.allreduce_time(16384, 128, 8);
+  EXPECT_GT(t16k, t128);
+  // log2(16384)=14 rounds vs log2(128)=7 rounds, inter-node rounds cost
+  // more; the ratio must stay well below linear scaling.
+  EXPECT_LT(t16k / t128, 16.0);
+}
+
+TEST(MachineModel, AllreduceSingleRankIsFree) {
+  MachineModel m = MachineModel::archer2();
+  EXPECT_EQ(m.allreduce_time(1, 1, 1024), 0.0);
+}
+
+TEST(Cluster, PlacementBlocksByNode) {
+  Cluster c(MachineModel::archer2(), 300);
+  EXPECT_EQ(c.num_nodes(), 3);
+  EXPECT_EQ(c.node_of(0), 0);
+  EXPECT_EQ(c.node_of(127), 0);
+  EXPECT_EQ(c.node_of(128), 1);
+  EXPECT_EQ(c.ranks_on_node(0), 128);
+  EXPECT_EQ(c.ranks_on_node(2), 44);
+}
+
+TEST(Cluster, ComputeAdvancesClockAndProfile) {
+  Cluster c(MachineModel::archer2(), 4);
+  const RegionId flux = c.region("flux");
+  c.compute_seconds(0, 1.5, flux);
+  EXPECT_DOUBLE_EQ(c.clock(0), 1.5);
+  EXPECT_DOUBLE_EQ(c.clock(1), 0.0);
+  EXPECT_DOUBLE_EQ(c.profile().rank_region(0, flux).compute, 1.5);
+  EXPECT_DOUBLE_EQ(c.profile().rank_region(0, flux).comm, 0.0);
+}
+
+TEST(Cluster, MessageRaisesReceiverClock) {
+  Cluster c(MachineModel::archer2(), 2);
+  const RegionId halo = c.region("halo");
+  c.compute_seconds(0, 1.0, halo);
+  c.send(0, 1, 8 * 1024, halo);
+  // Receiver cannot be earlier than the sender's clock plus wire time.
+  EXPECT_GT(c.clock(1), 1.0);
+  // The receiver's jump is accounted as communication.
+  EXPECT_GT(c.profile().rank_region(1, halo).comm, 0.9);
+}
+
+TEST(Cluster, LateReceiverDoesNotWait) {
+  Cluster c(MachineModel::archer2(), 2);
+  const RegionId halo = c.region("halo");
+  c.compute_seconds(1, 10.0, halo);  // receiver is far ahead
+  c.send(0, 1, 1024, halo);
+  // Arrival is in the receiver's past; only the message overhead is paid.
+  EXPECT_NEAR(c.clock(1), 10.0 + c.machine().msg_overhead, 1e-12);
+}
+
+TEST(Cluster, ExchangeIsBulkSynchronousPerMessage) {
+  Cluster c(MachineModel::archer2(), 4);
+  const RegionId halo = c.region("halo");
+  std::vector<Message> msgs = {{0, 1, 4096}, {1, 0, 4096}, {2, 3, 4096}};
+  c.exchange(msgs, halo);
+  for (Rank r = 0; r < 4; ++r) {
+    EXPECT_GT(c.clock(r), 0.0);
+  }
+}
+
+TEST(Cluster, ChainedSendsSerialiseIntoPipeline) {
+  // The mechanism behind SIMPIC's tridiagonal field solve: a chain of
+  // dependent sends costs O(p * latency).
+  MachineModel m = MachineModel::archer2();
+  const int p = 256;
+  Cluster c(m, p);
+  const RegionId fields = c.region("fields");
+  for (Rank r = 0; r + 1 < p; ++r) {
+    c.send(r, r + 1, 64, fields);
+  }
+  const double t = c.clock(p - 1);
+  // At least (p-1) hops of minimum latency.
+  EXPECT_GT(t, (p - 1) * m.lat_intra);
+  // And it grows linearly: doubling the chain roughly doubles the time.
+  Cluster c2(m, 2 * p);
+  const RegionId fields2 = c2.region("fields");
+  for (Rank r = 0; r + 1 < 2 * p; ++r) {
+    c2.send(r, r + 1, 64, fields2);
+  }
+  EXPECT_GT(c2.clock(2 * p - 1), 1.7 * t);
+}
+
+TEST(Cluster, AllreduceSynchronisesGroup) {
+  Cluster c(MachineModel::archer2(), 8);
+  const RegionId red = c.region("reduce");
+  c.compute_seconds(3, 2.0, red);  // one laggard
+  c.allreduce({0, 8}, 8, red);
+  const double t = c.clock(0);
+  for (Rank r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(c.clock(r), t);
+  }
+  EXPECT_GT(t, 2.0);  // laggard dominates
+}
+
+TEST(Cluster, BarrierAndBroadcast) {
+  Cluster c(MachineModel::archer2(), 16);
+  const RegionId r0 = c.region("sync");
+  c.barrier({0, 16}, r0);
+  const double after_barrier = c.clock(0);
+  EXPECT_GT(after_barrier, 0.0);
+  c.broadcast({0, 16}, 0, 1 << 20, r0);
+  EXPECT_GT(c.clock(15), after_barrier);
+}
+
+TEST(Cluster, WaitUntilChargesCommTime) {
+  Cluster c(MachineModel::archer2(), 2);
+  const RegionId w = c.region("wait");
+  c.wait_until({0, 2}, 5.0, w);
+  EXPECT_DOUBLE_EQ(c.clock(0), 5.0);
+  EXPECT_DOUBLE_EQ(c.profile().rank_region(1, w).comm, 5.0);
+}
+
+TEST(Cluster, ResetClearsState) {
+  Cluster c(MachineModel::archer2(), 2);
+  const RegionId r0 = c.region("x");
+  c.compute_seconds(0, 1.0, r0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.clock(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.profile().rank_region(0, r0).compute, 0.0);
+  // Region ids survive a reset.
+  EXPECT_EQ(c.region("x"), r0);
+}
+
+TEST(Cluster, InterNodeCostsMoreThanIntraNode) {
+  MachineModel m = MachineModel::archer2();
+  Cluster c(m, 256);
+  const RegionId h = c.region("halo");
+  c.send(0, 1, 1 << 16, h);  // same node
+  const double intra = c.clock(1);
+  Cluster c2(m, 256);
+  const RegionId h2 = c2.region("halo");
+  c2.send(0, 200, 1 << 16, h2);
+  EXPECT_GT(c2.clock(200), intra);
+}
+
+TEST(Cluster, InjectionContentionSlowsWideExchanges) {
+  // 64 simultaneous inter-node senders from one node share the NIC.
+  MachineModel m = MachineModel::archer2();
+  Cluster narrow(m, 256);
+  const RegionId h1 = narrow.region("halo");
+  std::vector<Message> one = {{0, 128, 1 << 20}};
+  narrow.exchange(one, h1);
+  const double t_single = narrow.clock(128);
+
+  Cluster wide(m, 256);
+  const RegionId h2 = wide.region("halo");
+  std::vector<Message> many;
+  for (int i = 0; i < 64; ++i) {
+    many.push_back({i, 128 + i, 1 << 20});
+  }
+  wide.exchange(many, h2);
+  const double t_contended = wide.clock(128 + 63);
+  EXPECT_GT(t_contended, 2.0 * t_single);
+}
+
+TEST(Cluster, SlowNetworkMakesExchangeSlower) {
+  std::vector<Message> msgs = {{0, 129, 1 << 18}};
+  Cluster fast(MachineModel::archer2(), 256);
+  Cluster slow(MachineModel::slow_network(), 256);
+  const RegionId hf = fast.region("h");
+  const RegionId hs = slow.region("h");
+  fast.exchange(msgs, hf);
+  slow.exchange(msgs, hs);
+  EXPECT_GT(slow.clock(129), 2.0 * fast.clock(129));
+}
+
+TEST(Profile, MeanAndMaxOverRanks) {
+  Profile p(4);
+  const RegionId r0 = p.region("a");
+  p.add_compute(0, r0, 1.0);
+  p.add_compute(1, r0, 3.0);
+  p.add_comm(1, r0, 1.0);
+  EXPECT_DOUBLE_EQ(p.mean_over_ranks(r0, 0, 4).compute, 1.0);
+  EXPECT_DOUBLE_EQ(p.max_over_ranks(r0, 0, 4).total(), 4.0);
+}
+
+TEST(Profile, RegionInterningIsIdempotent) {
+  Profile p(1);
+  EXPECT_EQ(p.region("x"), p.region("x"));
+  EXPECT_NE(p.region("x"), p.region("y"));
+  EXPECT_EQ(p.find_region("nope"), -1);
+}
+
+TEST(Trace, DisabledByDefault) {
+  Cluster c(MachineModel::archer2(), 2);
+  EXPECT_FALSE(c.tracing_enabled());
+  const RegionId r0 = c.region("x");
+  c.compute_seconds(0, 1.0, r0);  // must not crash without a trace
+}
+
+TEST(Trace, RecordsComputeAndCommIntervals) {
+  Cluster c(MachineModel::archer2(), 2);
+  c.enable_tracing();
+  const RegionId r0 = c.region("kernel");
+  const RegionId r1 = c.region("halo");
+  c.compute_seconds(0, 1.0, r0);
+  c.send(0, 1, 1024, r1);
+  ASSERT_TRUE(c.tracing_enabled());
+  const auto& events = c.trace()->events();
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceKind::kCompute);
+  EXPECT_DOUBLE_EQ(events[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(events[0].end, 1.0);
+  bool saw_comm = false;
+  for (const TraceEvent& e : events) {
+    EXPECT_LE(e.start, e.end);
+    saw_comm = saw_comm || e.kind == TraceKind::kComm;
+  }
+  EXPECT_TRUE(saw_comm);
+}
+
+TEST(Trace, CapsEventCountAndCountsDrops) {
+  Cluster c(MachineModel::archer2(), 1);
+  c.enable_tracing(/*max_events=*/3);
+  const RegionId r0 = c.region("k");
+  for (int i = 0; i < 10; ++i) {
+    c.compute_seconds(0, 0.1, r0);
+  }
+  EXPECT_EQ(c.trace()->events().size(), 3u);
+  EXPECT_EQ(c.trace()->dropped(), 7u);
+}
+
+TEST(Trace, ChromeExportIsWellFormedJson) {
+  Cluster c(MachineModel::archer2(), 2);
+  c.enable_tracing();
+  const RegionId r0 = c.region("kernel");
+  c.compute_seconds(0, 0.5, r0);
+  c.send(0, 1, 64, r0);
+  std::ostringstream oss;
+  write_chrome_trace(oss, c);
+  const std::string json = oss.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"kernel\""), std::string::npos);
+  // Balanced braces (each event is a flat object).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Trace, ResetClearsEventsButKeepsTracing) {
+  Cluster c(MachineModel::archer2(), 1);
+  c.enable_tracing();
+  c.compute_seconds(0, 1.0, c.region("k"));
+  c.reset();
+  EXPECT_TRUE(c.tracing_enabled());
+  EXPECT_TRUE(c.trace()->events().empty());
+}
+
+TEST(Trace, ExportRequiresTracing) {
+  Cluster c(MachineModel::archer2(), 1);
+  std::ostringstream oss;
+  EXPECT_THROW(write_chrome_trace(oss, c), CheckError);
+}
+
+TEST(Work, OperatorsAccumulateAndScale) {
+  Work a{10.0, 20.0, 1.0};
+  Work b{5.0, 2.0, 1.0};
+  const Work sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.flops, 15.0);
+  EXPECT_DOUBLE_EQ(sum.bytes, 22.0);
+  EXPECT_DOUBLE_EQ(sum.launches, 2.0);
+  const Work scaled = 3.0 * a;
+  EXPECT_DOUBLE_EQ(scaled.flops, 30.0);
+  EXPECT_DOUBLE_EQ(scaled.launches, 3.0);
+}
+
+TEST(Cluster, GatherSynchronisesAndCosts) {
+  Cluster c(MachineModel::archer2(), 256);
+  const RegionId g = c.region("gather");
+  c.compute_seconds(7, 0.5, g);
+  c.gather({0, 256}, 0, 1024, g);
+  const double done = c.clock(0);
+  EXPECT_GT(done, 0.5);  // root waited for the laggard plus payload
+  for (Rank r = 0; r < 256; ++r) {
+    EXPECT_DOUBLE_EQ(c.clock(r), done);
+  }
+}
+
+TEST(Cluster, MinClockTracksTheLaggard) {
+  Cluster c(MachineModel::archer2(), 4);
+  const RegionId r0 = c.region("x");
+  c.compute_seconds(0, 5.0, r0);
+  c.compute_seconds(1, 1.0, r0);
+  EXPECT_DOUBLE_EQ(c.min_clock({0, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(c.max_clock({0, 2}), 5.0);
+  EXPECT_DOUBLE_EQ(c.min_clock({2, 4}), 0.0);
+}
+
+TEST(Cluster, BroadcastRejectsRootOutsideRange) {
+  Cluster c(MachineModel::archer2(), 8);
+  const RegionId r0 = c.region("b");
+  EXPECT_THROW(c.broadcast({0, 4}, 6, 128, r0), CheckError);
+  EXPECT_THROW(c.gather({0, 4}, 6, 128, r0), CheckError);
+}
+
+TEST(MachineModel, BroadcastCostGrowsWithPayload) {
+  MachineModel m = MachineModel::archer2();
+  EXPECT_GT(m.broadcast_time(256, 2, 1 << 20),
+            m.broadcast_time(256, 2, 1 << 10));
+  EXPECT_EQ(m.broadcast_time(1, 1, 1 << 20), 0.0);
+}
+
+TEST(Cluster, AlltoallCostGrowsLinearlyInRanks) {
+  MachineModel m = MachineModel::archer2();
+  EXPECT_GT(m.alltoall_time(8192, 64, 64),
+            3.0 * m.alltoall_time(2048, 16, 64));
+  EXPECT_EQ(m.alltoall_time(1, 1, 64), 0.0);
+
+  Cluster c(m, 64);
+  const RegionId r0 = c.region("a2a");
+  c.alltoall({0, 64}, 128, r0);
+  const double t = c.clock(0);
+  EXPECT_GT(t, 0.0);
+  for (Rank r = 0; r < 64; ++r) {
+    EXPECT_DOUBLE_EQ(c.clock(r), t);  // collective synchronises
+  }
+}
+
+TEST(Cluster, RejectsBadRanges) {
+  Cluster c(MachineModel::archer2(), 4);
+  const RegionId r0 = c.region("r");
+  EXPECT_THROW(c.allreduce({0, 9}, 8, r0), CheckError);
+  EXPECT_THROW(c.max_clock({2, 2}), CheckError);
+}
+
+}  // namespace
+}  // namespace cpx::sim

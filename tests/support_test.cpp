@@ -1,0 +1,283 @@
+// Unit tests for the support module: checks, RNG, statistics, least
+// squares, tables, and option parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/lsq.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace cpx {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(CPX_CHECK(1 == 2), CheckError);
+  try {
+    CPX_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(CPX_CHECK(2 + 2 == 4));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, HashMixIsStable) {
+  EXPECT_EQ(hash_mix(1, 2, 3), hash_mix(1, 2, 3));
+  EXPECT_NE(hash_mix(1, 2, 3), hash_mix(1, 3, 2));
+}
+
+TEST(Stats, Summary) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, EmptySummary) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, Errors) {
+  EXPECT_DOUBLE_EQ(percent_error(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_error(90.0, 100.0), 10.0);
+  EXPECT_THROW(relative_error(1.0, 0.0), CheckError);
+}
+
+TEST(Stats, ParallelEfficiencyAndSpeedup) {
+  // Perfect scaling: T halves when cores double.
+  EXPECT_DOUBLE_EQ(parallel_efficiency(10.0, 100.0, 5.0, 200.0), 1.0);
+  // Half efficiency: same time with twice the cores.
+  EXPECT_DOUBLE_EQ(parallel_efficiency(10.0, 100.0, 10.0, 200.0), 0.5);
+  EXPECT_DOUBLE_EQ(speedup(10.0, 2.5), 4.0);
+}
+
+TEST(Stats, Interp1) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 1.5), 25.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, -1.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 9.0), 40.0);   // clamped
+}
+
+TEST(Stats, RSquaredPerfectFit) {
+  const std::vector<double> obs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+}
+
+TEST(Lsq, RecoversPolynomial) {
+  // y = 3 - 2x + 0.5x^2, exactly representable.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    const double x = 0.3 * i;
+    xs.push_back(x);
+    ys.push_back(3.0 - 2.0 * x + 0.5 * x * x);
+  }
+  const auto c = fit_polynomial(xs, ys, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 3.0, 1e-6);
+  EXPECT_NEAR(c[1], -2.0, 1e-6);
+  EXPECT_NEAR(c[2], 0.5, 1e-6);
+  EXPECT_NEAR(eval_polynomial(c, 2.0), 3.0 - 4.0 + 2.0, 1e-6);
+}
+
+TEST(Lsq, RecoversRuntimeModel) {
+  // The performance-model curve family: T(p) = a/p + b + c*log2(p).
+  const double a = 100.0;
+  const double b = 0.5;
+  const double c = 0.01;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double p = 1; p <= 4096; p *= 2) {
+    xs.push_back(p);
+    ys.push_back(a / p + b + c * std::log2(p));
+  }
+  const std::vector<BasisFn> basis = {
+      [](double p) { return 1.0 / p; },
+      [](double) { return 1.0; },
+      [](double p) { return std::log2(p); },
+  };
+  const auto coefs = fit_basis(xs, ys, basis);
+  EXPECT_NEAR(coefs[0], a, 1e-6);
+  EXPECT_NEAR(coefs[1], b, 1e-6);
+  EXPECT_NEAR(coefs[2], c, 1e-8);
+}
+
+TEST(Lsq, WeightedFitPrefersWeightedPoints) {
+  // Two inconsistent clusters; heavy weights on the second.
+  const std::vector<double> xs = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> ys = {0.0, 0.0, 10.0, 10.0};
+  const std::vector<BasisFn> basis = {[](double) { return 1.0; }};
+  const std::vector<double> w = {1.0, 1.0, 99.0, 99.0};
+  const auto c = fit_basis(xs, ys, basis, w);
+  EXPECT_GT(c[0], 9.0);
+}
+
+TEST(Lsq, ThrowsOnUnderdetermined) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW(solve_normal_equations(a, 1, 2, b), CheckError);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"name", "cores", "time"});
+  t.add_row({std::string("mgcfd"), 128LL, 1.5});
+  t.add_row({std::string("simpic"), 4096LL, 0.25});
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("mgcfd"), std::string::npos);
+  EXPECT_NE(s.find("4096"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesCommas) {
+  Table t({"a"});
+  t.add_row({std::string("x,y")});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_NE(oss.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, RejectsBadRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only one")}), CheckError);
+}
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  // Emitting below the threshold must be a no-op (and not crash).
+  CPX_LOG_DEBUG("suppressed " << 42);
+  set_log_level(before);
+}
+
+TEST(Log, MacroEvaluatesStreamLazily) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  CPX_LOG_ERROR("never " << count());
+  EXPECT_EQ(evaluations, 0);  // stream body skipped below threshold
+  set_log_level(before);
+}
+
+TEST(Table, PrecisionControlsDoubleFormatting) {
+  Table t({"v"});
+  t.set_precision(2);
+  t.add_row({3.14159});
+  EXPECT_NE(t.to_string().find("3.1"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.14159"), std::string::npos);
+  EXPECT_THROW(t.set_precision(0), CheckError);
+}
+
+TEST(Options, HelpTextListsDescribedKeys) {
+  Options o;
+  o.describe("cores", "the core budget");
+  o.describe("steps", "how many steps");
+  const std::string help = o.help_text("prog");
+  EXPECT_NE(help.find("--cores"), std::string::npos);
+  EXPECT_NE(help.find("how many steps"), std::string::npos);
+  EXPECT_NE(help.find("usage: prog"), std::string::npos);
+}
+
+TEST(Options, ParsesForms) {
+  const char* argv[] = {"prog", "--cores=100", "--mesh=8000000",
+                        "--verbose", "pos"};
+  const Options o = Options::parse(5, argv);
+  EXPECT_EQ(o.get_int("cores", 0), 100);
+  EXPECT_EQ(o.get_int("mesh", 0), 8000000);
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  ASSERT_EQ(o.positionals().size(), 1u);
+  EXPECT_EQ(o.positionals()[0], "pos");
+  EXPECT_EQ(o.get_double("absent", 2.5), 2.5);
+}
+
+TEST(Options, RejectsBadNumbers) {
+  const char* argv[] = {"prog", "--cores=abc"};
+  const Options o = Options::parse(2, argv);
+  EXPECT_THROW(o.get_int("cores", 0), CheckError);
+}
+
+}  // namespace
+}  // namespace cpx
