@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/allocator_ablation"
+  "../bench/allocator_ablation.pdb"
+  "CMakeFiles/allocator_ablation.dir/allocator_ablation.cpp.o"
+  "CMakeFiles/allocator_ablation.dir/allocator_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/amg_kernels"
+  "../bench/amg_kernels.pdb"
+  "CMakeFiles/amg_kernels.dir/amg_kernels.cpp.o"
+  "CMakeFiles/amg_kernels.dir/amg_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/budget_sweep"
+  "../bench/budget_sweep.pdb"
+  "CMakeFiles/budget_sweep.dir/budget_sweep.cpp.o"
+  "CMakeFiles/budget_sweep.dir/budget_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coupler_overhead"
+  "../bench/coupler_overhead.pdb"
+  "CMakeFiles/coupler_overhead.dir/coupler_overhead.cpp.o"
+  "CMakeFiles/coupler_overhead.dir/coupler_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupler_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

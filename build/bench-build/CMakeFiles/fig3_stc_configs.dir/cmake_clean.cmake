@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_stc_configs"
+  "../bench/fig3_stc_configs.pdb"
+  "CMakeFiles/fig3_stc_configs.dir/fig3_stc_configs.cpp.o"
+  "CMakeFiles/fig3_stc_configs.dir/fig3_stc_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stc_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_proxy_validation"
+  "../bench/fig4_proxy_validation.pdb"
+  "CMakeFiles/fig4_proxy_validation.dir/fig4_proxy_validation.cpp.o"
+  "CMakeFiles/fig4_proxy_validation.dir/fig4_proxy_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_proxy_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

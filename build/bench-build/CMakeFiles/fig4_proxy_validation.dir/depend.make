@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_proxy_validation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_breakdown"
+  "../bench/fig5_breakdown.pdb"
+  "CMakeFiles/fig5_breakdown.dir/fig5_breakdown.cpp.o"
+  "CMakeFiles/fig5_breakdown.dir/fig5_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_optimized"
+  "../bench/fig6_optimized.pdb"
+  "CMakeFiles/fig6_optimized.dir/fig6_optimized.cpp.o"
+  "CMakeFiles/fig6_optimized.dir/fig6_optimized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

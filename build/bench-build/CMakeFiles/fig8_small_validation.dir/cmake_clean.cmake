@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_small_validation"
+  "../bench/fig8_small_validation.pdb"
+  "CMakeFiles/fig8_small_validation.dir/fig8_small_validation.cpp.o"
+  "CMakeFiles/fig8_small_validation.dir/fig8_small_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_small_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_large_validation"
+  "../bench/fig9_large_validation.pdb"
+  "CMakeFiles/fig9_large_validation.dir/fig9_large_validation.cpp.o"
+  "CMakeFiles/fig9_large_validation.dir/fig9_large_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_large_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

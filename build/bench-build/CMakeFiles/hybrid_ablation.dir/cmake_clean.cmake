@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hybrid_ablation"
+  "../bench/hybrid_ablation.pdb"
+  "CMakeFiles/hybrid_ablation.dir/hybrid_ablation.cpp.o"
+  "CMakeFiles/hybrid_ablation.dir/hybrid_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/machine_sensitivity"
+  "../bench/machine_sensitivity.pdb"
+  "CMakeFiles/machine_sensitivity.dir/machine_sensitivity.cpp.o"
+  "CMakeFiles/machine_sensitivity.dir/machine_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overlap_ablation"
+  "../bench/overlap_ablation.pdb"
+  "CMakeFiles/overlap_ablation.dir/overlap_ablation.cpp.o"
+  "CMakeFiles/overlap_ablation.dir/overlap_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/predecessor_comparison"
+  "../bench/predecessor_comparison.pdb"
+  "CMakeFiles/predecessor_comparison.dir/predecessor_comparison.cpp.o"
+  "CMakeFiles/predecessor_comparison.dir/predecessor_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predecessor_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/spray_strategies"
+  "../bench/spray_strategies.pdb"
+  "CMakeFiles/spray_strategies.dir/spray_strategies.cpp.o"
+  "CMakeFiles/spray_strategies.dir/spray_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spray_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

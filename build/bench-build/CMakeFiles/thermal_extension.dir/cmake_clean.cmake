@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thermal_extension"
+  "../bench/thermal_extension.pdb"
+  "CMakeFiles/thermal_extension.dir/thermal_extension.cpp.o"
+  "CMakeFiles/thermal_extension.dir/thermal_extension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combustor_scaling_study.dir/combustor_scaling_study.cpp.o"
+  "CMakeFiles/combustor_scaling_study.dir/combustor_scaling_study.cpp.o.d"
+  "combustor_scaling_study"
+  "combustor_scaling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combustor_scaling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_rows_demo.dir/coupled_rows_demo.cpp.o"
+  "CMakeFiles/coupled_rows_demo.dir/coupled_rows_demo.cpp.o.d"
+  "coupled_rows_demo"
+  "coupled_rows_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_rows_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

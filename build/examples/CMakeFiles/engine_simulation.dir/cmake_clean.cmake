@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_simulation.dir/engine_simulation.cpp.o"
+  "CMakeFiles/engine_simulation.dir/engine_simulation.cpp.o.d"
+  "engine_simulation"
+  "engine_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_planner.dir/resource_planner.cpp.o"
+  "CMakeFiles/resource_planner.dir/resource_planner.cpp.o.d"
+  "resource_planner"
+  "resource_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_stream_instability.dir/two_stream_instability.cpp.o"
+  "CMakeFiles/two_stream_instability.dir/two_stream_instability.cpp.o.d"
+  "two_stream_instability"
+  "two_stream_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_stream_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amg/aggregation.cpp" "src/CMakeFiles/cpx_amg.dir/amg/aggregation.cpp.o" "gcc" "src/CMakeFiles/cpx_amg.dir/amg/aggregation.cpp.o.d"
+  "/root/repo/src/amg/hierarchy.cpp" "src/CMakeFiles/cpx_amg.dir/amg/hierarchy.cpp.o" "gcc" "src/CMakeFiles/cpx_amg.dir/amg/hierarchy.cpp.o.d"
+  "/root/repo/src/amg/pcg.cpp" "src/CMakeFiles/cpx_amg.dir/amg/pcg.cpp.o" "gcc" "src/CMakeFiles/cpx_amg.dir/amg/pcg.cpp.o.d"
+  "/root/repo/src/amg/smoothers.cpp" "src/CMakeFiles/cpx_amg.dir/amg/smoothers.cpp.o" "gcc" "src/CMakeFiles/cpx_amg.dir/amg/smoothers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_amg.dir/amg/aggregation.cpp.o"
+  "CMakeFiles/cpx_amg.dir/amg/aggregation.cpp.o.d"
+  "CMakeFiles/cpx_amg.dir/amg/hierarchy.cpp.o"
+  "CMakeFiles/cpx_amg.dir/amg/hierarchy.cpp.o.d"
+  "CMakeFiles/cpx_amg.dir/amg/pcg.cpp.o"
+  "CMakeFiles/cpx_amg.dir/amg/pcg.cpp.o.d"
+  "CMakeFiles/cpx_amg.dir/amg/smoothers.cpp.o"
+  "CMakeFiles/cpx_amg.dir/amg/smoothers.cpp.o.d"
+  "libcpx_amg.a"
+  "libcpx_amg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpx/field_coupler.cpp" "src/CMakeFiles/cpx_cpx.dir/cpx/field_coupler.cpp.o" "gcc" "src/CMakeFiles/cpx_cpx.dir/cpx/field_coupler.cpp.o.d"
+  "/root/repo/src/cpx/interpolation.cpp" "src/CMakeFiles/cpx_cpx.dir/cpx/interpolation.cpp.o" "gcc" "src/CMakeFiles/cpx_cpx.dir/cpx/interpolation.cpp.o.d"
+  "/root/repo/src/cpx/search.cpp" "src/CMakeFiles/cpx_cpx.dir/cpx/search.cpp.o" "gcc" "src/CMakeFiles/cpx_cpx.dir/cpx/search.cpp.o.d"
+  "/root/repo/src/cpx/unit.cpp" "src/CMakeFiles/cpx_cpx.dir/cpx/unit.cpp.o" "gcc" "src/CMakeFiles/cpx_cpx.dir/cpx/unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_cpx.dir/cpx/field_coupler.cpp.o"
+  "CMakeFiles/cpx_cpx.dir/cpx/field_coupler.cpp.o.d"
+  "CMakeFiles/cpx_cpx.dir/cpx/interpolation.cpp.o"
+  "CMakeFiles/cpx_cpx.dir/cpx/interpolation.cpp.o.d"
+  "CMakeFiles/cpx_cpx.dir/cpx/search.cpp.o"
+  "CMakeFiles/cpx_cpx.dir/cpx/search.cpp.o.d"
+  "CMakeFiles/cpx_cpx.dir/cpx/unit.cpp.o"
+  "CMakeFiles/cpx_cpx.dir/cpx/unit.cpp.o.d"
+  "libcpx_cpx.a"
+  "libcpx_cpx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_cpx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/coarsen.cpp" "src/CMakeFiles/cpx_mesh.dir/mesh/coarsen.cpp.o" "gcc" "src/CMakeFiles/cpx_mesh.dir/mesh/coarsen.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/CMakeFiles/cpx_mesh.dir/mesh/mesh.cpp.o" "gcc" "src/CMakeFiles/cpx_mesh.dir/mesh/mesh.cpp.o.d"
+  "/root/repo/src/mesh/partition.cpp" "src/CMakeFiles/cpx_mesh.dir/mesh/partition.cpp.o" "gcc" "src/CMakeFiles/cpx_mesh.dir/mesh/partition.cpp.o.d"
+  "/root/repo/src/mesh/stats.cpp" "src/CMakeFiles/cpx_mesh.dir/mesh/stats.cpp.o" "gcc" "src/CMakeFiles/cpx_mesh.dir/mesh/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_mesh.dir/mesh/coarsen.cpp.o"
+  "CMakeFiles/cpx_mesh.dir/mesh/coarsen.cpp.o.d"
+  "CMakeFiles/cpx_mesh.dir/mesh/mesh.cpp.o"
+  "CMakeFiles/cpx_mesh.dir/mesh/mesh.cpp.o.d"
+  "CMakeFiles/cpx_mesh.dir/mesh/partition.cpp.o"
+  "CMakeFiles/cpx_mesh.dir/mesh/partition.cpp.o.d"
+  "CMakeFiles/cpx_mesh.dir/mesh/stats.cpp.o"
+  "CMakeFiles/cpx_mesh.dir/mesh/stats.cpp.o.d"
+  "libcpx_mesh.a"
+  "libcpx_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_mgcfd.dir/mgcfd/distributed.cpp.o"
+  "CMakeFiles/cpx_mgcfd.dir/mgcfd/distributed.cpp.o.d"
+  "CMakeFiles/cpx_mgcfd.dir/mgcfd/euler.cpp.o"
+  "CMakeFiles/cpx_mgcfd.dir/mgcfd/euler.cpp.o.d"
+  "CMakeFiles/cpx_mgcfd.dir/mgcfd/instance.cpp.o"
+  "CMakeFiles/cpx_mgcfd.dir/mgcfd/instance.cpp.o.d"
+  "libcpx_mgcfd.a"
+  "libcpx_mgcfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_mgcfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/allocator.cpp" "src/CMakeFiles/cpx_perfmodel.dir/perfmodel/allocator.cpp.o" "gcc" "src/CMakeFiles/cpx_perfmodel.dir/perfmodel/allocator.cpp.o.d"
+  "/root/repo/src/perfmodel/curve.cpp" "src/CMakeFiles/cpx_perfmodel.dir/perfmodel/curve.cpp.o" "gcc" "src/CMakeFiles/cpx_perfmodel.dir/perfmodel/curve.cpp.o.d"
+  "/root/repo/src/perfmodel/persistence.cpp" "src/CMakeFiles/cpx_perfmodel.dir/perfmodel/persistence.cpp.o" "gcc" "src/CMakeFiles/cpx_perfmodel.dir/perfmodel/persistence.cpp.o.d"
+  "/root/repo/src/perfmodel/sweep.cpp" "src/CMakeFiles/cpx_perfmodel.dir/perfmodel/sweep.cpp.o" "gcc" "src/CMakeFiles/cpx_perfmodel.dir/perfmodel/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

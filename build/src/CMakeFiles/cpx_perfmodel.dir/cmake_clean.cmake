@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_perfmodel.dir/perfmodel/allocator.cpp.o"
+  "CMakeFiles/cpx_perfmodel.dir/perfmodel/allocator.cpp.o.d"
+  "CMakeFiles/cpx_perfmodel.dir/perfmodel/curve.cpp.o"
+  "CMakeFiles/cpx_perfmodel.dir/perfmodel/curve.cpp.o.d"
+  "CMakeFiles/cpx_perfmodel.dir/perfmodel/persistence.cpp.o"
+  "CMakeFiles/cpx_perfmodel.dir/perfmodel/persistence.cpp.o.d"
+  "CMakeFiles/cpx_perfmodel.dir/perfmodel/sweep.cpp.o"
+  "CMakeFiles/cpx_perfmodel.dir/perfmodel/sweep.cpp.o.d"
+  "libcpx_perfmodel.a"
+  "libcpx_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

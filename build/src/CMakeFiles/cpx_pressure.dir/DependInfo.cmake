@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pressure/projection.cpp" "src/CMakeFiles/cpx_pressure.dir/pressure/projection.cpp.o" "gcc" "src/CMakeFiles/cpx_pressure.dir/pressure/projection.cpp.o.d"
+  "/root/repo/src/pressure/surrogate.cpp" "src/CMakeFiles/cpx_pressure.dir/pressure/surrogate.cpp.o" "gcc" "src/CMakeFiles/cpx_pressure.dir/pressure/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_amg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_spray.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_pressure.dir/pressure/projection.cpp.o"
+  "CMakeFiles/cpx_pressure.dir/pressure/projection.cpp.o.d"
+  "CMakeFiles/cpx_pressure.dir/pressure/surrogate.cpp.o"
+  "CMakeFiles/cpx_pressure.dir/pressure/surrogate.cpp.o.d"
+  "libcpx_pressure.a"
+  "libcpx_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/app.cpp" "src/CMakeFiles/cpx_sim.dir/sim/app.cpp.o" "gcc" "src/CMakeFiles/cpx_sim.dir/sim/app.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/cpx_sim.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/cpx_sim.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/cpx_sim.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/cpx_sim.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/CMakeFiles/cpx_sim.dir/sim/profile.cpp.o" "gcc" "src/CMakeFiles/cpx_sim.dir/sim/profile.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/cpx_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/cpx_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

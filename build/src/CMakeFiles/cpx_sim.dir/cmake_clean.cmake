@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_sim.dir/sim/app.cpp.o"
+  "CMakeFiles/cpx_sim.dir/sim/app.cpp.o.d"
+  "CMakeFiles/cpx_sim.dir/sim/cluster.cpp.o"
+  "CMakeFiles/cpx_sim.dir/sim/cluster.cpp.o.d"
+  "CMakeFiles/cpx_sim.dir/sim/machine.cpp.o"
+  "CMakeFiles/cpx_sim.dir/sim/machine.cpp.o.d"
+  "CMakeFiles/cpx_sim.dir/sim/profile.cpp.o"
+  "CMakeFiles/cpx_sim.dir/sim/profile.cpp.o.d"
+  "CMakeFiles/cpx_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/cpx_sim.dir/sim/trace.cpp.o.d"
+  "libcpx_sim.a"
+  "libcpx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_simpic.dir/simpic/distributed.cpp.o"
+  "CMakeFiles/cpx_simpic.dir/simpic/distributed.cpp.o.d"
+  "CMakeFiles/cpx_simpic.dir/simpic/instance.cpp.o"
+  "CMakeFiles/cpx_simpic.dir/simpic/instance.cpp.o.d"
+  "CMakeFiles/cpx_simpic.dir/simpic/pic.cpp.o"
+  "CMakeFiles/cpx_simpic.dir/simpic/pic.cpp.o.d"
+  "CMakeFiles/cpx_simpic.dir/simpic/stc.cpp.o"
+  "CMakeFiles/cpx_simpic.dir/simpic/stc.cpp.o.d"
+  "libcpx_simpic.a"
+  "libcpx_simpic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_simpic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

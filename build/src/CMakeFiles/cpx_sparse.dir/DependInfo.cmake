@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/cpx_sparse.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/cpx_sparse.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/CMakeFiles/cpx_sparse.dir/sparse/generators.cpp.o" "gcc" "src/CMakeFiles/cpx_sparse.dir/sparse/generators.cpp.o.d"
+  "/root/repo/src/sparse/identity_prefix.cpp" "src/CMakeFiles/cpx_sparse.dir/sparse/identity_prefix.cpp.o" "gcc" "src/CMakeFiles/cpx_sparse.dir/sparse/identity_prefix.cpp.o.d"
+  "/root/repo/src/sparse/renumber.cpp" "src/CMakeFiles/cpx_sparse.dir/sparse/renumber.cpp.o" "gcc" "src/CMakeFiles/cpx_sparse.dir/sparse/renumber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

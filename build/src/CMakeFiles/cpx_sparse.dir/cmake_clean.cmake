@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_sparse.dir/sparse/csr.cpp.o"
+  "CMakeFiles/cpx_sparse.dir/sparse/csr.cpp.o.d"
+  "CMakeFiles/cpx_sparse.dir/sparse/generators.cpp.o"
+  "CMakeFiles/cpx_sparse.dir/sparse/generators.cpp.o.d"
+  "CMakeFiles/cpx_sparse.dir/sparse/identity_prefix.cpp.o"
+  "CMakeFiles/cpx_sparse.dir/sparse/identity_prefix.cpp.o.d"
+  "CMakeFiles/cpx_sparse.dir/sparse/renumber.cpp.o"
+  "CMakeFiles/cpx_sparse.dir/sparse/renumber.cpp.o.d"
+  "libcpx_sparse.a"
+  "libcpx_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

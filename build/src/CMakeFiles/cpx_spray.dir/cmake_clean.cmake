@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_spray.dir/spray/cloud.cpp.o"
+  "CMakeFiles/cpx_spray.dir/spray/cloud.cpp.o.d"
+  "CMakeFiles/cpx_spray.dir/spray/instance.cpp.o"
+  "CMakeFiles/cpx_spray.dir/spray/instance.cpp.o.d"
+  "libcpx_spray.a"
+  "libcpx_spray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_spray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cpx_spray.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_support.dir/support/check.cpp.o"
+  "CMakeFiles/cpx_support.dir/support/check.cpp.o.d"
+  "CMakeFiles/cpx_support.dir/support/log.cpp.o"
+  "CMakeFiles/cpx_support.dir/support/log.cpp.o.d"
+  "CMakeFiles/cpx_support.dir/support/lsq.cpp.o"
+  "CMakeFiles/cpx_support.dir/support/lsq.cpp.o.d"
+  "CMakeFiles/cpx_support.dir/support/options.cpp.o"
+  "CMakeFiles/cpx_support.dir/support/options.cpp.o.d"
+  "CMakeFiles/cpx_support.dir/support/stats.cpp.o"
+  "CMakeFiles/cpx_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/cpx_support.dir/support/table.cpp.o"
+  "CMakeFiles/cpx_support.dir/support/table.cpp.o.d"
+  "libcpx_support.a"
+  "libcpx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

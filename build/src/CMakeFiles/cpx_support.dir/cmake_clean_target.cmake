@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpx_support.a"
+)

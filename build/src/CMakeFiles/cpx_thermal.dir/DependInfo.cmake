@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/instance.cpp" "src/CMakeFiles/cpx_thermal.dir/thermal/instance.cpp.o" "gcc" "src/CMakeFiles/cpx_thermal.dir/thermal/instance.cpp.o.d"
+  "/root/repo/src/thermal/solver.cpp" "src/CMakeFiles/cpx_thermal.dir/thermal/solver.cpp.o" "gcc" "src/CMakeFiles/cpx_thermal.dir/thermal/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_amg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

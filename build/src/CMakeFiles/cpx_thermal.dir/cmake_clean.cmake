@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_thermal.dir/thermal/instance.cpp.o"
+  "CMakeFiles/cpx_thermal.dir/thermal/instance.cpp.o.d"
+  "CMakeFiles/cpx_thermal.dir/thermal/solver.cpp.o"
+  "CMakeFiles/cpx_thermal.dir/thermal/solver.cpp.o.d"
+  "libcpx_thermal.a"
+  "libcpx_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

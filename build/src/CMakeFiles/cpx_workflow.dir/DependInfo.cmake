@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/case_io.cpp" "src/CMakeFiles/cpx_workflow.dir/workflow/case_io.cpp.o" "gcc" "src/CMakeFiles/cpx_workflow.dir/workflow/case_io.cpp.o.d"
+  "/root/repo/src/workflow/coupled.cpp" "src/CMakeFiles/cpx_workflow.dir/workflow/coupled.cpp.o" "gcc" "src/CMakeFiles/cpx_workflow.dir/workflow/coupled.cpp.o.d"
+  "/root/repo/src/workflow/engine_case.cpp" "src/CMakeFiles/cpx_workflow.dir/workflow/engine_case.cpp.o" "gcc" "src/CMakeFiles/cpx_workflow.dir/workflow/engine_case.cpp.o.d"
+  "/root/repo/src/workflow/models.cpp" "src/CMakeFiles/cpx_workflow.dir/workflow/models.cpp.o" "gcc" "src/CMakeFiles/cpx_workflow.dir/workflow/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_cpx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_mgcfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_simpic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_pressure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_spray.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_amg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpx_workflow.dir/workflow/case_io.cpp.o"
+  "CMakeFiles/cpx_workflow.dir/workflow/case_io.cpp.o.d"
+  "CMakeFiles/cpx_workflow.dir/workflow/coupled.cpp.o"
+  "CMakeFiles/cpx_workflow.dir/workflow/coupled.cpp.o.d"
+  "CMakeFiles/cpx_workflow.dir/workflow/engine_case.cpp.o"
+  "CMakeFiles/cpx_workflow.dir/workflow/engine_case.cpp.o.d"
+  "CMakeFiles/cpx_workflow.dir/workflow/models.cpp.o"
+  "CMakeFiles/cpx_workflow.dir/workflow/models.cpp.o.d"
+  "libcpx_workflow.a"
+  "libcpx_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpx_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

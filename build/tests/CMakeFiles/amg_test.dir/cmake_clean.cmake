@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_test.dir/amg_test.cpp.o"
+  "CMakeFiles/amg_test.dir/amg_test.cpp.o.d"
+  "amg_test"
+  "amg_test.pdb"
+  "amg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupler_test.dir/coupler_test.cpp.o"
+  "CMakeFiles/coupler_test.dir/coupler_test.cpp.o.d"
+  "coupler_test"
+  "coupler_test.pdb"
+  "coupler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mgcfd_test.cpp" "tests/CMakeFiles/mgcfd_test.dir/mgcfd_test.cpp.o" "gcc" "tests/CMakeFiles/mgcfd_test.dir/mgcfd_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpx_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_mgcfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_simpic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_pressure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_spray.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_amg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_cpx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

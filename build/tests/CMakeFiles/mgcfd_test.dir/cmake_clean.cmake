@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgcfd_test.dir/mgcfd_test.cpp.o"
+  "CMakeFiles/mgcfd_test.dir/mgcfd_test.cpp.o.d"
+  "mgcfd_test"
+  "mgcfd_test.pdb"
+  "mgcfd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgcfd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pressure_test.dir/pressure_test.cpp.o"
+  "CMakeFiles/pressure_test.dir/pressure_test.cpp.o.d"
+  "pressure_test"
+  "pressure_test.pdb"
+  "pressure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pressure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

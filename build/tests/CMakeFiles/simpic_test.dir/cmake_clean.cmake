@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpic_test.dir/simpic_test.cpp.o"
+  "CMakeFiles/simpic_test.dir/simpic_test.cpp.o.d"
+  "simpic_test"
+  "simpic_test.pdb"
+  "simpic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

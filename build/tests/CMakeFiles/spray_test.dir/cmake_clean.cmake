@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spray_test.dir/spray_test.cpp.o"
+  "CMakeFiles/spray_test.dir/spray_test.cpp.o.d"
+  "spray_test"
+  "spray_test.pdb"
+  "spray_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/amg_test[1]_include.cmake")
+include("/root/repo/build/tests/mgcfd_test[1]_include.cmake")
+include("/root/repo/build/tests/simpic_test[1]_include.cmake")
+include("/root/repo/build/tests/spray_test[1]_include.cmake")
+include("/root/repo/build/tests/pressure_test[1]_include.cmake")
+include("/root/repo/build/tests/coupler_test[1]_include.cmake")
+include("/root/repo/build/tests/thermal_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
