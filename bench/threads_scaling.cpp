@@ -1,0 +1,146 @@
+// Thread-scaling ablation for the shared-memory execution layer
+// (docs/parallelism.md): sweeps the thread pool over 1..N threads and
+// measures the wall-clock of the hot kernels the paper's §IV-B study
+// targets — SpMV, Jacobi smoothing, SpGEMM (SPA), and the batched coupler
+// donor search — printing speedup / parallel-efficiency series in the
+// paper's plot layout. The "cores" column is the thread-pool width.
+//
+//   ./threads_scaling [--n=100] [--spgemm-n=512] [--queries=100000]
+//                     [--reps=3] [--max-threads=N]
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "amg/smoothers.hpp"
+#include "bench_common.hpp"
+#include "cpx/search.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "support/options.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using cpx::bench::Series;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-reps wall-clock of fn(), with one untimed warmup call.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpx;
+
+  Options opts = Options::parse(argc, argv);
+  opts.describe("n", "3-D Poisson grid edge for SpMV/Jacobi (n^3 rows, default 100 = 1M)");
+  opts.describe("spgemm-n", "2-D Poisson grid edge for SpGEMM (n^2 rows, default 512)");
+  opts.describe("queries", "coupler donor queries (default 100000)");
+  opts.describe("reps", "timed repetitions per kernel, best-of (default 3)");
+  opts.describe("max-threads", "largest pool width to sweep (default max(4, hw))");
+  if (opts.get_bool("help", false)) {
+    std::cout << opts.help_text("threads_scaling");
+    return 0;
+  }
+
+  const int n = static_cast<int>(opts.get_int("n", 100));
+  const int spgemm_n = static_cast<int>(opts.get_int("spgemm-n", 512));
+  const auto queries = opts.get_int("queries", 100000);
+  const int reps = static_cast<int>(opts.get_int("reps", 3));
+  const int hw = support::max_threads();  // CPX_THREADS / hardware width
+  const int max_threads = std::max(
+      1, static_cast<int>(opts.get_int("max-threads", std::max(4, hw))));
+
+  std::vector<int> widths;
+  for (int t = 1; t <= max_threads; t *= 2) {
+    widths.push_back(t);
+  }
+  if (widths.back() != max_threads) {
+    widths.push_back(max_threads);
+  }
+
+  // --- Problem setup (thread count does not affect any of this) ---
+  const sparse::CsrMatrix a3d = sparse::laplacian_3d(n, n, n);
+  const auto rows = static_cast<std::size_t>(a3d.rows());
+  std::vector<double> x(rows), y(rows, 0.0), b(rows), scratch(rows, 0.0);
+  Rng rng(2023);
+  for (double& v : x) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  for (double& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  amg::SmootherOptions jacobi;
+  jacobi.kind = amg::SmootherKind::kJacobi;
+
+  const sparse::CsrMatrix a2d = sparse::laplacian_2d(spgemm_n, spgemm_n);
+
+  std::vector<mesh::Vec3> donors(200000);
+  for (auto& p : donors) {
+    p = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+         rng.uniform(-1.0, 1.0)};
+  }
+  std::vector<mesh::Vec3> targets(static_cast<std::size_t>(queries));
+  for (auto& p : targets) {
+    p = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+         rng.uniform(-1.0, 1.0)};
+  }
+  const coupler::KdTree tree(donors);
+
+  Series spmv_s{"spmv", {}, {}};
+  Series jacobi_s{"jacobi", {}, {}};
+  Series spgemm_s{"spgemm-spa", {}, {}};
+  Series coupler_s{"coupler", {}, {}};
+
+  double checksum = 0.0;  // defeat dead-code elimination
+  for (const int t : widths) {
+    support::set_max_threads(t);
+    const double t_spmv = time_best(reps, [&] { sparse::spmv(a3d, x, y); });
+    const double t_jacobi = time_best(reps, [&] {
+      std::vector<double> xs = x;
+      amg::smooth(a3d, xs, b, jacobi, scratch);
+      checksum += xs[0];
+    });
+    const double t_spgemm =
+        time_best(reps, [&] { checksum += sparse::spgemm_spa(a2d, a2d).nnz() > 0 ? 1.0 : 0.0; });
+    const double t_coupler = time_best(reps, [&] {
+      checksum += static_cast<double>(tree.nearest_batch(targets).back());
+    });
+    for (Series* s : {&spmv_s, &jacobi_s, &spgemm_s, &coupler_s}) {
+      s->cores.push_back(t);
+    }
+    spmv_s.seconds.push_back(t_spmv);
+    jacobi_s.seconds.push_back(t_jacobi);
+    spgemm_s.seconds.push_back(t_spgemm);
+    coupler_s.seconds.push_back(t_coupler);
+    checksum += y[0];
+  }
+  support::set_max_threads(1);
+
+  std::cout << "hardware/CPX_THREADS width: " << hw << ", sweeping pool width 1.."
+            << max_threads << " (wall-clock, best of " << reps << ")\n"
+            << "problems: spmv/jacobi " << n << "^3 rows, spgemm " << spgemm_n
+            << "^2 rows, coupler " << donors.size() << " donors / "
+            << targets.size() << " queries\n";
+  cpx::bench::print_scaling_table(
+      std::cout, "threaded kernel scaling (column 'cores' = pool threads)",
+      {spmv_s, jacobi_s, spgemm_s, coupler_s});
+  std::cout << "(checksum " << checksum << ")\n";
+  return 0;
+}

@@ -4,36 +4,47 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace cpx::amg {
 namespace {
+
+constexpr std::int64_t kSmootherGrain = 2048;  ///< rows per task
 
 void jacobi_sweep(const sparse::CsrMatrix& a, std::span<double> x,
                   std::span<const double> b, double omega, bool l1,
                   std::span<double> scratch) {
   const std::int64_t n = a.rows();
-  for (std::int64_t r = 0; r < n; ++r) {
-    const auto cols = a.row_cols(r);
-    const auto vals = a.row_values(r);
-    double diag = 0.0;
-    double off_abs = 0.0;
-    double sum = 0.0;
-    for (std::size_t i = 0; i < cols.size(); ++i) {
-      if (cols[i] == r) {
-        diag = vals[i];
-      } else {
-        sum += vals[i] * x[static_cast<std::size_t>(cols[i])];
-        off_abs += std::abs(vals[i]);
+  // Row-parallel: every row reads the frozen x and writes scratch[r] only,
+  // so the sweep is bitwise identical at any thread count.
+  support::parallel_for(0, n, kSmootherGrain, [&](std::int64_t r0,
+                                                  std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const auto cols = a.row_cols(r);
+      const auto vals = a.row_values(r);
+      double diag = 0.0;
+      double off_abs = 0.0;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i] == r) {
+          diag = vals[i];
+        } else {
+          sum += vals[i] * x[static_cast<std::size_t>(cols[i])];
+          off_abs += std::abs(vals[i]);
+        }
       }
+      const double d = l1 ? diag + off_abs : diag;
+      CPX_CHECK_MSG(d != 0.0, "jacobi: zero (l1-)diagonal at row " << r);
+      const double x_new = (b[static_cast<std::size_t>(r)] - sum) / d;
+      scratch[static_cast<std::size_t>(r)] =
+          x[static_cast<std::size_t>(r)] +
+          omega * (x_new - x[static_cast<std::size_t>(r)]);
     }
-    const double d = l1 ? diag + off_abs : diag;
-    CPX_CHECK_MSG(d != 0.0, "jacobi: zero (l1-)diagonal at row " << r);
-    const double x_new = (b[static_cast<std::size_t>(r)] - sum) / d;
-    scratch[static_cast<std::size_t>(r)] =
-        x[static_cast<std::size_t>(r)] +
-        omega * (x_new - x[static_cast<std::size_t>(r)]);
-  }
-  std::copy(scratch.begin(), scratch.begin() + n, x.begin());
+  });
+  support::parallel_for(0, n, kSmootherGrain, [&](std::int64_t r0,
+                                                  std::int64_t r1) {
+    std::copy(scratch.begin() + r0, scratch.begin() + r1, x.begin() + r0);
+  });
 }
 
 /// Gauss-Seidel restricted to rows [row_begin, row_end): uses updated x
@@ -85,18 +96,25 @@ void smooth(const sparse::CsrMatrix& a, std::span<double> x,
       return;
     case SmootherKind::kHybridGs: {
       // Freeze x for the inter-block (Jacobi) coupling, then sweep each
-      // block with GS — the sequential analogue of one task per block.
+      // block with GS. Blocks only read the frozen copy outside their own
+      // row range, so they are independent: each block is one task on the
+      // thread pool — "Gauss-Seidel within a task, Jacobi across tasks" —
+      // and the result is bitwise identical at any thread count because
+      // the block decomposition depends on hybrid_blocks alone.
       CPX_REQUIRE(options.hybrid_blocks >= 1, "smooth: bad hybrid_blocks");
       std::copy(x.begin(), x.begin() + n, scratch.begin());
       const std::span<const double> frozen(scratch.data(),
                                            static_cast<std::size_t>(n));
       const std::int64_t blocks =
           std::min<std::int64_t>(options.hybrid_blocks, std::max<std::int64_t>(n, 1));
-      for (std::int64_t blk = 0; blk < blocks; ++blk) {
-        const std::int64_t lo = n * blk / blocks;
-        const std::int64_t hi = n * (blk + 1) / blocks;
-        gs_block(a, x, b, lo, hi, frozen);
-      }
+      support::parallel_for(0, blocks, 1, [&](std::int64_t blk0,
+                                              std::int64_t blk1) {
+        for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+          const std::int64_t lo = n * blk / blocks;
+          const std::int64_t hi = n * (blk + 1) / blocks;
+          gs_block(a, x, b, lo, hi, frozen);
+        }
+      });
       return;
     }
   }
@@ -108,9 +126,13 @@ void residual(const sparse::CsrMatrix& a, std::span<const double> x,
   CPX_REQUIRE(r.size() == static_cast<std::size_t>(a.rows()),
               "residual: size mismatch");
   sparse::spmv(a, x, r);
-  for (std::size_t i = 0; i < r.size(); ++i) {
-    r[i] = b[i] - r[i];
-  }
+  support::parallel_for(0, a.rows(), kSmootherGrain, [&](std::int64_t i0,
+                                                         std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      r[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+    }
+  });
 }
 
 }  // namespace cpx::amg

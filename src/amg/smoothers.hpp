@@ -4,9 +4,12 @@
 // The paper recommends Hybrid Gauss-Seidel — Gauss-Seidel within a task,
 // Jacobi across tasks — as the smoother for large problems. We implement
 // plain (weighted) Jacobi, lexicographic Gauss-Seidel, the hybrid variant
-// (block-local GS with Jacobi coupling across a configurable number of
-// blocks, the sequential analogue of hypre's hybrid smoother), and
-// l1-Jacobi (unconditionally convergent for SPD matrices).
+// (block-local GS with Jacobi coupling across hybrid_blocks blocks, each
+// block executed as one task on the shared thread pool — hypre's hybrid
+// smoother), and l1-Jacobi (unconditionally convergent for SPD matrices).
+// The Jacobi variants and the hybrid blocks run on support::parallel_for;
+// all smoothers are bitwise deterministic at any thread count
+// (docs/parallelism.md).
 
 #include <span>
 
@@ -19,7 +22,7 @@ enum class SmootherKind { kJacobi, kGaussSeidel, kHybridGs, kL1Jacobi };
 struct SmootherOptions {
   SmootherKind kind = SmootherKind::kHybridGs;
   double jacobi_omega = 0.7;  ///< damping for (l1-)Jacobi
-  int hybrid_blocks = 8;      ///< simulated task count for Hybrid GS
+  int hybrid_blocks = 8;      ///< task count for Hybrid GS (one block = one task)
 };
 
 /// One in-place smoothing sweep on A x = b.

@@ -3,18 +3,38 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace cpx::coupler {
+namespace {
+
+constexpr std::int64_t kInterfaceGrain = 4096;  ///< cells/points per task
+
+}  // namespace
 
 std::vector<mesh::CellId> extract_plane_cells(
     const mesh::UnstructuredMesh& mesh, double z_plane, double tolerance) {
   CPX_REQUIRE(tolerance > 0.0, "extract_plane_cells: bad tolerance");
-  std::vector<mesh::CellId> cells;
-  for (mesh::CellId c = 0; c < mesh.num_cells(); ++c) {
-    if (std::abs(mesh.centroids()[static_cast<std::size_t>(c)].z - z_plane) <=
-        tolerance) {
-      cells.push_back(c);
+  // Scan cell chunks in parallel, then concatenate the per-chunk hits in
+  // chunk order — same cell ordering as the serial scan.
+  const std::int64_t nc = mesh.num_cells();
+  const std::int64_t nchunks = support::num_chunks(0, nc, kInterfaceGrain);
+  std::vector<std::vector<mesh::CellId>> found(
+      static_cast<std::size_t>(nchunks));
+  support::parallel_chunks(0, nc, kInterfaceGrain, [&](std::int64_t chunk,
+                                                       std::int64_t c0,
+                                                       std::int64_t c1, int) {
+    auto& hits = found[static_cast<std::size_t>(chunk)];
+    for (mesh::CellId c = c0; c < c1; ++c) {
+      if (std::abs(mesh.centroids()[static_cast<std::size_t>(c)].z -
+                   z_plane) <= tolerance) {
+        hits.push_back(c);
+      }
     }
+  });
+  std::vector<mesh::CellId> cells;
+  for (const auto& hits : found) {
+    cells.insert(cells.end(), hits.begin(), hits.end());
   }
   return cells;
 }
@@ -22,13 +42,18 @@ std::vector<mesh::CellId> extract_plane_cells(
 std::vector<mesh::Vec3> gather_centroids(
     const mesh::UnstructuredMesh& mesh,
     std::span<const mesh::CellId> cells) {
-  std::vector<mesh::Vec3> pts;
-  pts.reserve(cells.size());
-  for (mesh::CellId c : cells) {
-    CPX_REQUIRE(c >= 0 && c < mesh.num_cells(),
-                "gather_centroids: bad cell " << c);
-    pts.push_back(mesh.centroids()[static_cast<std::size_t>(c)]);
-  }
+  std::vector<mesh::Vec3> pts(cells.size());
+  support::parallel_for(
+      0, static_cast<std::int64_t>(cells.size()), kInterfaceGrain,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const mesh::CellId c = cells[static_cast<std::size_t>(i)];
+          CPX_REQUIRE(c >= 0 && c < mesh.num_cells(),
+                      "gather_centroids: bad cell " << c);
+          pts[static_cast<std::size_t>(i)] =
+              mesh.centroids()[static_cast<std::size_t>(c)];
+        }
+      });
   return pts;
 }
 

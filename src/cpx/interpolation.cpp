@@ -4,8 +4,39 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace cpx::coupler {
+namespace {
+
+constexpr std::int64_t kStencilGrain = 256;  ///< targets per task
+
+/// Inverse-distance weights with an exact-hit guard.
+void fill_idw_weights(Stencil& s, const std::vector<mesh::Vec3>& donors,
+                      const mesh::Vec3& t) {
+  s.weights.assign(s.donors.size(), 0.0);
+  double total = 0.0;
+  bool exact = false;
+  for (std::size_t j = 0; j < s.donors.size(); ++j) {
+    const double d2 =
+        distance_squared(donors[static_cast<std::size_t>(s.donors[j])], t);
+    if (d2 < 1e-24) {
+      std::fill(s.weights.begin(), s.weights.end(), 0.0);
+      s.weights[j] = 1.0;
+      exact = true;
+      break;
+    }
+    s.weights[j] = 1.0 / std::sqrt(d2);
+    total += s.weights[j];
+  }
+  if (!exact) {
+    for (double& w : s.weights) {
+      w /= total;
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<Stencil> build_idw_stencils(
     const std::vector<mesh::Vec3>& donors,
@@ -13,57 +44,54 @@ std::vector<Stencil> build_idw_stencils(
   CPX_REQUIRE(!donors.empty(), "build_idw_stencils: empty donor set");
   CPX_REQUIRE(k >= 1, "build_idw_stencils: bad k");
   const int kk = std::min<int>(k, static_cast<int>(donors.size()));
-  const KdTree tree(donors);
+  const auto nt = static_cast<std::int64_t>(targets.size());
 
-  std::vector<Stencil> stencils;
-  stencils.reserve(targets.size());
-  for (const mesh::Vec3& t : targets) {
-    Stencil s;
-    // k nearest via repeated nearest-with-exclusion would be O(k log n)
-    // with a proper k-NN query; for the small k used in coupling we take
-    // the nearest donor from the tree and complete the stencil from its
-    // neighbourhood by brute force over a candidate ball.
-    const std::int64_t first = tree.nearest(t);
-    s.donors.push_back(first);
-    if (kk > 1) {
-      // Collect the kk nearest by partial sort over all donors (correct,
-      // if not the asymptotically fastest; stencil construction happens
-      // once per mapping).
-      std::vector<std::pair<double, std::int64_t>> dist;
-      dist.reserve(donors.size());
-      for (std::size_t j = 0; j < donors.size(); ++j) {
-        dist.emplace_back(distance_squared(donors[j], t),
-                          static_cast<std::int64_t>(j));
+  // Targets are independent, so the interface mapping parallelises over
+  // them; each target writes its own pre-allocated stencil slot.
+  std::vector<Stencil> stencils(targets.size());
+  if (kk == 1) {
+    // Nearest-neighbour injection: batch the donor queries through the
+    // k-d tree, then weight (trivially 1.0) in parallel.
+    const KdTree tree(donors);
+    const std::vector<std::int64_t> nearest = tree.nearest_batch(targets);
+    support::parallel_for(0, nt, kStencilGrain, [&](std::int64_t t0,
+                                                    std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        Stencil& s = stencils[static_cast<std::size_t>(t)];
+        s.donors.assign(1, nearest[static_cast<std::size_t>(t)]);
+        fill_idw_weights(s, donors, targets[static_cast<std::size_t>(t)]);
       }
-      std::partial_sort(dist.begin(), dist.begin() + kk, dist.end());
+    });
+    return stencils;
+  }
+
+  // Collect the kk nearest by partial sort over all donors (correct, if
+  // not the asymptotically fastest; stencil construction happens once per
+  // mapping). The distance scratch is reused per execution lane.
+  std::vector<std::vector<std::pair<double, std::int64_t>>> dist(
+      static_cast<std::size_t>(support::max_threads()));
+  support::parallel_chunks(0, nt, kStencilGrain, [&](std::int64_t,
+                                                     std::int64_t t0,
+                                                     std::int64_t t1,
+                                                     int lane) {
+    auto& d = dist[static_cast<std::size_t>(lane)];
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const mesh::Vec3& target = targets[static_cast<std::size_t>(t)];
+      d.clear();
+      d.reserve(donors.size());
+      for (std::size_t j = 0; j < donors.size(); ++j) {
+        d.emplace_back(distance_squared(donors[j], target),
+                       static_cast<std::int64_t>(j));
+      }
+      std::partial_sort(d.begin(), d.begin() + kk, d.end());
+      Stencil& s = stencils[static_cast<std::size_t>(t)];
       s.donors.clear();
       for (int j = 0; j < kk; ++j) {
-        s.donors.push_back(dist[static_cast<std::size_t>(j)].second);
+        s.donors.push_back(d[static_cast<std::size_t>(j)].second);
       }
+      fill_idw_weights(s, donors, target);
     }
-    // Inverse-distance weights with an exact-hit guard.
-    s.weights.resize(s.donors.size());
-    double total = 0.0;
-    bool exact = false;
-    for (std::size_t j = 0; j < s.donors.size(); ++j) {
-      const double d2 = distance_squared(
-          donors[static_cast<std::size_t>(s.donors[j])], t);
-      if (d2 < 1e-24) {
-        std::fill(s.weights.begin(), s.weights.end(), 0.0);
-        s.weights[j] = 1.0;
-        exact = true;
-        break;
-      }
-      s.weights[j] = 1.0 / std::sqrt(d2);
-      total += s.weights[j];
-    }
-    if (!exact) {
-      for (double& w : s.weights) {
-        w /= total;
-      }
-    }
-    stencils.push_back(std::move(s));
-  }
+  });
   return stencils;
 }
 
@@ -72,17 +100,22 @@ void apply_stencils(std::span<const Stencil> stencils,
                     std::span<double> target_field) {
   CPX_REQUIRE(target_field.size() == stencils.size(),
               "apply_stencils: target size mismatch");
-  for (std::size_t t = 0; t < stencils.size(); ++t) {
-    const Stencil& s = stencils[t];
-    double v = 0.0;
-    for (std::size_t j = 0; j < s.donors.size(); ++j) {
-      CPX_DCHECK(s.donors[j] >= 0 &&
-                 static_cast<std::size_t>(s.donors[j]) < donor_field.size());
-      v += s.weights[j] *
-           donor_field[static_cast<std::size_t>(s.donors[j])];
-    }
-    target_field[t] = v;
-  }
+  support::parallel_for(
+      0, static_cast<std::int64_t>(stencils.size()), kStencilGrain,
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const Stencil& s = stencils[static_cast<std::size_t>(t)];
+          double v = 0.0;
+          for (std::size_t j = 0; j < s.donors.size(); ++j) {
+            CPX_DCHECK(s.donors[j] >= 0 &&
+                       static_cast<std::size_t>(s.donors[j]) <
+                           donor_field.size());
+            v += s.weights[j] *
+                 donor_field[static_cast<std::size_t>(s.donors[j])];
+          }
+          target_field[static_cast<std::size_t>(t)] = v;
+        }
+      });
 }
 
 std::vector<Stencil> make_conservative(std::span<const Stencil> stencils,
@@ -116,11 +149,16 @@ std::vector<mesh::Vec3> rotate_z(const std::vector<mesh::Vec3>& points,
                                  double radians) {
   const double c = std::cos(radians);
   const double s = std::sin(radians);
-  std::vector<mesh::Vec3> out;
-  out.reserve(points.size());
-  for (const mesh::Vec3& p : points) {
-    out.push_back({c * p.x - s * p.y, s * p.x + c * p.y, p.z});
-  }
+  std::vector<mesh::Vec3> out(points.size());
+  support::parallel_for(
+      0, static_cast<std::int64_t>(points.size()), 4096,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const mesh::Vec3& p = points[static_cast<std::size_t>(i)];
+          out[static_cast<std::size_t>(i)] = {c * p.x - s * p.y,
+                                              s * p.x + c * p.y, p.z};
+        }
+      });
   return out;
 }
 

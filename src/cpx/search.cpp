@@ -5,8 +5,14 @@
 #include <numeric>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace cpx::coupler {
+namespace {
+
+constexpr std::int64_t kQueryGrain = 256;  ///< donor queries per task
+
+}  // namespace
 
 double distance_squared(const mesh::Vec3& a, const mesh::Vec3& b) {
   const double dx = a.x - b.x;
@@ -63,11 +69,12 @@ std::int64_t KdTree::build(std::vector<std::int64_t>& idx, std::int64_t lo,
 }
 
 void KdTree::search(std::int64_t node, const mesh::Vec3& query,
-                    std::int64_t& best, double& best_d2) const {
+                    std::int64_t& best, double& best_d2,
+                    std::int64_t& visited) const {
   if (node < 0) {
     return;
   }
-  ++visited_;
+  ++visited;
   const Node& n = nodes_[static_cast<std::size_t>(node)];
   const mesh::Vec3& p = points_[static_cast<std::size_t>(n.point)];
   const double d2 = distance_squared(p, query);
@@ -80,18 +87,45 @@ void KdTree::search(std::int64_t node, const mesh::Vec3& query,
   const double delta = qc - pc;
   const std::int64_t near_side = delta < 0.0 ? n.left : n.right;
   const std::int64_t far_side = delta < 0.0 ? n.right : n.left;
-  search(near_side, query, best, best_d2);
+  search(near_side, query, best, best_d2, visited);
   if (delta * delta < best_d2) {
-    search(far_side, query, best, best_d2);
+    search(far_side, query, best, best_d2, visited);
   }
 }
 
 std::int64_t KdTree::nearest(const mesh::Vec3& query) const {
-  visited_ = 0;
+  std::int64_t visited = 0;
   std::int64_t best = -1;
   double best_d2 = std::numeric_limits<double>::infinity();
-  search(root_, query, best, best_d2);
+  search(root_, query, best, best_d2, visited);
+  visited_ = visited;
   return best;
+}
+
+std::vector<std::int64_t> KdTree::nearest_batch(
+    std::span<const mesh::Vec3> queries) const {
+  const auto nq = static_cast<std::int64_t>(queries.size());
+  std::vector<std::int64_t> out(queries.size(), -1);
+  const std::int64_t nchunks = support::num_chunks(0, nq, kQueryGrain);
+  std::vector<std::int64_t> visited(static_cast<std::size_t>(nchunks), 0);
+  support::parallel_chunks(0, nq, kQueryGrain, [&](std::int64_t chunk,
+                                                   std::int64_t q0,
+                                                   std::int64_t q1, int) {
+    std::int64_t v = 0;
+    for (std::int64_t q = q0; q < q1; ++q) {
+      std::int64_t best = -1;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      search(root_, queries[static_cast<std::size_t>(q)], best, best_d2, v);
+      out[static_cast<std::size_t>(q)] = best;
+    }
+    visited[static_cast<std::size_t>(chunk)] = v;
+  });
+  std::int64_t total = 0;
+  for (std::int64_t v : visited) {
+    total += v;
+  }
+  visited_ = total;
+  return out;
 }
 
 }  // namespace cpx::coupler

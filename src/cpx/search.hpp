@@ -10,6 +10,7 @@
 // them (bench_coupler_overhead).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "mesh/mesh.hpp"
@@ -32,8 +33,15 @@ class KdTree {
   /// Index (into the constructor's point vector) of the nearest point.
   std::int64_t nearest(const mesh::Vec3& query) const;
 
-  /// Number of nodes visited by the last nearest() call (for the
-  /// complexity tests and the ablation bench).
+  /// Nearest donor for every query point, searched in parallel over a
+  /// deterministic chunk decomposition (the batched donor query of an
+  /// interface mapping). After the call last_visited() holds the total
+  /// node count visited across the whole batch.
+  std::vector<std::int64_t> nearest_batch(
+      std::span<const mesh::Vec3> queries) const;
+
+  /// Number of nodes visited by the last nearest()/nearest_batch() call
+  /// (for the complexity tests and the ablation bench).
   std::int64_t last_visited() const { return visited_; }
 
  private:
@@ -46,8 +54,10 @@ class KdTree {
 
   std::int64_t build(std::vector<std::int64_t>& idx, std::int64_t lo,
                      std::int64_t hi, int depth);
-  void search(std::int64_t node, const mesh::Vec3& query,
-              std::int64_t& best, double& best_d2) const;
+  /// visited is a caller-owned counter so concurrent batch queries never
+  /// touch shared state.
+  void search(std::int64_t node, const mesh::Vec3& query, std::int64_t& best,
+              double& best_d2, std::int64_t& visited) const;
 
   std::vector<mesh::Vec3> points_;
   std::vector<Node> nodes_;

@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace cpx::simpic {
+namespace {
+
+constexpr std::int64_t kParticleGrain = 8192;  ///< particles per task
+
+}  // namespace
 
 Pic::Pic(const PicOptions& options) : options_(options) {
   CPX_REQUIRE(options.cells >= 2, "Pic: need at least 2 cells");
@@ -70,25 +77,61 @@ double Pic::cell_of(double x) const {
 }
 
 void Pic::deposit() {
-  std::fill(rho_.begin(), rho_.end(), background_);
   const auto nodes = static_cast<std::size_t>(num_nodes());
-  for (std::size_t i = 0; i < x_.size(); ++i) {
-    const double c = cell_of(x_[i]);
-    auto left = static_cast<std::int64_t>(c);
-    left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
-    const double frac = c - static_cast<double>(left);
-    // Linear (CIC) weighting; divide by dx to convert charge to density.
-    const double q = w_[i] / dx_;
-    rho_[static_cast<std::size_t>(left)] += q * (1.0 - frac);
-    rho_[static_cast<std::size_t>(left) + 1] += q * frac;
+  const auto np = static_cast<std::int64_t>(x_.size());
+
+  // Linear (CIC) weighting; divide by dx to convert charge to density.
+  const auto scatter_range = [&](std::int64_t i0, std::int64_t i1,
+                                 std::span<double> rho) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const double c = cell_of(x_[static_cast<std::size_t>(i)]);
+      auto left = static_cast<std::int64_t>(c);
+      left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
+      const double frac = c - static_cast<double>(left);
+      const double q = w_[static_cast<std::size_t>(i)] / dx_;
+      rho[static_cast<std::size_t>(left)] += q * (1.0 - frac);
+      rho[static_cast<std::size_t>(left) + 1] += q * frac;
+    }
+  };
+
+  const std::int64_t nchunks = support::num_chunks(0, np, kParticleGrain);
+  if (nchunks <= 1) {
+    // Single chunk: the plain serial scatter (bitwise identical to the
+    // pre-threaded implementation).
+    std::fill(rho_.begin(), rho_.end(), background_);
+    scatter_range(0, np, rho_);
+  } else {
+    // Scatter-reduction: each chunk deposits into its own partial grid,
+    // partials are combined in chunk order. The chunk decomposition is
+    // fixed by the grain, so the summation order — and the result — is
+    // independent of the thread count.
+    deposit_partials_.assign(static_cast<std::size_t>(nchunks) * nodes, 0.0);
+    support::parallel_chunks(0, np, kParticleGrain, [&](std::int64_t chunk,
+                                                        std::int64_t i0,
+                                                        std::int64_t i1,
+                                                        int) {
+      scatter_range(i0, i1,
+                    std::span<double>(deposit_partials_.data() +
+                                          static_cast<std::size_t>(chunk) *
+                                              nodes,
+                                      nodes));
+    });
+    std::fill(rho_.begin(), rho_.end(), background_);
+    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+      const double* partial =
+          deposit_partials_.data() + static_cast<std::size_t>(chunk) * nodes;
+      for (std::size_t nidx = 0; nidx < nodes; ++nidx) {
+        rho_[nidx] += partial[nidx];
+      }
+    }
   }
+
   if (options_.boundary == Boundary::kPeriodic) {
     // Wrap the two wall nodes onto each other.
     const double wall = rho_.front() + rho_.back() - background_;
     rho_.front() = wall;
     rho_.back() = wall;
   }
-  (void)nodes;
 }
 
 std::vector<double> Pic::solve_poisson_dirichlet(
@@ -167,29 +210,51 @@ void Pic::solve_field() {
 
 void Pic::push() {
   const double qm = -1.0;  // electron charge-to-mass in normalised units
-  std::size_t alive = 0;
-  for (std::size_t i = 0; i < x_.size(); ++i) {
-    const double c = cell_of(x_[i]);
-    auto left = static_cast<std::int64_t>(c);
-    left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
-    const double frac = c - static_cast<double>(left);
-    const double e_here = e_[static_cast<std::size_t>(left)] * (1.0 - frac) +
-                          e_[static_cast<std::size_t>(left) + 1] * frac;
-    double v = v_[i] + options_.dt * qm * e_here;
-    double x = x_[i] + options_.dt * v;
+  const auto np = static_cast<std::int64_t>(x_.size());
+  push_x_.resize(static_cast<std::size_t>(np));
+  push_v_.resize(static_cast<std::size_t>(np));
+  push_keep_.resize(static_cast<std::size_t>(np));
 
-    bool keep = true;
-    if (options_.boundary == Boundary::kPeriodic) {
-      x = std::fmod(x, options_.length);
-      if (x < 0.0) {
-        x += options_.length;
+  // Gather + leapfrog advance, parallel over particles: each particle
+  // writes its own slot, so the push is bitwise identical at any thread
+  // count.
+  support::parallel_for(0, np, kParticleGrain, [&](std::int64_t i0,
+                                                   std::int64_t i1) {
+    for (std::int64_t ii = i0; ii < i1; ++ii) {
+      const auto i = static_cast<std::size_t>(ii);
+      const double c = cell_of(x_[i]);
+      auto left = static_cast<std::int64_t>(c);
+      left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
+      const double frac = c - static_cast<double>(left);
+      const double e_here =
+          e_[static_cast<std::size_t>(left)] * (1.0 - frac) +
+          e_[static_cast<std::size_t>(left) + 1] * frac;
+      const double v = v_[i] + options_.dt * qm * e_here;
+      double x = x_[i] + options_.dt * v;
+
+      bool keep = true;
+      if (options_.boundary == Boundary::kPeriodic) {
+        x = std::fmod(x, options_.length);
+        if (x < 0.0) {
+          x += options_.length;
+        }
+      } else if (x < 0.0 || x > options_.length) {
+        keep = false;  // absorbed at the wall
       }
-    } else if (x < 0.0 || x > options_.length) {
-      keep = false;  // absorbed at the wall
+      push_x_[i] = x;
+      push_v_[i] = v;
+      push_keep_[i] = keep ? 1 : 0;
     }
-    if (keep) {
-      x_[alive] = x;
-      v_[alive] = v;
+  });
+
+  // Order-preserving compaction of the survivors (serial: it is a trivial
+  // copy, and keeping the original particle order makes the result
+  // independent of the execution schedule).
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(np); ++i) {
+    if (push_keep_[i] != 0) {
+      x_[alive] = push_x_[i];
+      v_[alive] = push_v_[i];
       w_[alive] = w_[i];
       ++alive;
     }

@@ -100,6 +100,14 @@ class Pic {
   std::vector<double> e_;
 
   double background_;  ///< neutralising ion background density
+
+  // Scratch for the threaded deposit/push stages (docs/parallelism.md):
+  // per-chunk charge partials combined in chunk order, and the pushed
+  // particle state before the order-preserving compaction.
+  std::vector<double> deposit_partials_;
+  std::vector<double> push_x_;
+  std::vector<double> push_v_;
+  std::vector<unsigned char> push_keep_;
 };
 
 }  // namespace cpx::simpic

@@ -4,8 +4,18 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace cpx::sparse {
+namespace {
+
+// Static-partition grains (docs/parallelism.md). Fixed constants so the
+// chunk decomposition — and therefore every result — is independent of
+// the thread count.
+constexpr std::int64_t kRowGrain = 2048;     ///< SpMV-class row loops
+constexpr std::int64_t kSpgemmGrain = 256;   ///< SpGEMM row passes
+
+}  // namespace
 
 CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
                      std::vector<std::int64_t> row_offsets,
@@ -40,10 +50,10 @@ std::span<const double> CsrMatrix::row_values(std::int64_t r) const {
 double CsrMatrix::at(std::int64_t r, std::int64_t c) const {
   const auto cols = row_cols(r);
   const auto vals = row_values(r);
-  for (std::size_t i = 0; i < cols.size(); ++i) {
-    if (cols[i] == c) {
-      return vals[i];
-    }
+  const auto it = std::lower_bound(cols.begin(), cols.end(),
+                                   static_cast<std::int32_t>(c));
+  if (it != cols.end() && *it == static_cast<std::int32_t>(c)) {
+    return vals[static_cast<std::size_t>(it - cols.begin())];
   }
   return 0.0;
 }
@@ -133,15 +143,18 @@ void spmv(const CsrMatrix& a, std::span<const double> x,
   const auto& offsets = a.row_offsets();
   const auto& cols = a.col_indices();
   const auto& vals = a.values();
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    double sum = 0.0;
-    for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
-         k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
-      sum += vals[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+  support::parallel_for(0, a.rows(), kRowGrain, [&](std::int64_t r0,
+                                                    std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      double sum = 0.0;
+      for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
+           k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+        sum += vals[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+      }
+      y[static_cast<std::size_t>(r)] = sum;
     }
-    y[static_cast<std::size_t>(r)] = sum;
-  }
+  });
 }
 
 void spmv_add(const CsrMatrix& a, std::span<const double> x,
@@ -153,16 +166,19 @@ void spmv_add(const CsrMatrix& a, std::span<const double> x,
   const auto& offsets = a.row_offsets();
   const auto& cols = a.col_indices();
   const auto& vals = a.values();
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    double sum = 0.0;
-    for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
-         k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
-      sum += vals[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+  support::parallel_for(0, a.rows(), kRowGrain, [&](std::int64_t r0,
+                                                    std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      double sum = 0.0;
+      for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
+           k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+        sum += vals[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+      }
+      y[static_cast<std::size_t>(r)] =
+          sum + beta * y[static_cast<std::size_t>(r)];
     }
-    y[static_cast<std::size_t>(r)] =
-        sum + beta * y[static_cast<std::size_t>(r)];
-  }
+  });
 }
 
 CsrMatrix transpose(const CsrMatrix& a) {
@@ -196,72 +212,103 @@ CsrMatrix spgemm_twopass(const CsrMatrix& a, const CsrMatrix& b) {
   const std::int64_t m = a.rows();
   const std::int64_t n = b.cols();
 
+  // Per-lane marker/position scratch: a lane runs one chunk at a time, and
+  // marker entries store the (globally unique) row id, so reuse across rows
+  // and chunks is safe without resets.
+  const auto lanes = static_cast<std::size_t>(support::max_threads());
+
   // Symbolic pass: count distinct columns per output row using a marker
-  // array (reads both inputs once, discards the structure).
+  // array (reads both inputs once, discards the structure). Row-parallel.
   std::vector<std::int64_t> offsets(static_cast<std::size_t>(m) + 1, 0);
-  std::vector<std::int64_t> marker(static_cast<std::size_t>(n), -1);
-  for (std::int64_t r = 0; r < m; ++r) {
-    std::int64_t count = 0;
-    for (std::int32_t ak : a.row_cols(r)) {
-      for (std::int32_t bk : b.row_cols(ak)) {
-        if (marker[static_cast<std::size_t>(bk)] != r) {
-          marker[static_cast<std::size_t>(bk)] = r;
-          ++count;
+  std::vector<std::vector<std::int64_t>> markers(lanes);
+  support::parallel_chunks(0, m, kSpgemmGrain, [&](std::int64_t,
+                                                   std::int64_t r0,
+                                                   std::int64_t r1,
+                                                   int lane) {
+    auto& marker = markers[static_cast<std::size_t>(lane)];
+    if (marker.empty()) {
+      marker.assign(static_cast<std::size_t>(n), -1);
+    }
+    for (std::int64_t r = r0; r < r1; ++r) {
+      std::int64_t count = 0;
+      for (std::int32_t ak : a.row_cols(r)) {
+        for (std::int32_t bk : b.row_cols(ak)) {
+          if (marker[static_cast<std::size_t>(bk)] != r) {
+            marker[static_cast<std::size_t>(bk)] = r;
+            ++count;
+          }
         }
       }
+      offsets[static_cast<std::size_t>(r) + 1] = count;
     }
-    offsets[static_cast<std::size_t>(r) + 1] = count;
-  }
+  });
   for (std::size_t i = 1; i < offsets.size(); ++i) {
     offsets[i] += offsets[i - 1];
   }
 
-  // Numeric pass: re-read both inputs, accumulate values.
+  // Numeric pass: re-read both inputs, accumulate values. Each row fills
+  // its own pre-sized output slice, so rows are independent and the values
+  // are bitwise identical at any thread count.
   const auto nnz = static_cast<std::size_t>(offsets.back());
   std::vector<std::int32_t> cols(nnz);
   std::vector<double> vals(nnz);
-  std::fill(marker.begin(), marker.end(), -1);
-  std::vector<std::int64_t> position(static_cast<std::size_t>(n), 0);
-  for (std::int64_t r = 0; r < m; ++r) {
-    const auto row_begin = offsets[static_cast<std::size_t>(r)];
-    std::int64_t cursor = row_begin;
-    const auto ac = a.row_cols(r);
-    const auto av = a.row_values(r);
-    for (std::size_t i = 0; i < ac.size(); ++i) {
-      const std::int32_t ak = ac[i];
-      const double aval = av[i];
-      const auto bc = b.row_cols(ak);
-      const auto bv = b.row_values(ak);
-      for (std::size_t j = 0; j < bc.size(); ++j) {
-        const std::int32_t c = bc[j];
-        if (marker[static_cast<std::size_t>(c)] != r) {
-          marker[static_cast<std::size_t>(c)] = r;
-          position[static_cast<std::size_t>(c)] = cursor;
-          cols[static_cast<std::size_t>(cursor)] = c;
-          vals[static_cast<std::size_t>(cursor)] = aval * bv[j];
-          ++cursor;
-        } else {
-          vals[static_cast<std::size_t>(
-              position[static_cast<std::size_t>(c)])] += aval * bv[j];
+  for (auto& marker : markers) {
+    std::fill(marker.begin(), marker.end(), -1);
+  }
+  std::vector<std::vector<std::int64_t>> positions(lanes);
+  support::parallel_chunks(0, m, kSpgemmGrain, [&](std::int64_t,
+                                                   std::int64_t r0,
+                                                   std::int64_t r1,
+                                                   int lane) {
+    auto& marker = markers[static_cast<std::size_t>(lane)];
+    auto& position = positions[static_cast<std::size_t>(lane)];
+    if (marker.empty()) {
+      marker.assign(static_cast<std::size_t>(n), -1);
+    }
+    if (position.empty()) {
+      position.assign(static_cast<std::size_t>(n), 0);
+    }
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const auto row_begin = offsets[static_cast<std::size_t>(r)];
+      std::int64_t cursor = row_begin;
+      const auto ac = a.row_cols(r);
+      const auto av = a.row_values(r);
+      for (std::size_t i = 0; i < ac.size(); ++i) {
+        const std::int32_t ak = ac[i];
+        const double aval = av[i];
+        const auto bc = b.row_cols(ak);
+        const auto bv = b.row_values(ak);
+        for (std::size_t j = 0; j < bc.size(); ++j) {
+          const std::int32_t c = bc[j];
+          if (marker[static_cast<std::size_t>(c)] != r) {
+            marker[static_cast<std::size_t>(c)] = r;
+            position[static_cast<std::size_t>(c)] = cursor;
+            cols[static_cast<std::size_t>(cursor)] = c;
+            vals[static_cast<std::size_t>(cursor)] = aval * bv[j];
+            ++cursor;
+          } else {
+            vals[static_cast<std::size_t>(
+                position[static_cast<std::size_t>(c)])] += aval * bv[j];
+          }
         }
       }
+      // Sort the row's columns (values follow).
+      const auto row_end = cursor;
+      std::vector<std::pair<std::int32_t, double>> row;
+      row.reserve(static_cast<std::size_t>(row_end - row_begin));
+      for (std::int64_t k = row_begin; k < row_end; ++k) {
+        row.emplace_back(cols[static_cast<std::size_t>(k)],
+                         vals[static_cast<std::size_t>(k)]);
+      }
+      std::sort(row.begin(), row.end());
+      for (std::int64_t k = row_begin; k < row_end; ++k) {
+        cols[static_cast<std::size_t>(k)] =
+            row[static_cast<std::size_t>(k - row_begin)].first;
+        vals[static_cast<std::size_t>(k)] =
+            row[static_cast<std::size_t>(k - row_begin)].second;
+      }
     }
-    // Sort the row's columns (values follow).
-    const auto row_end = cursor;
-    std::vector<std::pair<std::int32_t, double>> row;
-    row.reserve(static_cast<std::size_t>(row_end - row_begin));
-    for (std::int64_t k = row_begin; k < row_end; ++k) {
-      row.emplace_back(cols[static_cast<std::size_t>(k)],
-                       vals[static_cast<std::size_t>(k)]);
-    }
-    std::sort(row.begin(), row.end());
-    for (std::int64_t k = row_begin; k < row_end; ++k) {
-      cols[static_cast<std::size_t>(k)] =
-          row[static_cast<std::size_t>(k - row_begin)].first;
-      vals[static_cast<std::size_t>(k)] =
-          row[static_cast<std::size_t>(k - row_begin)].second;
-    }
-  }
+  });
   return CsrMatrix(m, n, std::move(offsets), std::move(cols),
                    std::move(vals));
 }
@@ -272,46 +319,76 @@ CsrMatrix spgemm_spa(const CsrMatrix& a, const CsrMatrix& b) {
   const std::int64_t n = b.cols();
 
   // Single pass: dense sparse accumulator gives O(1) scatter into the
-  // current output row; rows are appended to growable arrays (the "large
-  // chunk of memory per task, compacted afterwards" scheme — sequential
-  // here, so the compaction is the final shrink_to_fit).
-  std::vector<double> spa(static_cast<std::size_t>(n), 0.0);
-  std::vector<std::int64_t> marker(static_cast<std::size_t>(n), -1);
-  std::vector<std::int32_t> row_cols;
+  // current output row. Each chunk of rows builds into its own growable
+  // arrays which are compacted into contiguous storage afterwards — the
+  // paper's "large chunk of memory per task, compacted at the end" scheme.
+  // The chunk decomposition is thread-count independent and chunks are
+  // concatenated in order, so the result is identical to the serial pass.
+  const auto lanes = static_cast<std::size_t>(support::max_threads());
+  struct LaneScratch {
+    std::vector<double> spa;
+    std::vector<std::int64_t> marker;
+    std::vector<std::int32_t> row_cols;
+  };
+  std::vector<LaneScratch> scratch(lanes);
+  struct ChunkOut {
+    std::vector<std::int32_t> cols;
+    std::vector<double> vals;
+  };
+  const std::int64_t nchunks = support::num_chunks(0, m, kSpgemmGrain);
+  std::vector<ChunkOut> outs(static_cast<std::size_t>(nchunks));
 
   std::vector<std::int64_t> offsets(static_cast<std::size_t>(m) + 1, 0);
-  std::vector<std::int32_t> cols;
-  std::vector<double> vals;
-  cols.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
-  vals.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
-
-  for (std::int64_t r = 0; r < m; ++r) {
-    row_cols.clear();
-    const auto ac = a.row_cols(r);
-    const auto av = a.row_values(r);
-    for (std::size_t i = 0; i < ac.size(); ++i) {
-      const std::int32_t ak = ac[i];
-      const double aval = av[i];
-      const auto bc = b.row_cols(ak);
-      const auto bv = b.row_values(ak);
-      for (std::size_t j = 0; j < bc.size(); ++j) {
-        const std::int32_t c = bc[j];
-        if (marker[static_cast<std::size_t>(c)] != r) {
-          marker[static_cast<std::size_t>(c)] = r;
-          spa[static_cast<std::size_t>(c)] = aval * bv[j];
-          row_cols.push_back(c);
-        } else {
-          spa[static_cast<std::size_t>(c)] += aval * bv[j];
+  support::parallel_chunks(0, m, kSpgemmGrain, [&](std::int64_t chunk,
+                                                   std::int64_t r0,
+                                                   std::int64_t r1,
+                                                   int lane) {
+    LaneScratch& s = scratch[static_cast<std::size_t>(lane)];
+    if (s.spa.empty() && n > 0) {
+      s.spa.assign(static_cast<std::size_t>(n), 0.0);
+      s.marker.assign(static_cast<std::size_t>(n), -1);
+    }
+    ChunkOut& out = outs[static_cast<std::size_t>(chunk)];
+    for (std::int64_t r = r0; r < r1; ++r) {
+      s.row_cols.clear();
+      const auto ac = a.row_cols(r);
+      const auto av = a.row_values(r);
+      for (std::size_t i = 0; i < ac.size(); ++i) {
+        const std::int32_t ak = ac[i];
+        const double aval = av[i];
+        const auto bc = b.row_cols(ak);
+        const auto bv = b.row_values(ak);
+        for (std::size_t j = 0; j < bc.size(); ++j) {
+          const std::int32_t c = bc[j];
+          if (s.marker[static_cast<std::size_t>(c)] != r) {
+            s.marker[static_cast<std::size_t>(c)] = r;
+            s.spa[static_cast<std::size_t>(c)] = aval * bv[j];
+            s.row_cols.push_back(c);
+          } else {
+            s.spa[static_cast<std::size_t>(c)] += aval * bv[j];
+          }
         }
       }
+      std::sort(s.row_cols.begin(), s.row_cols.end());
+      for (std::int32_t c : s.row_cols) {
+        out.cols.push_back(c);
+        out.vals.push_back(s.spa[static_cast<std::size_t>(c)]);
+      }
+      offsets[static_cast<std::size_t>(r) + 1] =
+          static_cast<std::int64_t>(s.row_cols.size());
     }
-    std::sort(row_cols.begin(), row_cols.end());
-    for (std::int32_t c : row_cols) {
-      cols.push_back(c);
-      vals.push_back(spa[static_cast<std::size_t>(c)]);
-    }
-    offsets[static_cast<std::size_t>(r) + 1] =
-        static_cast<std::int64_t>(cols.size());
+  });
+
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  std::vector<std::int32_t> cols;
+  std::vector<double> vals;
+  cols.reserve(static_cast<std::size_t>(offsets.back()));
+  vals.reserve(static_cast<std::size_t>(offsets.back()));
+  for (const ChunkOut& out : outs) {  // compaction, in chunk order
+    cols.insert(cols.end(), out.cols.begin(), out.cols.end());
+    vals.insert(vals.end(), out.vals.begin(), out.vals.end());
   }
   return CsrMatrix(m, n, std::move(offsets), std::move(cols),
                    std::move(vals));

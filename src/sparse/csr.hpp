@@ -39,7 +39,7 @@ class CsrMatrix {
   std::span<const std::int32_t> row_cols(std::int64_t r) const;
   std::span<const double> row_values(std::int64_t r) const;
 
-  /// Value at (r, c), 0 if not stored (linear scan of the row).
+  /// Value at (r, c), 0 if not stored (binary search of the sorted row).
   double at(std::int64_t r, std::int64_t c) const;
 
   /// Checks offsets are monotone, columns in range and sorted per row.

@@ -1,0 +1,273 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/options.hpp"
+
+namespace cpx::support {
+namespace {
+
+// Lane of the thread currently executing pool work (0 = the calling
+// thread), and whether it is inside a parallel region. Nested parallel
+// calls run inline on the caller's lane so per-lane scratch stays valid.
+thread_local int tl_lane = 0;
+thread_local bool tl_in_region = false;
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int width() const { return width_.load(std::memory_order_relaxed); }
+
+  void resize(int n) {
+    CPX_REQUIRE(n >= 1, "set_max_threads: need >= 1 thread, got " << n);
+    CPX_REQUIRE(!tl_in_region,
+                "set_max_threads: cannot resize inside a parallel region");
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    if (n == width_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    stop_workers();
+    width_.store(n, std::memory_order_relaxed);
+    start_workers();
+  }
+
+  /// Runs fn(chunk, lane) for every chunk in [0, nchunks). The calling
+  /// thread participates as lane 0; chunks are claimed dynamically but the
+  /// chunk set itself is fixed by the caller, so results that depend only
+  /// on the chunk decomposition are thread-count independent.
+  void run(std::int64_t nchunks,
+           const std::function<void(std::int64_t, int)>& fn) {
+    if (nchunks <= 0) {
+      return;
+    }
+    if (tl_in_region) {  // nested: inline on the current lane
+      for (std::int64_t c = 0; c < nchunks; ++c) {
+        fn(c, tl_lane);
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> config(config_mutex_);
+    if (workers_.empty() || nchunks == 1) {
+      config.unlock();
+      tl_in_region = true;
+      struct Reset {
+        ~Reset() { tl_in_region = false; }
+      } reset;
+      tl_lane = 0;
+      for (std::int64_t c = 0; c < nchunks; ++c) {
+        fn(c, 0);
+      }
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      job_fn_ = &fn;
+      job_chunks_ = nchunks;
+      job_pending_.store(nchunks, std::memory_order_relaxed);
+      job_error_ = nullptr;
+      // Release: workers claiming chunks via job_next_ see the fields above.
+      job_next_.store(0, std::memory_order_release);
+      ++generation_;
+    }
+    job_cv_.notify_all();
+    tl_in_region = true;
+    tl_lane = 0;
+    work();
+    tl_in_region = false;
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(job_mutex_);
+      done_cv_.wait(lock, [&] {
+        return job_pending_.load(std::memory_order_acquire) == 0;
+      });
+      error = job_error_;
+      job_error_ = nullptr;
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  ThreadPool() {
+    int n = parse_thread_count(std::getenv("CPX_THREADS"));
+    if (n <= 0) {
+      n = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    width_.store(std::max(n, 1), std::memory_order_relaxed);
+    start_workers();
+  }
+
+  ~ThreadPool() { stop_workers(); }
+
+  void start_workers() {
+    const int n = width_.load(std::memory_order_relaxed);
+    workers_.reserve(static_cast<std::size_t>(n > 1 ? n - 1 : 0));
+    for (int lane = 1; lane < n; ++lane) {
+      workers_.emplace_back([this, lane] { worker_main(lane); });
+    }
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      stop_ = true;
+      ++generation_;
+    }
+    job_cv_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+    workers_.clear();
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    stop_ = false;
+  }
+
+  void worker_main(int lane) {
+    tl_lane = lane;
+    tl_in_region = true;  // parallel calls from inside a chunk run inline
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(job_mutex_);
+        job_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) {
+          return;
+        }
+        seen = generation_;
+      }
+      work();
+    }
+  }
+
+  void work() {
+    while (true) {
+      const std::int64_t c = job_next_.fetch_add(1, std::memory_order_acq_rel);
+      if (c >= job_chunks_) {
+        return;
+      }
+      try {
+        (*job_fn_)(c, tl_lane);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job_mutex_);
+        if (!job_error_) {
+          job_error_ = std::current_exception();
+        }
+      }
+      if (job_pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(job_mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex config_mutex_;  ///< serialises resize against regions
+  std::atomic<int> width_{1};
+  std::vector<std::thread> workers_;
+
+  std::mutex job_mutex_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(std::int64_t, int)>* job_fn_ = nullptr;
+  std::int64_t job_chunks_ = 0;
+  std::atomic<std::int64_t> job_next_{0};
+  std::atomic<std::int64_t> job_pending_{0};
+  std::exception_ptr job_error_;
+};
+
+}  // namespace
+
+int max_threads() { return ThreadPool::instance().width(); }
+
+void set_max_threads(int n) { ThreadPool::instance().resize(n); }
+
+int parse_thread_count(const char* text) {
+  if (text == nullptr || *text == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 1 || v > 65536) {
+    return 0;
+  }
+  return static_cast<int>(v);
+}
+
+int configure_threads(const Options& options) {
+  const long long requested = options.get_int("threads", 0);
+  if (requested >= 1) {
+    set_max_threads(static_cast<int>(requested));
+  }
+  return max_threads();
+}
+
+std::int64_t num_chunks(std::int64_t begin, std::int64_t end,
+                        std::int64_t grain) {
+  if (end <= begin) {
+    return 0;
+  }
+  const std::int64_t g = std::max<std::int64_t>(grain, 1);
+  return (end - begin + g - 1) / g;
+}
+
+std::pair<std::int64_t, std::int64_t> chunk_bounds(std::int64_t begin,
+                                                   std::int64_t end,
+                                                   std::int64_t grain,
+                                                   std::int64_t chunk) {
+  const std::int64_t g = std::max<std::int64_t>(grain, 1);
+  const std::int64_t lo = begin + chunk * g;
+  return {lo, std::min(end, lo + g)};
+}
+
+void parallel_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                     const ChunkFn& fn) {
+  const std::int64_t n = num_chunks(begin, end, grain);
+  if (n == 0) {
+    return;
+  }
+  ThreadPool::instance().run(n, [&](std::int64_t chunk, int lane) {
+    const auto [lo, hi] = chunk_bounds(begin, end, grain, chunk);
+    fn(chunk, lo, hi, lane);
+  });
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const RangeFn& fn) {
+  parallel_chunks(begin, end, grain,
+                  [&](std::int64_t, std::int64_t lo, std::int64_t hi, int) {
+                    fn(lo, hi);
+                  });
+}
+
+double parallel_reduce(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, double init, const ReduceFn& fn) {
+  const std::int64_t n = num_chunks(begin, end, grain);
+  std::vector<double> partial(static_cast<std::size_t>(n), 0.0);
+  parallel_chunks(begin, end, grain,
+                  [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi,
+                      int) { partial[static_cast<std::size_t>(chunk)] = fn(lo, hi); });
+  double acc = init;
+  for (double p : partial) {  // fixed chunk order: deterministic
+    acc += p;
+  }
+  return acc;
+}
+
+}  // namespace cpx::support

@@ -1,0 +1,76 @@
+#pragma once
+// Shared-memory execution layer (docs/parallelism.md).
+//
+// A small dependency-free thread pool exposing a static-partitioned
+// parallel_for. The work decomposition is deterministic: a range is split
+// into chunks of `grain` iterations purely from (begin, end, grain),
+// independent of the thread count, and chunks are handed to whichever
+// worker is free. Kernels that write disjoint outputs per chunk are
+// therefore bitwise identical at any thread count; reductions stay
+// deterministic by accumulating per-chunk partials and combining them in
+// chunk order (parallel_reduce does this for scalars).
+//
+// The pool is process-global and sized, in order of precedence, from
+// set_max_threads(), the CPX_THREADS environment variable, and
+// std::thread::hardware_concurrency(). With a width of 1 every call runs
+// inline on the caller with zero synchronisation. Nested parallel calls
+// from inside a chunk run inline on the calling worker's lane.
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace cpx {
+class Options;
+}  // namespace cpx
+
+namespace cpx::support {
+
+/// Number of execution lanes (worker threads + the calling thread).
+int max_threads();
+
+/// Resizes the pool to `n` >= 1 lanes. Must not be called from inside a
+/// parallel region. n == 1 disables worker threads entirely.
+void set_max_threads(int n);
+
+/// Parses a thread-count string ("4"). Returns 0 for missing/invalid/
+/// non-positive input (callers fall back to hardware concurrency).
+int parse_thread_count(const char* text);
+
+/// Applies --threads=N from parsed CLI options (fallback: the current
+/// width, i.e. CPX_THREADS / hardware concurrency). Returns the width.
+int configure_threads(const Options& options);
+
+/// Number of chunks the deterministic decomposition produces for
+/// [begin, end) with the given grain (grain is clamped to >= 1).
+std::int64_t num_chunks(std::int64_t begin, std::int64_t end,
+                        std::int64_t grain);
+
+/// Half-open iteration range of chunk `chunk` of the decomposition.
+std::pair<std::int64_t, std::int64_t> chunk_bounds(std::int64_t begin,
+                                                   std::int64_t end,
+                                                   std::int64_t grain,
+                                                   std::int64_t chunk);
+
+/// fn(chunk, chunk_begin, chunk_end, lane): called once per chunk, on any
+/// lane in [0, max_threads()). A lane executes at most one chunk at a time,
+/// so per-lane scratch needs no locking. Exceptions thrown by fn are
+/// rethrown (first one wins) on the calling thread.
+using ChunkFn = std::function<void(std::int64_t chunk, std::int64_t begin,
+                                   std::int64_t end, int lane)>;
+void parallel_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                     const ChunkFn& fn);
+
+/// fn(chunk_begin, chunk_end): chunk-id-free convenience wrapper for
+/// kernels whose chunks write disjoint outputs.
+using RangeFn = std::function<void(std::int64_t begin, std::int64_t end)>;
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const RangeFn& fn);
+
+/// init + sum of fn(chunk_begin, chunk_end) over all chunks, combined in
+/// chunk order — deterministic for a fixed grain at any thread count.
+using ReduceFn = std::function<double(std::int64_t begin, std::int64_t end)>;
+double parallel_reduce(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, double init, const ReduceFn& fn);
+
+}  // namespace cpx::support

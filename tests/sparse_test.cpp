@@ -34,6 +34,29 @@ TEST(Csr, RejectsOutOfRangeTriplets) {
   EXPECT_THROW(csr_from_triplets(2, 3, t), CheckError);
 }
 
+TEST(Csr, AtBinarySearchesTheRow) {
+  // Row 0 spans first and last columns; row 1 is sparse in the middle;
+  // row 2 is empty.
+  const std::vector<Triplet> t = {
+      {0, 0, 1.0}, {0, 3, 2.0}, {0, 7, 3.0}, {1, 2, -4.0}, {1, 5, 5.0}};
+  const CsrMatrix m = csr_from_triplets(3, 8, t);
+  // Hits, including the first and last stored column of a row.
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 7), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 5), 5.0);
+  // Misses: before the first entry, between entries, after the last entry,
+  // and anywhere in an empty row.
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 6), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 7), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 7), 0.0);
+}
+
 TEST(Csr, IdentityActsAsIdentity) {
   const CsrMatrix i = CsrMatrix::identity(5);
   std::vector<double> x = {1, 2, 3, 4, 5};
