@@ -11,10 +11,36 @@
 
 #include "perfmodel/sweep.hpp"
 #include "sim/cluster.hpp"
+#include "support/metrics.hpp"
+#include "support/options.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
 namespace cpx::bench {
+
+/// Applies --metrics=<path> (and the CPX_METRICS environment default) for
+/// a bench run; on scope exit, prints the host-metrics tables and writes
+/// the JSON report next to the bench output. Inert when metrics are off.
+class MetricsGuard {
+ public:
+  explicit MetricsGuard(const Options& options)
+      : enabled_(support::metrics::configure(options)) {}
+  ~MetricsGuard() {
+    if (!enabled_) {
+      return;
+    }
+    support::metrics::write_text(std::cout);
+    if (support::metrics::write_report()) {
+      std::cout << "host metrics JSON written to "
+                << support::metrics::output_path() << "\n";
+    }
+  }
+  MetricsGuard(const MetricsGuard&) = delete;
+  MetricsGuard& operator=(const MetricsGuard&) = delete;
+
+ private:
+  bool enabled_;
+};
 
 /// A measured strong-scaling series with derived speedup/PE columns
 /// (relative to the first core count).

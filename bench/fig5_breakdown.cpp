@@ -9,11 +9,21 @@
 #include <iostream>
 #include <map>
 
+#include "bench_common.hpp"
 #include "pressure/surrogate.hpp"
+#include "support/options.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cpx;
+
+  Options opts = Options::parse(argc, argv);
+  opts.describe("metrics", "write host-metrics JSON to this path");
+  if (opts.get_bool("help", false)) {
+    std::cout << opts.help_text("fig5_breakdown");
+    return 0;
+  }
+  bench::MetricsGuard metrics_guard(opts);
 
   // --- Fig 5a: function breakdown at 2048 cores ---
   pressure::Instance at2048("p", pressure::Config::base_28m(), {0, 2048});

@@ -54,10 +54,13 @@ int main(int argc, char** argv) {
   opts.describe("queries", "coupler donor queries (default 100000)");
   opts.describe("reps", "timed repetitions per kernel, best-of (default 3)");
   opts.describe("max-threads", "largest pool width to sweep (default max(4, hw))");
+  opts.describe("metrics", "write host-metrics JSON to this path");
   if (opts.get_bool("help", false)) {
     std::cout << opts.help_text("threads_scaling");
     return 0;
   }
+
+  bench::MetricsGuard metrics_guard(opts);  // --metrics=<path> / CPX_METRICS
 
   const int n = static_cast<int>(opts.get_int("n", 100));
   const int spgemm_n = static_cast<int>(opts.get_int("spgemm-n", 512));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace cpx::amg {
 namespace {
@@ -95,6 +96,7 @@ AmgHierarchy::AmgHierarchy(sparse::CsrMatrix a, const AmgOptions& options)
     : options_(options) {
   CPX_REQUIRE(a.rows() == a.cols(), "AmgHierarchy: matrix must be square");
   CPX_REQUIRE(options.max_levels >= 1, "AmgHierarchy: bad max_levels");
+  CPX_METRICS_SCOPE("amg/setup");
 
   levels_.push_back({std::move(a), {}, {}});
   while (num_levels() < options_.max_levels &&
@@ -247,6 +249,7 @@ void AmgHierarchy::cycle(std::span<double> x, std::span<const double> b) {
   CPX_REQUIRE(x.size() == static_cast<std::size_t>(levels_.front().a.rows()),
               "cycle: x size mismatch");
   CPX_REQUIRE(b.size() == x.size(), "cycle: b size mismatch");
+  CPX_METRICS_SCOPE("amg/cycle");
   cycle_at(0, x, b);
 }
 
@@ -260,6 +263,7 @@ int AmgHierarchy::solve(std::span<double> x, std::span<const double> b,
   std::vector<double> r(x.size());
   for (int c = 1; c <= max_cycles; ++c) {
     cycle(x, b);
+    support::metrics::counter_add("amg/solve_cycles", 1);
     residual(levels_.front().a, x, b, r);
     if (norm2(r) / bnorm <= tol) {
       return c;

@@ -6,6 +6,7 @@
 
 #include "amg/hierarchy.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace cpx::amg {
 namespace {
@@ -25,6 +26,7 @@ PcgResult pcg(const sparse::CsrMatrix& a, std::span<double> x,
               const Preconditioner& precond) {
   const auto n = static_cast<std::size_t>(a.rows());
   CPX_REQUIRE(x.size() == n && b.size() == n, "pcg: vector size mismatch");
+  CPX_METRICS_SCOPE("amg/pcg");
 
   std::vector<double> r(n);
   std::vector<double> z(n);
@@ -72,6 +74,7 @@ PcgResult pcg(const sparse::CsrMatrix& a, std::span<double> x,
     }
     rnorm = std::sqrt(dot(r, r));
     result.iterations = it;
+    support::metrics::counter_add("amg/pcg_iterations", 1);
     if (rnorm <= stop) {
       result.converged = true;
       break;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace cpx::amg {
@@ -84,6 +85,7 @@ void smooth(const sparse::CsrMatrix& a, std::span<double> x,
               "smooth: vector size mismatch");
   CPX_REQUIRE(scratch.size() >= static_cast<std::size_t>(n),
               "smooth: scratch too small");
+  CPX_METRICS_SCOPE("amg/smooth");
   switch (options.kind) {
     case SmootherKind::kJacobi:
       jacobi_sweep(a, x, b, options.jacobi_omega, /*l1=*/false, scratch);

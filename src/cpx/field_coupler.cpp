@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace cpx::coupler {
@@ -76,6 +77,7 @@ void FieldCoupler::advance_rotation(double radians) {
 }
 
 void FieldCoupler::remap() {
+  CPX_METRICS_SCOPE("coupler/remap");
   const std::vector<mesh::Vec3> moved =
       rotation_ == 0.0 ? donors_ : rotate_z(donors_, rotation_);
   stencils_ = build_idw_stencils(moved, targets_, stencil_size_);
@@ -89,6 +91,15 @@ void FieldCoupler::transfer(std::span<const double> donor_field,
               "transfer: donor field size mismatch");
   CPX_REQUIRE(target_field.size() == targets_.size(),
               "transfer: target field size mismatch");
+  // The transfer is the mini-app's stand-in for the inter-code exchange, so
+  // it is tagged as communication; byte volume counts both field payloads.
+  CPX_METRICS_SCOPE_COMM("coupler/exchange");
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add(
+        "coupler/exchange_bytes",
+        static_cast<std::int64_t>((donor_field.size() + target_field.size()) *
+                                  sizeof(double)));
+  }
   const bool never_mapped = remap_count_ == 0;
   const bool moved = kind_ == InterfaceKind::kSlidingPlane &&
                      rotation_ != mapped_rotation_;

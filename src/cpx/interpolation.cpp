@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace cpx::coupler {
@@ -43,6 +44,7 @@ std::vector<Stencil> build_idw_stencils(
     const std::vector<mesh::Vec3>& targets, int k) {
   CPX_REQUIRE(!donors.empty(), "build_idw_stencils: empty donor set");
   CPX_REQUIRE(k >= 1, "build_idw_stencils: bad k");
+  CPX_METRICS_SCOPE("coupler/map_build");
   const int kk = std::min<int>(k, static_cast<int>(donors.size()));
   const auto nt = static_cast<std::int64_t>(targets.size());
 
@@ -100,6 +102,7 @@ void apply_stencils(std::span<const Stencil> stencils,
                     std::span<double> target_field) {
   CPX_REQUIRE(target_field.size() == stencils.size(),
               "apply_stencils: target size mismatch");
+  CPX_METRICS_SCOPE("coupler/interpolate");
   support::parallel_for(
       0, static_cast<std::int64_t>(stencils.size()), kStencilGrain,
       [&](std::int64_t t0, std::int64_t t1) {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace cpx::coupler {
@@ -104,6 +105,7 @@ std::int64_t KdTree::nearest(const mesh::Vec3& query) const {
 
 std::vector<std::int64_t> KdTree::nearest_batch(
     std::span<const mesh::Vec3> queries) const {
+  CPX_METRICS_SCOPE("coupler/search");
   const auto nq = static_cast<std::int64_t>(queries.size());
   std::vector<std::int64_t> out(queries.size(), -1);
   const std::int64_t nchunks = support::num_chunks(0, nq, kQueryGrain);
@@ -125,6 +127,10 @@ std::vector<std::int64_t> KdTree::nearest_batch(
     total += v;
   }
   visited_ = total;
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("coupler/search_queries", nq);
+    support::metrics::counter_add("coupler/search_visited", total);
+  }
   return out;
 }
 

@@ -1,5 +1,9 @@
 #include "perfmodel/persistence.hpp"
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -12,6 +16,14 @@ namespace {
 constexpr const char* kHeader = "# cpx-perfmodel v1";
 
 void save_one(std::ostream& out, const char* tag, const InstanceModel& m) {
+  // The format is whitespace-delimited; a name containing whitespace would
+  // save fine and then fail to load (its second word would be parsed as
+  // the scale= token). Refuse it at save time rather than corrupt.
+  CPX_REQUIRE(!m.name.empty(), "save_models: component has an empty name");
+  CPX_REQUIRE(m.name.find_first_of(" \t\r\n") == std::string::npos,
+              "save_models: component name '"
+                  << m.name << "' contains whitespace and would not "
+                               "round-trip the line-based model format");
   const auto& c = m.curve.coefficients();
   out << tag << " " << m.name << " scale=" << m.scale << " min=" << m.min_ranks
       << " max=" << m.max_ranks << " a=" << c[0] << " b=" << c[1]
@@ -23,13 +35,25 @@ double kv_double(const std::string& token, const char* key, int line_no) {
   CPX_REQUIRE(token.rfind(prefix, 0) == 0,
               "model file line " << line_no << ": expected " << key
                                  << "=..., got '" << token << "'");
-  try {
-    return std::stod(token.substr(prefix.size()));
-  } catch (const std::exception&) {
-    CPX_REQUIRE(false, "model file line " << line_no << ": bad number in '"
-                                          << token << "'");
-  }
-  return 0.0;
+  const std::string text = token.substr(prefix.size());
+  // Strict parse: the whole value must be one finite number (std::stod
+  // would silently accept trailing junk like "scale=1x").
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  CPX_REQUIRE(!text.empty() && end == text.c_str() + text.size() &&
+                  errno != ERANGE && std::isfinite(v),
+              "model file line " << line_no << ": bad number in '" << token
+                                 << "'");
+  return v;
+}
+
+int kv_rank_bound(double value, const char* key, int line_no) {
+  CPX_REQUIRE(value >= 1.0 && value <= static_cast<double>(INT_MAX) &&
+                  value == std::floor(value),
+              "model file line " << line_no << ": " << key << "=" << value
+                                 << " is not a positive integer rank bound");
+  return static_cast<int>(value);
 }
 
 InstanceModel load_one(const std::string& line, int line_no) {
@@ -47,9 +71,18 @@ InstanceModel load_one(const std::string& line, int line_no) {
                 "model file line " << line_no << ": missing " << keys[k]);
     values[k] = kv_double(tok, keys[k], line_no);
   }
+  CPX_REQUIRE(!(iss >> tok), "model file line "
+                                 << line_no << ": trailing token '" << tok
+                                 << "' after d=");
+  CPX_REQUIRE(values[0] > 0.0, "model file line "
+                                   << line_no << ": scale=" << values[0]
+                                   << " must be positive");
   m.scale = values[0];
-  m.min_ranks = static_cast<int>(values[1]);
-  m.max_ranks = static_cast<int>(values[2]);
+  m.min_ranks = kv_rank_bound(values[1], "min", line_no);
+  m.max_ranks = kv_rank_bound(values[2], "max", line_no);
+  CPX_REQUIRE(m.min_ranks <= m.max_ranks,
+              "model file line " << line_no << ": min=" << m.min_ranks
+                                 << " exceeds max=" << m.max_ranks);
   m.curve = ScalingCurve::from_coefficients(
       {values[3], values[4], values[5], values[6]});
   return m;

@@ -11,23 +11,21 @@ Profile::Profile(int num_ranks) : num_ranks_(num_ranks) {
 }
 
 RegionId Profile::region(std::string_view name) {
-  const RegionId existing = find_region(name);
-  if (existing >= 0) {
-    return existing;
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
   }
   names_.emplace_back(name);
   compute_.emplace_back(static_cast<std::size_t>(num_ranks_), 0.0);
   comm_.emplace_back(static_cast<std::size_t>(num_ranks_), 0.0);
-  return static_cast<RegionId>(names_.size() - 1);
+  const auto id = static_cast<RegionId>(names_.size() - 1);
+  index_.emplace(names_.back(), id);
+  return id;
 }
 
 RegionId Profile::find_region(std::string_view name) const {
-  for (std::size_t i = 0; i < names_.size(); ++i) {
-    if (names_[i] == name) {
-      return static_cast<RegionId>(i);
-    }
-  }
-  return -1;
+  const auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
 }
 
 const std::string& Profile::region_name(RegionId id) const {

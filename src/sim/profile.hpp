@@ -6,6 +6,7 @@
 // the paper's Fig 5 are first-class outputs.
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,6 +67,10 @@ class Profile {
 
   int num_ranks_;
   std::vector<std::string> names_;
+  // Name -> id index (heterogeneous lookup, so region() takes no copy on
+  // the hot hit path). Ids stay the order of first interning — names_ is
+  // the id-ordered source of truth, the map only accelerates lookup.
+  std::map<std::string, RegionId, std::less<>> index_;
   // Indexed [region][rank]; grown lazily as regions are interned.
   std::vector<std::vector<double>> compute_;
   std::vector<std::vector<double>> comm_;

@@ -4,6 +4,7 @@
 
 #include "sim/cluster.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace cpx::sim {
 
@@ -27,14 +28,17 @@ void write_chrome_trace(std::ostream& os, const Cluster& cluster) {
   const Trace& trace = *cluster.trace();
   const Profile& profile = cluster.profile();
   os << "[\n";
-  bool first = true;
+  // Metadata event first: the dropped-event count, so a truncated timeline
+  // (the Trace store is bounded) is detectable instead of silently partial.
+  os << R"({"name":"cpx_trace_dropped","ph":"M","pid":0,"tid":0,"args":{"dropped":)"
+     << trace.dropped() << "}}";
   for (const TraceEvent& e : trace.events()) {
-    if (!first) {
-      os << ",\n";
-    }
-    first = false;
     // Chrome trace-event "complete" events; virtual seconds -> micros.
-    os << R"({"name":")" << profile.region_name(e.region)
+    // Region names are user-provided and must be escaped: an unescaped
+    // '"' or '\' would make the whole file invalid JSON.
+    os << ",\n"
+       << R"({"name":")"
+       << support::metrics::json_escape(profile.region_name(e.region))
        << R"(","cat":")"
        << (e.kind == TraceKind::kCompute ? "compute" : "comm")
        << R"(","ph":"X","ts":)" << e.start * 1e6 << R"(,"dur":)"

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 
@@ -77,6 +78,7 @@ double Pic::cell_of(double x) const {
 }
 
 void Pic::deposit() {
+  CPX_METRICS_SCOPE("simpic/deposit");
   const auto nodes = static_cast<std::size_t>(num_nodes());
   const auto np = static_cast<std::int64_t>(x_.size());
 
@@ -160,6 +162,7 @@ std::vector<double> Pic::solve_poisson_dirichlet(
 }
 
 void Pic::solve_field() {
+  CPX_METRICS_SCOPE("simpic/field");
   if (options_.boundary == Boundary::kPeriodic) {
     // Periodic Poisson solve via cyclic reduction is overkill in 1-D; use
     // the standard trick: subtract the mean charge (solvability), then
@@ -209,8 +212,12 @@ void Pic::solve_field() {
 }
 
 void Pic::push() {
+  CPX_METRICS_SCOPE("simpic/push");
   const double qm = -1.0;  // electron charge-to-mass in normalised units
   const auto np = static_cast<std::int64_t>(x_.size());
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("simpic/particles_pushed", np);
+  }
   push_x_.resize(static_cast<std::size_t>(np));
   push_v_.resize(static_cast<std::size_t>(np));
   push_keep_.resize(static_cast<std::size_t>(np));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace cpx::sparse {
@@ -140,6 +141,17 @@ void spmv(const CsrMatrix& a, std::span<const double> x,
               "spmv: x size mismatch");
   CPX_REQUIRE(y.size() == static_cast<std::size_t>(a.rows()),
               "spmv: y size mismatch");
+  CPX_METRICS_SCOPE("sparse/spmv");
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("sparse/spmv_nnz", a.nnz());
+    // Streaming estimate: values + column indices + x gathers + y stores.
+    support::metrics::counter_add(
+        "sparse/spmv_bytes",
+        a.nnz() * static_cast<std::int64_t>(sizeof(double) +
+                                            sizeof(std::int32_t) +
+                                            sizeof(double)) +
+            a.rows() * static_cast<std::int64_t>(sizeof(double)));
+  }
   const auto& offsets = a.row_offsets();
   const auto& cols = a.col_indices();
   const auto& vals = a.values();
@@ -163,6 +175,10 @@ void spmv_add(const CsrMatrix& a, std::span<const double> x,
               "spmv_add: x size mismatch");
   CPX_REQUIRE(y.size() == static_cast<std::size_t>(a.rows()),
               "spmv_add: y size mismatch");
+  CPX_METRICS_SCOPE("sparse/spmv");
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("sparse/spmv_nnz", a.nnz());
+  }
   const auto& offsets = a.row_offsets();
   const auto& cols = a.col_indices();
   const auto& vals = a.values();
@@ -209,6 +225,7 @@ CsrMatrix transpose(const CsrMatrix& a) {
 
 CsrMatrix spgemm_twopass(const CsrMatrix& a, const CsrMatrix& b) {
   CPX_REQUIRE(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
+  CPX_METRICS_SCOPE("sparse/spgemm_twopass");
   const std::int64_t m = a.rows();
   const std::int64_t n = b.cols();
 
@@ -315,6 +332,7 @@ CsrMatrix spgemm_twopass(const CsrMatrix& a, const CsrMatrix& b) {
 
 CsrMatrix spgemm_spa(const CsrMatrix& a, const CsrMatrix& b) {
   CPX_REQUIRE(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
+  CPX_METRICS_SCOPE("sparse/spgemm_spa");
   const std::int64_t m = a.rows();
   const std::int64_t n = b.cols();
 

@@ -1,0 +1,183 @@
+#pragma once
+// Host-side observability layer (docs/observability.md): wall-clock region
+// timers, monotonic counters, and exporters for the *real* execution of
+// the threaded kernels — the host complement of the virtual-cluster
+// sim::Profile / sim::Trace. Where the simulator accounts virtual seconds
+// per rank, this module accounts steady_clock seconds per thread, so the
+// Fig-5-style compute/comm breakdowns and the BENCH_*.json trajectories
+// can be produced mechanically from real runs.
+//
+// Design:
+//  * Disabled by default. When disabled, every entry point is a single
+//    relaxed atomic load — cheap enough to leave CPX_METRICS_SCOPE in
+//    SpMV-class kernels permanently (<2% on the threads_scaling sweep).
+//  * Regions are hierarchical: nested ScopedTimers build a path of region
+//    names joined with ';' ("workflow/exchange;coupler/search"). Region
+//    names themselves use 'module/name' ('/' never nests; only ';' does).
+//  * Accumulation is per-thread (one uncontended mutex per thread state);
+//    snapshot() merges all threads into one map sorted by path, so the
+//    merged result is deterministic regardless of thread count or
+//    interleaving. Timings naturally vary run to run; the region/counter
+//    *set* and counter values do not.
+//  * Enable with CPX_METRICS=<path> (or =1 for no file) in the
+//    environment, --metrics=<path> on any bench that calls configure(),
+//    or set_enabled(true) programmatically. CPX_METRICS_TRACE=1
+//    additionally records a bounded per-thread event timeline exportable
+//    as Chrome trace-event JSON alongside the virtual-cluster trace.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpx {
+class Options;
+}  // namespace cpx
+
+namespace cpx::support::metrics {
+
+/// Host analogue of the simulator's compute/communication split: tag
+/// data-movement-dominated regions (coupler exchanges, halo packing) as
+/// kComm so breakdowns can separate them from arithmetic.
+enum class RegionKind { kCompute, kComm };
+
+struct RegionSnapshot {
+  std::string path;  ///< nested region names joined with ';'
+  RegionKind kind = RegionKind::kCompute;
+  std::int64_t calls = 0;
+  double seconds = 0.0;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// A deterministic merged view of all thread-local accumulators.
+struct Snapshot {
+  std::vector<RegionSnapshot> regions;    ///< sorted by path
+  std::vector<CounterSnapshot> counters;  ///< sorted by name
+  std::int64_t trace_events = 0;
+  std::int64_t trace_dropped = 0;
+
+  /// Sum of seconds over regions whose path contains `needle` (substring
+  /// match on the full nested path), optionally restricted to one kind.
+  double seconds_matching(std::string_view needle) const;
+  const RegionSnapshot* find(std::string_view path) const;
+  std::int64_t counter(std::string_view name) const;
+};
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_trace;
+
+struct ThreadState;
+ThreadState& thread_state();
+std::chrono::steady_clock::time_point region_enter(ThreadState& ts,
+                                                   std::string_view name,
+                                                   RegionKind kind);
+void region_exit(ThreadState& ts,
+                 std::chrono::steady_clock::time_point start);
+void counter_add_slow(std::string_view name, std::int64_t delta);
+
+}  // namespace detail
+
+/// True when the layer is recording. A relaxed load: the only cost paid
+/// by instrumented kernels when observability is off.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on);
+
+/// Per-event timeline recording (bounded per thread; drops are counted).
+/// Implies nothing about enabled(): events record only when both are on.
+void set_trace_events(bool on);
+inline bool trace_events_enabled() {
+  return detail::g_trace.load(std::memory_order_relaxed);
+}
+
+/// Adds to a named monotonic counter (bytes moved, nnz processed, solver
+/// iterations, ...). No-op when disabled.
+inline void counter_add(std::string_view name, std::int64_t delta) {
+  if (enabled()) {
+    detail::counter_add_slow(name, delta);
+  }
+}
+
+/// RAII region timer. Nestable; per-thread; safe inside pool tasks.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name,
+                       RegionKind kind = RegionKind::kCompute) {
+    if (enabled()) {
+      state_ = &detail::thread_state();
+      start_ = detail::region_enter(*state_, name, kind);
+    }
+  }
+  ~ScopedTimer() {
+    if (state_ != nullptr) {
+      detail::region_exit(*state_, start_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  detail::ThreadState* state_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Merges every thread's accumulators (live and exited) deterministically.
+Snapshot snapshot();
+
+/// Clears all accumulated regions, counters, and trace events. Call only
+/// outside parallel regions with no ScopedTimer alive.
+void reset();
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared with sim::write_chrome_trace.
+std::string json_escape(std::string_view text);
+
+/// JSON report (schema "cpx-metrics-v1", docs/observability.md).
+void write_json(std::ostream& os);
+void write_json(std::ostream& os, const Snapshot& snap);
+
+/// Aligned text tables (support/table) for human consumption.
+void write_text(std::ostream& os);
+
+/// Recorded host events as Chrome trace-event JSON (pid 0 = host process,
+/// tid = thread index, ts/dur in wall-clock microseconds since the first
+/// metrics activity). Includes a metadata event with the dropped count.
+void write_chrome_trace(std::ostream& os);
+
+/// Applies --metrics=<path> from parsed CLI options (in addition to the
+/// CPX_METRICS environment default). Returns true if metrics are enabled.
+bool configure(const Options& options);
+
+/// The report path from --metrics / CPX_METRICS; empty when none was set.
+const std::string& output_path();
+
+/// Writes the JSON report to output_path(). Returns false (and writes
+/// nothing) when no path is configured.
+bool write_report();
+
+}  // namespace cpx::support::metrics
+
+#define CPX_METRICS_CONCAT_IMPL(a, b) a##b
+#define CPX_METRICS_CONCAT(a, b) CPX_METRICS_CONCAT_IMPL(a, b)
+
+/// Times the enclosing scope as a compute region. Near-free when disabled.
+#define CPX_METRICS_SCOPE(name)                        \
+  ::cpx::support::metrics::ScopedTimer CPX_METRICS_CONCAT( \
+      cpx_metrics_scope_, __LINE__)(name)
+
+/// Times the enclosing scope as a communication/data-movement region.
+#define CPX_METRICS_SCOPE_COMM(name)                   \
+  ::cpx::support::metrics::ScopedTimer CPX_METRICS_CONCAT( \
+      cpx_metrics_scope_, __LINE__)(                   \
+      name, ::cpx::support::metrics::RegionKind::kComm)

@@ -1,5 +1,7 @@
 #include "support/options.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -44,11 +46,20 @@ long long Options::get_int(const std::string& key, long long fallback) const {
   if (it == values_.end()) {
     return fallback;
   }
+  const std::string& text = it->second;
+  CPX_REQUIRE(!text.empty(),
+              "Options: --" << key << " expects an integer, got an empty "
+                               "value (did you mean --"
+                            << key << "=<n>?)");
+  errno = 0;
   char* end = nullptr;
-  const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  CPX_REQUIRE(end != nullptr && *end == '\0',
-              "Options: --" << key << " expects an integer, got '"
-                            << it->second << "'");
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  CPX_REQUIRE(end != text.c_str() && end != nullptr && *end == '\0',
+              "Options: --" << key << " expects an integer, got '" << text
+                            << "'");
+  CPX_REQUIRE(errno != ERANGE,
+              "Options: --" << key << " value '" << text
+                            << "' is out of range for a 64-bit integer");
   return v;
 }
 
@@ -57,11 +68,22 @@ double Options::get_double(const std::string& key, double fallback) const {
   if (it == values_.end()) {
     return fallback;
   }
+  const std::string& text = it->second;
+  CPX_REQUIRE(!text.empty(),
+              "Options: --" << key << " expects a number, got an empty "
+                               "value (did you mean --"
+                            << key << "=<x>?)");
+  errno = 0;
   char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  CPX_REQUIRE(end != nullptr && *end == '\0',
-              "Options: --" << key << " expects a number, got '" << it->second
+  const double v = std::strtod(text.c_str(), &end);
+  CPX_REQUIRE(end != text.c_str() && end != nullptr && *end == '\0',
+              "Options: --" << key << " expects a number, got '" << text
                             << "'");
+  // ERANGE overflow saturates to +/-HUGE_VAL — reject it. ERANGE underflow
+  // (denormal/zero results like 1e-400) is representable enough to accept.
+  CPX_REQUIRE(errno != ERANGE || std::abs(v) != HUGE_VAL,
+              "Options: --" << key << " value '" << text
+                            << "' overflows a double");
   return v;
 }
 

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/options.hpp"
 
 namespace cpx::support {
@@ -20,6 +23,17 @@ namespace {
 // calls run inline on the caller's lane so per-lane scratch stays valid.
 thread_local int tl_lane = 0;
 thread_local bool tl_in_region = false;
+
+/// Per-lane execution-time counter name, built once per thread: the lane a
+/// worker serves never changes, and per-lane totals are what make pool
+/// imbalance visible in the merged metrics (docs/observability.md).
+const std::string& lane_exec_counter_name(int lane) {
+  thread_local std::string name;
+  if (name.empty()) {
+    name = "pool/exec_ns/lane" + std::to_string(lane);
+  }
+  return name;
+}
 
 class ThreadPool {
  public:
@@ -74,9 +88,31 @@ class ThreadPool {
       }
       return;
     }
+    // Per-task queue wait (submit -> claim) and per-lane execution time.
+    // Wrapped only when metrics are on: the wrapper costs two clock reads
+    // per chunk. The serial/inline paths above stay unwrapped — there is
+    // no queue and the caller's own region timer already covers them.
+    std::function<void(std::int64_t, int)> timed;
+    const std::function<void(std::int64_t, int)>* run_fn = &fn;
+    if (metrics::enabled()) {
+      const auto submit = std::chrono::steady_clock::now();
+      timed = [&fn, submit](std::int64_t chunk, int lane) {
+        const auto claim = std::chrono::steady_clock::now();
+        fn(chunk, lane);
+        const auto done = std::chrono::steady_clock::now();
+        const auto ns = [](auto a, auto b) {
+          return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+              .count();
+        };
+        metrics::counter_add("pool/tasks", 1);
+        metrics::counter_add("pool/queue_wait_ns", ns(submit, claim));
+        metrics::counter_add(lane_exec_counter_name(lane), ns(claim, done));
+      };
+      run_fn = &timed;
+    }
     {
       std::lock_guard<std::mutex> lock(job_mutex_);
-      job_fn_ = &fn;
+      job_fn_ = run_fn;
       job_chunks_ = nchunks;
       job_pending_.store(nchunks, std::memory_order_relaxed);
       job_error_ = nullptr;

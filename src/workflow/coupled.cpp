@@ -7,6 +7,7 @@
 #include "thermal/instance.hpp"
 #include "simpic/instance.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace cpx::workflow {
 
@@ -96,22 +97,30 @@ void CoupledSimulation::run(int density_steps) {
   for (int d = 0; d < density_steps; ++d) {
     const int step_index = density_steps_run_ + d;
     // Density (and other non-pressure) instances advance first...
-    for (std::size_t i = 0; i < apps_.size(); ++i) {
-      if (case_.instances[i].kind != AppKind::kSimpic) {
-        step_instance(static_cast<int>(i));
+    {
+      CPX_METRICS_SCOPE("workflow/density_phase");
+      for (std::size_t i = 0; i < apps_.size(); ++i) {
+        if (case_.instances[i].kind != AppKind::kSimpic) {
+          step_instance(static_cast<int>(i));
+        }
       }
     }
     // ...then the pressure proxy (two pressure steps per density step)...
-    for (std::size_t i = 0; i < apps_.size(); ++i) {
-      if (case_.instances[i].kind == AppKind::kSimpic) {
-        step_instance(static_cast<int>(i));
+    {
+      CPX_METRICS_SCOPE("workflow/pressure_phase");
+      for (std::size_t i = 0; i < apps_.size(); ++i) {
+        if (case_.instances[i].kind == AppKind::kSimpic) {
+          step_instance(static_cast<int>(i));
+        }
       }
     }
     // ...then every coupler whose cadence fires this step.
     if (coupling_enabled_) {
+      CPX_METRICS_SCOPE_COMM("workflow/exchange_phase");
       for (std::size_t i = 0; i < cus_.size(); ++i) {
         if (step_index % case_.couplers[i].exchange_every == 0) {
           cus_[i]->exchange(*cluster_);
+          support::metrics::counter_add("workflow/exchanges", 1);
         }
       }
     }

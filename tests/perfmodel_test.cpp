@@ -257,6 +257,67 @@ TEST(Persistence, RejectsMalformedFiles) {
   }
 }
 
+TEST(Persistence, SaveLoadSaveIsByteIdentical) {
+  // Full round-trip stability: what save emits, load reconstructs exactly,
+  // and a second save reproduces byte for byte.
+  ModelSet models;
+  InstanceModel app = flat_model("mgcfd_150m", 321.5, 3.2e-5, 16);
+  app.scale = 1.75e3;
+  app.max_ranks = 4096;
+  models.apps.push_back(app);
+  models.cus.push_back(flat_model("cu_row1_row2", 0.5));
+
+  std::ostringstream first;
+  save_models(first, models);
+  std::istringstream in(first.str());
+  const ModelSet loaded = load_models(in);
+  std::ostringstream second;
+  save_models(second, loaded);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Persistence, SaveRejectsNamesThatWouldNotRoundTrip) {
+  // The format is whitespace-delimited: a name with whitespace (or none at
+  // all) saves "fine" and then fails to load. Refuse at save time.
+  for (const char* name : {"", "two words", "tab\tname", "new\nline"}) {
+    ModelSet models;
+    InstanceModel m = flat_model("ok", 1.0);
+    m.name = name;
+    models.apps.push_back(m);
+    std::ostringstream out;
+    EXPECT_THROW(save_models(out, models), CheckError) << "name='" << name
+                                                       << "'";
+  }
+}
+
+TEST(Persistence, RejectsInvalidFieldValues) {
+  const char* bad[] = {
+      // min > max.
+      "# cpx-perfmodel v1\napp x scale=1 min=5 max=2 a=1 b=0 c=0 d=0",
+      // Non-positive scale.
+      "# cpx-perfmodel v1\napp x scale=0 min=1 max=2 a=1 b=0 c=0 d=0",
+      "# cpx-perfmodel v1\napp x scale=-3 min=1 max=2 a=1 b=0 c=0 d=0",
+      // Rank bounds must be positive integers.
+      "# cpx-perfmodel v1\napp x scale=1 min=0 max=2 a=1 b=0 c=0 d=0",
+      "# cpx-perfmodel v1\napp x scale=1 min=-4 max=2 a=1 b=0 c=0 d=0",
+      "# cpx-perfmodel v1\napp x scale=1 min=1.5 max=2 a=1 b=0 c=0 d=0",
+      "# cpx-perfmodel v1\napp x scale=1 min=1 max=2.5 a=1 b=0 c=0 d=0",
+      // Trailing junk inside and after the numbers.
+      "# cpx-perfmodel v1\napp x scale=1x min=1 max=2 a=1 b=0 c=0 d=0",
+      "# cpx-perfmodel v1\napp x scale=1 min=1 max=2 a=1 b=0 c=0 d=0 extra",
+      // Non-finite values.
+      "# cpx-perfmodel v1\napp x scale=inf min=1 max=2 a=1 b=0 c=0 d=0",
+      "# cpx-perfmodel v1\napp x scale=nan min=1 max=2 a=1 b=0 c=0 d=0",
+      "# cpx-perfmodel v1\napp x scale=1e999 min=1 max=2 a=1 b=0 c=0 d=0",
+      // Empty value.
+      "# cpx-perfmodel v1\napp x scale= min=1 max=2 a=1 b=0 c=0 d=0",
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(load_models(in), CheckError) << text;
+  }
+}
+
 TEST(Persistence, FromCoefficientsRejectsNegatives) {
   EXPECT_THROW(ScalingCurve::from_coefficients({1.0, -0.5, 0.0, 0.0}),
                CheckError);

@@ -14,8 +14,10 @@
 #include "mesh/partition.hpp"
 #include "mesh/stats.hpp"
 #include "perfmodel/allocator.hpp"
+#include "perfmodel/persistence.hpp"
 #include "sim/cluster.hpp"
 #include "simpic/pic.hpp"
+#include "support/options.hpp"
 #include "workflow/case_io.hpp"
 #include "support/rng.hpp"
 
@@ -264,6 +266,134 @@ TEST_P(CaseIoFuzz, RandomInputNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CaseIoFuzz, ::testing::Range(1, 41));
+
+// --- Options parser robustness -------------------------------------------
+
+class OptionsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptionsFuzz, NumericAccessorsThrowOrReturnTheTrueValue) {
+  // Invariant: for arbitrary argv soup, parse() and the numeric accessors
+  // either throw CheckError or return a value that an independent strict
+  // re-parse of the raw string confirms — never a silently wrong number.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL);
+  const char* keys[] = {"n", "iters", "rate"};
+  const char* values[] = {"12",  "-3",   "0007", "3.5",  "1e3",
+                          "",    "x",    "12x",  "nan",  "inf",
+                          "99999999999999999999999", "1e999", "-9.5e-2"};
+  std::vector<std::string> storage;
+  storage.emplace_back("prog");
+  const int nargs = static_cast<int>(rng.uniform_index(8));
+  for (int i = 0; i < nargs; ++i) {
+    const auto pick = rng.uniform_index(4);
+    if (pick == 0) {
+      storage.emplace_back(values[rng.uniform_index(std::size(values))]);
+    } else if (pick == 1) {
+      storage.emplace_back(std::string("--") +
+                           keys[rng.uniform_index(std::size(keys))]);
+    } else {
+      storage.emplace_back(std::string("--") +
+                           keys[rng.uniform_index(std::size(keys))] + "=" +
+                           values[rng.uniform_index(std::size(values))]);
+    }
+  }
+  std::vector<const char*> argv;
+  for (const std::string& s : storage) {
+    argv.push_back(s.c_str());
+  }
+
+  Options opts;
+  try {
+    opts = Options::parse(static_cast<int>(argv.size()), argv.data());
+  } catch (const CheckError&) {
+    return;  // rejecting the argv outright is always acceptable
+  }
+
+  for (const char* key : keys) {
+    if (!opts.has(key)) {
+      // Absent keys must yield the fallback exactly.
+      EXPECT_EQ(opts.get_int(key, -7), -7);
+      EXPECT_EQ(opts.get_double(key, 2.5), 2.5);
+      continue;
+    }
+    const std::string raw = opts.get_string(key, "");
+    try {
+      const long long v = opts.get_int(key, -7);
+      std::size_t used = 0;
+      const long long check = std::stoll(raw, &used);
+      EXPECT_EQ(used, raw.size()) << "accepted partially-numeric '" << raw
+                                  << "'";
+      EXPECT_EQ(v, check) << "wrong value for '" << raw << "'";
+    } catch (const CheckError&) {
+      // Rejection is fine; silent corruption is what we are hunting.
+    }
+    try {
+      const double v = opts.get_double(key, 2.5);
+      std::size_t used = 0;
+      const double check = std::stod(raw, &used);
+      EXPECT_EQ(used, raw.size()) << "accepted partially-numeric '" << raw
+                                  << "'";
+      EXPECT_TRUE(v == check || (std::isnan(v) && std::isnan(check)))
+          << "wrong value for '" << raw << "'";
+    } catch (const CheckError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptionsFuzz, ::testing::Range(1, 41));
+
+// --- Model-file loader robustness ----------------------------------------
+
+class ModelFileFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelFileFuzz, RandomModelFilesLoadCleanlyOrThrowCheckError) {
+  // Invariant: arbitrary token soup fed to load_models() either throws
+  // CheckError, or yields a ModelSet whose every model satisfies the
+  // documented bounds and which round-trips byte-identically.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2862933555777941757ULL);
+  const char* tokens[] = {"app",      "cu",       "mgcfd",    "simpic",
+                          "scale=2",  "scale=",   "scale=1x", "scale=-3",
+                          "scale=1e999", "min=1", "min=0",    "min=2.5",
+                          "max=4",    "max=2",    "a=1.5",    "b=0.01",
+                          "c=0",      "d=1e-6",   "extra",    "#"};
+  std::string text = "# cpx-perfmodel v1\n";
+  const int lines = static_cast<int>(rng.uniform_index(8));
+  for (int l = 0; l < lines; ++l) {
+    const int count = static_cast<int>(rng.uniform_index(11));
+    for (int t = 0; t < count; ++t) {
+      text += tokens[rng.uniform_index(std::size(tokens))];
+      text += ' ';
+    }
+    text += '\n';
+  }
+
+  std::istringstream in(text);
+  perfmodel::ModelSet models;
+  try {
+    models = perfmodel::load_models(in);
+  } catch (const CheckError&) {
+    return;  // expected for most random inputs
+  }
+
+  for (const auto* group : {&models.apps, &models.cus}) {
+    for (const perfmodel::InstanceModel& m : *group) {
+      EXPECT_FALSE(m.name.empty());
+      EXPECT_GT(m.scale, 0.0);
+      EXPECT_GE(m.min_ranks, 1);
+      EXPECT_LE(m.min_ranks, m.max_ranks);
+    }
+  }
+
+  // Anything the loader accepts must survive a save/load/save round trip.
+  std::ostringstream first;
+  perfmodel::save_models(first, models);
+  std::istringstream again(first.str());
+  const perfmodel::ModelSet reloaded = perfmodel::load_models(again);
+  std::ostringstream second;
+  perfmodel::save_models(second, reloaded);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelFileFuzz, ::testing::Range(1, 41));
 
 }  // namespace
 }  // namespace cpx

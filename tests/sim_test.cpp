@@ -10,6 +10,7 @@
 
 #include <sstream>
 
+#include "json_parse.hpp"
 #include "sim/cluster.hpp"
 #include "sim/machine.hpp"
 #include "sim/trace.hpp"
@@ -273,6 +274,50 @@ TEST(Trace, ChromeExportIsWellFormedJson) {
   // Balanced braces (each event is a flat object).
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Trace, ChromeExportEscapesRegionNames) {
+  // Region names are user-provided; quotes, backslashes, and control
+  // characters must be escaped or the whole trace file is invalid JSON.
+  Cluster c(MachineModel::archer2(), 1);
+  c.enable_tracing();
+  const std::string weird = "ker\"nel\\one\ttwo";
+  c.compute_seconds(0, 0.5, c.region(weird));
+  std::ostringstream oss;
+  write_chrome_trace(oss, c);
+  const testing::JsonValue doc = testing::parse_json(oss.str());
+  ASSERT_TRUE(doc.is_array());
+  bool saw_weird = false;
+  for (const testing::JsonValue& e : doc.items) {
+    const testing::JsonValue* name = e.find("name");
+    ASSERT_NE(name, nullptr);
+    saw_weird = saw_weird || name->str == weird;  // round-trips exactly
+  }
+  EXPECT_TRUE(saw_weird);
+}
+
+TEST(Trace, ChromeExportReportsDroppedEvents) {
+  // The bounded Trace store silently truncates the timeline; the export
+  // must carry the dropped count so downstream tooling can detect it.
+  Cluster c(MachineModel::archer2(), 1);
+  c.enable_tracing(/*max_events=*/2);
+  const RegionId r0 = c.region("k");
+  for (int i = 0; i < 7; ++i) {
+    c.compute_seconds(0, 0.1, r0);
+  }
+  std::ostringstream oss;
+  write_chrome_trace(oss, c);
+  const testing::JsonValue doc = testing::parse_json(oss.str());
+  ASSERT_TRUE(doc.is_array());
+  bool saw_meta = false;
+  for (const testing::JsonValue& e : doc.items) {
+    if (e.find("name")->str == "cpx_trace_dropped") {
+      saw_meta = true;
+      EXPECT_EQ(e.find("ph")->str, "M");
+      EXPECT_EQ(e.find("args")->find("dropped")->number, 5.0);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
 }
 
 TEST(Trace, ResetClearsEventsButKeepsTracing) {

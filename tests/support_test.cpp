@@ -279,5 +279,44 @@ TEST(Options, RejectsBadNumbers) {
   EXPECT_THROW(o.get_int("cores", 0), CheckError);
 }
 
+TEST(Options, RejectsEmptyNumericValues) {
+  // "--iters=" parses as the key "iters" with an empty value; numeric
+  // accessors must reject it instead of silently returning 0.
+  const char* argv[] = {"prog", "--iters=", "--rate="};
+  const Options o = Options::parse(3, argv);
+  EXPECT_THROW(o.get_int("iters", 7), CheckError);
+  EXPECT_THROW(o.get_double("rate", 7.0), CheckError);
+  // The key is still present, and the empty string is a valid string value.
+  EXPECT_TRUE(o.has("iters"));
+  EXPECT_EQ(o.get_string("iters", "fallback"), "");
+}
+
+TEST(Options, RejectsIntegerOverflow) {
+  const char* argv[] = {"prog", "--cells=99999999999999999999",
+                        "--neg=-99999999999999999999"};
+  const Options o = Options::parse(3, argv);
+  EXPECT_THROW(o.get_int("cells", 0), CheckError);
+  EXPECT_THROW(o.get_int("neg", 0), CheckError);
+}
+
+TEST(Options, RejectsDoubleOverflowAcceptsUnderflow) {
+  const char* argv[] = {"prog", "--big=1e999", "--neg-big=-1e999",
+                        "--tiny=1e-999"};
+  const Options o = Options::parse(4, argv);
+  EXPECT_THROW(o.get_double("big", 0.0), CheckError);
+  EXPECT_THROW(o.get_double("neg-big", 0.0), CheckError);
+  // Underflow rounds towards zero; that is a usable value, not an error.
+  const double tiny = o.get_double("tiny", 1.0);
+  EXPECT_GE(tiny, 0.0);
+  EXPECT_LT(tiny, 1e-300);
+}
+
+TEST(Options, RejectsTrailingJunkAfterNumbers) {
+  const char* argv[] = {"prog", "--n=12x", "--f=3.5q"};
+  const Options o = Options::parse(3, argv);
+  EXPECT_THROW(o.get_int("n", 0), CheckError);
+  EXPECT_THROW(o.get_double("f", 0.0), CheckError);
+}
+
 }  // namespace
 }  // namespace cpx
