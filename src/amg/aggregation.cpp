@@ -95,19 +95,14 @@ sparse::CsrMatrix tentative_prolongator(const Aggregation& agg,
   return sparse::csr_from_triplets(fine_size, agg.num_aggregates, t);
 }
 
-namespace {
-
-/// One damped-Jacobi smoothing application: P <- (I - omega D^-1 A) P.
-sparse::CsrMatrix smooth_prolongator(const sparse::CsrMatrix& a,
-                                     const sparse::CsrMatrix& p,
+sparse::CsrMatrix smoothing_operator(const sparse::CsrMatrix& a,
                                      double omega) {
   const std::int64_t n = a.rows();
-  // Build S = I - omega D^-1 A, then S * P via SpGEMM.
   std::vector<sparse::Triplet> st;
   st.reserve(static_cast<std::size_t>(a.nnz()));
   for (std::int64_t r = 0; r < n; ++r) {
     const double d = a.at(r, r);
-    CPX_CHECK_MSG(d != 0.0, "smooth_prolongator: zero diagonal at " << r);
+    CPX_CHECK_MSG(d != 0.0, "smoothing_operator: zero diagonal at " << r);
     const auto cols = a.row_cols(r);
     const auto vals = a.row_values(r);
     for (std::size_t i = 0; i < cols.size(); ++i) {
@@ -115,7 +110,37 @@ sparse::CsrMatrix smooth_prolongator(const sparse::CsrMatrix& a,
       st.push_back({r, cols[i], base - omega * vals[i] / d});
     }
   }
-  const sparse::CsrMatrix s = sparse::csr_from_triplets(n, n, st);
+  return sparse::csr_from_triplets(n, n, st);
+}
+
+void smoothing_operator_values(const sparse::CsrMatrix& a, double omega,
+                               sparse::CsrMatrix& s) {
+  CPX_REQUIRE(sparse::same_structure(a, s),
+              "smoothing_operator_values: structure mismatch");
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& av = a.values();
+  auto& sv = s.mutable_values();
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const double d = a.at(r, r);
+    CPX_CHECK_MSG(d != 0.0,
+                  "smoothing_operator_values: zero diagonal at " << r);
+    for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
+         k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      const double base = cols[ks] == static_cast<std::int32_t>(r) ? 1.0 : 0.0;
+      sv[ks] = base - omega * av[ks] / d;
+    }
+  }
+}
+
+namespace {
+
+/// One damped-Jacobi smoothing application: P <- (I - omega D^-1 A) P.
+sparse::CsrMatrix smooth_prolongator(const sparse::CsrMatrix& a,
+                                     const sparse::CsrMatrix& p,
+                                     double omega) {
+  const sparse::CsrMatrix s = smoothing_operator(a, omega);
   return sparse::spgemm_spa(s, p);
 }
 

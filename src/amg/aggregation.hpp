@@ -37,6 +37,17 @@ Aggregation aggregate_greedy(const sparse::CsrMatrix& strength);
 sparse::CsrMatrix tentative_prolongator(const Aggregation& agg,
                                         std::int64_t fine_size);
 
+/// The prolongator-smoothing operator S = I − ω D⁻¹ A. S has exactly A's
+/// sparsity (A stores its full diagonal), which is what makes the
+/// numeric-only refresh below possible.
+sparse::CsrMatrix smoothing_operator(const sparse::CsrMatrix& a,
+                                     double omega);
+
+/// Numeric-only refresh of S for new A values over identical structure
+/// (allocation-free; the AMG re-setup path).
+void smoothing_operator_values(const sparse::CsrMatrix& a, double omega,
+                               sparse::CsrMatrix& s);
+
 /// Builds the interpolation operator of the requested kind from A and the
 /// aggregation. omega is the Jacobi damping for the smoothed variants.
 sparse::CsrMatrix build_interpolation(const sparse::CsrMatrix& a,

@@ -3,67 +3,43 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/blas1.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 
 namespace cpx::amg {
 namespace {
 
-/// Dense Cholesky factorisation (row-major, lower triangle). Adds a tiny
-/// diagonal shift and retries if the matrix is numerically semi-definite.
-std::vector<double> dense_cholesky(const sparse::CsrMatrix& a) {
-  const std::int64_t n = a.rows();
-  std::vector<double> m(static_cast<std::size_t>(n * n), 0.0);
-  for (std::int64_t r = 0; r < n; ++r) {
-    const auto cols = a.row_cols(r);
-    const auto vals = a.row_values(r);
-    for (std::size_t i = 0; i < cols.size(); ++i) {
-      m[static_cast<std::size_t>(r * n + cols[i])] = vals[i];
-    }
-  }
-  double max_diag = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    max_diag = std::max(max_diag, std::abs(m[static_cast<std::size_t>(i * n + i)]));
-  }
-  double shift = 0.0;
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    std::vector<double> f = m;
-    for (std::int64_t i = 0; i < n; ++i) {
-      f[static_cast<std::size_t>(i * n + i)] += shift;
-    }
-    bool ok = true;
-    for (std::int64_t k = 0; k < n && ok; ++k) {
-      double pivot = f[static_cast<std::size_t>(k * n + k)];
-      for (std::int64_t j = 0; j < k; ++j) {
-        pivot -= f[static_cast<std::size_t>(k * n + j)] *
-                 f[static_cast<std::size_t>(k * n + j)];
-      }
-      if (pivot <= 0.0) {
-        ok = false;
-        break;
-      }
-      const double lkk = std::sqrt(pivot);
-      f[static_cast<std::size_t>(k * n + k)] = lkk;
-      for (std::int64_t i = k + 1; i < n; ++i) {
-        double v = f[static_cast<std::size_t>(i * n + k)];
-        for (std::int64_t j = 0; j < k; ++j) {
-          v -= f[static_cast<std::size_t>(i * n + j)] *
+/// In-place dense Cholesky of the row-major lower triangle held in f.
+/// Returns false if a pivot is non-positive (matrix not numerically SPD
+/// under the current shift).
+bool cholesky_in_place(std::vector<double>& f, std::int64_t n) {
+  for (std::int64_t k = 0; k < n; ++k) {
+    double pivot = f[static_cast<std::size_t>(k * n + k)];
+    for (std::int64_t j = 0; j < k; ++j) {
+      pivot -= f[static_cast<std::size_t>(k * n + j)] *
                f[static_cast<std::size_t>(k * n + j)];
-        }
-        f[static_cast<std::size_t>(i * n + k)] = v / lkk;
+    }
+    if (pivot <= 0.0) {
+      return false;
+    }
+    const double lkk = std::sqrt(pivot);
+    f[static_cast<std::size_t>(k * n + k)] = lkk;
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      double v = f[static_cast<std::size_t>(i * n + k)];
+      for (std::int64_t j = 0; j < k; ++j) {
+        v -= f[static_cast<std::size_t>(i * n + j)] *
+             f[static_cast<std::size_t>(k * n + j)];
       }
+      f[static_cast<std::size_t>(i * n + k)] = v / lkk;
     }
-    if (ok) {
-      return f;
-    }
-    shift = shift == 0.0 ? 1e-12 * std::max(max_diag, 1.0) : shift * 100.0;
   }
-  CPX_CHECK_MSG(false, "dense_cholesky: coarse operator not SPD");
+  return true;
 }
 
 void dense_cholesky_solve(const std::vector<double>& f, std::int64_t n,
-                          std::span<double> x, std::span<const double> b) {
-  std::vector<double> y(static_cast<std::size_t>(n));
+                          std::span<double> x, std::span<const double> b,
+                          std::span<double> y) {
   for (std::int64_t i = 0; i < n; ++i) {
     double v = b[static_cast<std::size_t>(i)];
     for (std::int64_t j = 0; j < i; ++j) {
@@ -82,15 +58,45 @@ void dense_cholesky_solve(const std::vector<double>& f, std::int64_t n,
   }
 }
 
-double norm2(std::span<const double> v) {
-  double s = 0.0;
-  for (double x : v) {
-    s += x * x;
-  }
-  return std::sqrt(s);
-}
-
 }  // namespace
+
+void AmgHierarchy::factor_coarse() {
+  // Dense staging + factor buffers persist across re-factorisations, so a
+  // reset_values() pays no coarse-level allocations after the first build.
+  const sparse::CsrMatrix& a = levels_.back().a;
+  const std::int64_t n = a.rows();
+  coarse_n_ = n;
+  coarse_dense_.assign(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      coarse_dense_[static_cast<std::size_t>(r * n + cols[i])] = vals[i];
+    }
+  }
+  double max_diag = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    max_diag = std::max(max_diag,
+                        std::abs(coarse_dense_[static_cast<std::size_t>(i * n + i)]));
+  }
+  // Retry with a growing diagonal shift if the operator is numerically
+  // semi-definite (e.g. a pinned-singular pressure Laplacian coarse grid).
+  double shift = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    coarse_factor_.assign(coarse_dense_.begin(), coarse_dense_.end());
+    if (shift != 0.0) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        coarse_factor_[static_cast<std::size_t>(i * n + i)] += shift;
+      }
+    }
+    if (cholesky_in_place(coarse_factor_, n)) {
+      coarse_y_.assign(static_cast<std::size_t>(n), 0.0);
+      return;
+    }
+    shift = shift == 0.0 ? 1e-12 * std::max(max_diag, 1.0) : shift * 100.0;
+  }
+  CPX_CHECK_MSG(false, "factor_coarse: coarse operator not SPD");
+}
 
 AmgHierarchy::AmgHierarchy(sparse::CsrMatrix a, const AmgOptions& options)
     : options_(options) {
@@ -108,23 +114,62 @@ AmgHierarchy::AmgHierarchy(sparse::CsrMatrix a, const AmgOptions& options)
     if (agg.num_aggregates >= fine.rows()) {
       break;  // no coarsening progress (e.g. fully decoupled matrix)
     }
-    sparse::CsrMatrix p =
-        build_interpolation(fine, agg, options_.interp, options_.interp_omega);
-    if (options_.interp_truncation > 0.0) {
-      p = truncate_prolongator(p, options_.interp_truncation);
+
+    // Interpolation, with the pieces reset_values() needs kept around:
+    // the smoothing operator S, the tentative P, and the SpGEMM plans of
+    // every product (structures adopted from the products computed here, so
+    // capturing them costs no extra symbolic pass).
+    Resetup rs;
+    sparse::CsrMatrix p_tent = tentative_prolongator(agg, fine.rows());
+    sparse::CsrMatrix p;
+    if (options_.interp == InterpKind::kTentative) {
+      p = std::move(p_tent);
+      rs.p_frozen = true;  // tentative P is constant (all ones): no refresh
+    } else {
+      rs.s = smoothing_operator(fine, options_.interp_omega);
+      if (options_.interp == InterpKind::kSmoothed) {
+        p = sparse::spgemm_spa(rs.s, p_tent);
+        rs.sp_plan = sparse::SpgemmPlan(rs.s, p_tent, p);
+      } else {  // kExtended: two smoothing applications
+        rs.p_mid = sparse::spgemm_spa(rs.s, p_tent);
+        rs.sp_plan = sparse::SpgemmPlan(rs.s, p_tent, rs.p_mid);
+        p = sparse::spgemm_spa(rs.s, rs.p_mid);
+        rs.sp_plan2 = sparse::SpgemmPlan(rs.s, rs.p_mid, p);
+      }
+      rs.p_tent = std::move(p_tent);
     }
+    if (options_.interp_truncation > 0.0) {
+      // Truncated sparsity depends on P's values, so a numeric-only refresh
+      // cannot reproduce it: freeze P/R and drop the smoothing state.
+      p = truncate_prolongator(p, options_.interp_truncation);
+      rs.p_frozen = true;
+      rs.s = {};
+      rs.p_tent = {};
+      rs.p_mid = {};
+      rs.sp_plan = {};
+      rs.sp_plan2 = {};
+    }
+
     sparse::CsrMatrix r = sparse::transpose(p);
-    sparse::CsrMatrix coarse =
-        options_.spgemm == SpgemmKind::kSpa
-            ? sparse::spgemm_spa(r, sparse::spgemm_spa(fine, p))
-            : sparse::spgemm_twopass(r, sparse::spgemm_twopass(fine, p));
+    if (!rs.p_frozen) {
+      rs.r_perm = sparse::transpose_permutation(p, r);
+    }
+    sparse::CsrMatrix ap = options_.spgemm == SpgemmKind::kSpa
+                               ? sparse::spgemm_spa(fine, p)
+                               : sparse::spgemm_twopass(fine, p);
+    sparse::CsrMatrix coarse = options_.spgemm == SpgemmKind::kSpa
+                                   ? sparse::spgemm_spa(r, ap)
+                                   : sparse::spgemm_twopass(r, ap);
+    rs.ap_plan = sparse::SpgemmPlan(fine, p, ap);
+    rs.rap_plan = sparse::SpgemmPlan(r, ap, coarse);
+    rs.ap = std::move(ap);
     levels_.back().p = std::move(p);
     levels_.back().r = std::move(r);
+    resetup_.push_back(std::move(rs));
     levels_.push_back({std::move(coarse), {}, {}});
   }
 
-  coarse_n_ = levels_.back().a.rows();
-  coarse_factor_ = dense_cholesky(levels_.back().a);
+  factor_coarse();
 
   scratch_.resize(levels_.size());
   for (std::size_t l = 0; l < levels_.size(); ++l) {
@@ -135,8 +180,42 @@ AmgHierarchy::AmgHierarchy(sparse::CsrMatrix a, const AmgOptions& options)
       const auto nc = static_cast<std::size_t>(levels_[l + 1].a.rows());
       scratch_[l].bc.assign(nc, 0.0);
       scratch_[l].xc.assign(nc, 0.0);
+      if (options_.cycle != CycleKind::kV) {
+        scratch_[l].kres.assign(nc, 0.0);
+        scratch_[l].kz.assign(nc, 0.0);
+        if (options_.cycle == CycleKind::kK) {
+          scratch_[l].kp.assign(nc, 0.0);
+          scratch_[l].kap.assign(nc, 0.0);
+        }
+      }
     }
   }
+}
+
+void AmgHierarchy::reset_values(const sparse::CsrMatrix& a) {
+  CPX_REQUIRE(sparse::same_structure(a, levels_.front().a),
+              "reset_values: matrix structure differs from the setup matrix");
+  CPX_METRICS_SCOPE("amg/resetup");
+  support::metrics::counter_add("amg/resetup", 1);
+
+  levels_.front().a.mutable_values() = a.values();
+  for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+    Level& lv = levels_[l];
+    Resetup& rs = resetup_[l];
+    if (!rs.p_frozen) {
+      smoothing_operator_values(lv.a, options_.interp_omega, rs.s);
+      if (options_.interp == InterpKind::kSmoothed) {
+        rs.sp_plan.numeric_into(rs.s, rs.p_tent, lv.p);
+      } else {  // kExtended
+        rs.sp_plan.numeric_into(rs.s, rs.p_tent, rs.p_mid);
+        rs.sp_plan2.numeric_into(rs.s, rs.p_mid, lv.p);
+      }
+      sparse::transpose_numeric(lv.p, rs.r_perm, lv.r);
+    }
+    rs.ap_plan.numeric_into(lv.a, lv.p, rs.ap);
+    rs.rap_plan.numeric_into(lv.r, rs.ap, levels_[l + 1].a);
+  }
+  factor_coarse();
 }
 
 const Level& AmgHierarchy::level(int l) const {
@@ -154,7 +233,7 @@ double AmgHierarchy::operator_complexity() const {
 
 void AmgHierarchy::coarse_solve(std::span<double> x,
                                 std::span<const double> b) {
-  dense_cholesky_solve(coarse_factor_, coarse_n_, x, b);
+  dense_cholesky_solve(coarse_factor_, coarse_n_, x, b, coarse_y_);
 }
 
 void AmgHierarchy::cycle_at(int level, std::span<double> x,
@@ -177,69 +256,51 @@ void AmgHierarchy::cycle_at(int level, std::span<double> x,
     cycle_at(level + 1, sc.xc, sc.bc);
   } else if (options_.cycle == CycleKind::kW) {
     // W-cycle: recurse twice, re-forming the coarse residual in between.
+    // The recursion at level+1 works out of scratch_[level+1], so this
+    // level's coarse-sized buffers stay live across it.
     cycle_at(level + 1, sc.xc, sc.bc);
     const auto& ac = levels_[static_cast<std::size_t>(level) + 1].a;
-    const auto nc = static_cast<std::size_t>(ac.rows());
-    std::vector<double> coarse_res(nc);
-    residual(ac, sc.xc, sc.bc, coarse_res);
-    std::vector<double> correction(nc, 0.0);
-    cycle_at(level + 1, correction, coarse_res);
-    for (std::size_t i = 0; i < nc; ++i) {
-      sc.xc[i] += correction[i];
-    }
+    residual(ac, sc.xc, sc.bc, sc.kres);
+    std::fill(sc.kz.begin(), sc.kz.end(), 0.0);
+    cycle_at(level + 1, sc.kz, sc.kres);
+    support::blas1::xpby(sc.kz, 1.0, sc.xc);  // xc += correction
   } else {
     // K-cycle: a few steps of preconditioned CG on the coarse problem with
     // the next level's cycle as the preconditioner (Krylov acceleration of
     // the MG cycle; better convergence, more coarse work and collectives).
     const auto& ac = levels_[static_cast<std::size_t>(level) + 1].a;
-    const auto nc = static_cast<std::size_t>(ac.rows());
-    std::vector<double> res(sc.bc);   // residual of xc = 0
-    std::vector<double> z(nc, 0.0);
-    std::vector<double> p(nc);
-    std::vector<double> ap(nc);
+    auto& res = sc.kres;
+    auto& z = sc.kz;
+    auto& p = sc.kp;
+    auto& ap = sc.kap;
+    std::copy(sc.bc.begin(), sc.bc.end(), res.begin());  // residual of xc = 0
+    std::fill(z.begin(), z.end(), 0.0);
     cycle_at(level + 1, z, res);
-    p = z;
-    double rz = 0.0;
-    for (std::size_t i = 0; i < nc; ++i) {
-      rz += res[i] * z[i];
-    }
+    std::copy(z.begin(), z.end(), p.begin());
+    double rz = support::blas1::dot(res, z);
     for (int it = 0; it < options_.kcycle_steps && rz != 0.0; ++it) {
       sparse::spmv(ac, p, ap);
-      double pap = 0.0;
-      for (std::size_t i = 0; i < nc; ++i) {
-        pap += p[i] * ap[i];
-      }
+      const double pap = support::blas1::dot(p, ap);
       if (pap <= 0.0) {
         break;
       }
       const double alpha = rz / pap;
-      for (std::size_t i = 0; i < nc; ++i) {
-        sc.xc[i] += alpha * p[i];
-        res[i] -= alpha * ap[i];
-      }
+      support::blas1::axpy2(alpha, p, ap, sc.xc, res);
       if (it + 1 == options_.kcycle_steps) {
         break;
       }
       std::fill(z.begin(), z.end(), 0.0);
       cycle_at(level + 1, z, res);
-      double rz_new = 0.0;
-      for (std::size_t i = 0; i < nc; ++i) {
-        rz_new += res[i] * z[i];
-      }
+      const double rz_new = support::blas1::dot(res, z);
       const double beta = rz_new / rz;
       rz = rz_new;
-      for (std::size_t i = 0; i < nc; ++i) {
-        p[i] = z[i] + beta * p[i];
-      }
+      support::blas1::xpby(z, beta, p);
     }
   }
 
   // x += P xc
-  const auto n = static_cast<std::size_t>(lv.a.rows());
   sparse::spmv(lv.p, sc.xc, sc.tmp);
-  for (std::size_t i = 0; i < n; ++i) {
-    x[i] += sc.tmp[i];
-  }
+  support::blas1::xpby(sc.tmp, 1.0, x);
   for (int s = 0; s < options_.post_sweeps; ++s) {
     smooth(lv.a, x, b, options_.smoother, sc.tmp);
   }
@@ -255,17 +316,20 @@ void AmgHierarchy::cycle(std::span<double> x, std::span<const double> b) {
 
 int AmgHierarchy::solve(std::span<double> x, std::span<const double> b,
                         double tol, int max_cycles) {
-  const double bnorm = norm2(b);
-  if (bnorm == 0.0) {
+  const double bnorm2 = support::blas1::norm2_squared(b);
+  if (bnorm2 == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     return 0;
   }
-  std::vector<double> r(x.size());
+  const double stop2 = tol * tol * bnorm2;
   for (int c = 1; c <= max_cycles; ++c) {
     cycle(x, b);
     support::metrics::counter_add("amg/solve_cycles", 1);
-    residual(levels_.front().a, x, b, r);
-    if (norm2(r) / bnorm <= tol) {
+    // Fused residual + norm (one sweep) into the level-0 scratch, which is
+    // idle between cycles.
+    const double rnorm2 = sparse::spmv_residual_norm2(
+        levels_.front().a, x, b, scratch_.front().r);
+    if (rnorm2 <= stop2) {
       return c;
     }
   }

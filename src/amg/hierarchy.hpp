@@ -57,6 +57,22 @@ class AmgHierarchy {
   /// matrix (grid complexity indicator).
   double operator_complexity() const;
 
+  /// Numeric-only re-setup for a matrix with the SAME sparsity as the one
+  /// the hierarchy was built from but (possibly) different values — the
+  /// fixed-mesh case of the coupled workflow, where the pressure operator's
+  /// coefficients change every step but its structure never does. Keeps the
+  /// strength graph, aggregation, interpolation sparsity, Galerkin SpGEMM
+  /// plans, and the coarse Cholesky layout; re-runs only the numeric
+  /// passes (smoother values, plan numerics, transpose permutation scatter,
+  /// in-place re-factorisation). With identical values the resulting
+  /// hierarchy is bitwise identical to a fresh build; with perturbed values
+  /// it reuses the original aggregation (standard practice — the aggregates
+  /// depend on the strength pattern, which the fixed mesh preserves). When
+  /// interp_truncation > 0 the truncated P/R sparsity is value-dependent,
+  /// so P, R, and the smoother are kept frozen at their original values and
+  /// only the Galerkin products and coarse factor are refreshed.
+  void reset_values(const sparse::CsrMatrix& a);
+
   /// One multigrid cycle on A x = b (x is updated in place).
   void cycle(std::span<double> x, std::span<const double> b);
 
@@ -68,20 +84,47 @@ class AmgHierarchy {
  private:
   void cycle_at(int level, std::span<double> x, std::span<const double> b);
   void coarse_solve(std::span<double> x, std::span<const double> b);
+  void factor_coarse();
 
   AmgOptions options_;
   std::vector<Level> levels_;
 
-  // Dense Cholesky factor of the coarsest operator (row-major lower).
+  // Cached setup state for reset_values: everything needed to re-run the
+  // numeric passes of the transition level -> level+1 without re-deriving
+  // structure. One entry per transition (num_levels() - 1 of them).
+  struct Resetup {
+    sparse::CsrMatrix s;       ///< I − ωD⁻¹A (A's structure); smoothed/extended
+    sparse::CsrMatrix p_tent;  ///< tentative prolongator
+    sparse::CsrMatrix p_mid;   ///< S·P_tent intermediate (extended only)
+    sparse::SpgemmPlan sp_plan;    ///< S × P_tent (→ p_mid for extended)
+    sparse::SpgemmPlan sp_plan2;   ///< S × p_mid → P (extended only)
+    std::vector<std::int64_t> r_perm;  ///< transpose permutation P → R
+    sparse::CsrMatrix ap;          ///< A·P product buffer
+    sparse::SpgemmPlan ap_plan;    ///< A × P → AP
+    sparse::SpgemmPlan rap_plan;   ///< R × AP → coarse A
+    bool p_frozen = false;  ///< truncation on: P/R/S values stay fixed
+  };
+  std::vector<Resetup> resetup_;
+
+  // Dense Cholesky factor of the coarsest operator (row-major lower), plus
+  // the dense staging/solve buffers kept across re-factorisations.
   std::vector<double> coarse_factor_;
+  std::vector<double> coarse_dense_;
+  std::vector<double> coarse_y_;
   std::int64_t coarse_n_ = 0;
 
-  // Per-level scratch vectors (residual, correction, smoother scratch).
+  // Per-level scratch vectors (residual, correction, smoother scratch, and
+  // the coarse-sized W-/K-cycle work vectors), sized once at setup so the
+  // cycles allocate nothing in steady state.
   struct Scratch {
     std::vector<double> r;
     std::vector<double> bc;
     std::vector<double> xc;
     std::vector<double> tmp;
+    std::vector<double> kres;  ///< K-cycle residual / W-cycle coarse residual
+    std::vector<double> kz;    ///< K-cycle z / W-cycle correction
+    std::vector<double> kp;
+    std::vector<double> kap;
   };
   std::vector<Scratch> scratch_;
 };

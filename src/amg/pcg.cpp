@@ -5,93 +5,97 @@
 #include <vector>
 
 #include "amg/hierarchy.hpp"
+#include "support/blas1.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 
 namespace cpx::amg {
-namespace {
 
-double dot(std::span<const double> a, std::span<const double> b) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    s += a[i] * b[i];
+void PcgWorkspace::resize(std::size_t n) {
+  if (r.size() == n) {
+    return;
   }
-  return s;
+  r.assign(n, 0.0);
+  z.assign(n, 0.0);
+  p.assign(n, 0.0);
+  ap.assign(n, 0.0);
+  r_old.assign(n, 0.0);
 }
-
-}  // namespace
 
 PcgResult pcg(const sparse::CsrMatrix& a, std::span<double> x,
               std::span<const double> b, double tol, int max_iterations,
               const Preconditioner& precond) {
+  PcgWorkspace workspace;
+  return pcg(a, x, b, tol, max_iterations, precond, workspace);
+}
+
+PcgResult pcg(const sparse::CsrMatrix& a, std::span<double> x,
+              std::span<const double> b, double tol, int max_iterations,
+              const Preconditioner& precond, PcgWorkspace& workspace) {
+  namespace blas1 = support::blas1;
   const auto n = static_cast<std::size_t>(a.rows());
   CPX_REQUIRE(x.size() == n && b.size() == n, "pcg: vector size mismatch");
   CPX_METRICS_SCOPE("amg/pcg");
 
-  std::vector<double> r(n);
-  std::vector<double> z(n);
-  std::vector<double> p(n);
-  std::vector<double> ap(n);
+  workspace.resize(n);
+  auto& r = workspace.r;
+  auto& z = workspace.z;
+  auto& p = workspace.p;
+  auto& ap = workspace.ap;
+  auto& r_old = workspace.r_old;
 
-  sparse::spmv(a, x, r);
-  for (std::size_t i = 0; i < n; ++i) {
-    r[i] = b[i] - r[i];
-  }
-  const double bnorm = std::sqrt(dot(b, b));
-  const double stop = tol * (bnorm > 0.0 ? bnorm : 1.0);
+  // Fused r = b − A·x and ‖r‖² in one sweep.
+  double rnorm2 = sparse::spmv_residual_norm2(a, x, b, r);
+  const double bnorm2 = blas1::norm2_squared(b);
+  const double bnorm = std::sqrt(bnorm2);
+  const double stop2 =
+      tol * tol * (bnorm2 > 0.0 ? bnorm2 : 1.0);
 
   PcgResult result;
-  double rnorm = std::sqrt(dot(r, r));
-  if (rnorm <= stop) {
+  if (rnorm2 <= stop2) {
     result.converged = true;
-    result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : 0.0;
+    result.relative_residual = bnorm > 0.0 ? std::sqrt(rnorm2) / bnorm : 0.0;
     return result;
   }
 
   if (precond) {
+    std::fill(z.begin(), z.end(), 0.0);  // contract: precond gets zeroed z
     precond(z, r);
   } else {
     std::copy(r.begin(), r.end(), z.begin());
   }
-  p = z;
-  double rz = dot(r, z);
+  std::copy(z.begin(), z.end(), p.begin());
+  double rz = blas1::dot(r, z);
   // Flexible CG: with a (possibly nonsymmetric or nonlinear) preconditioner
   // such as an AMG cycle with Gauss-Seidel smoothing, the Polak-Ribiere
   // beta  z_new^T (r_new - r_old) / z_old^T r_old  keeps CG convergent
   // where the Fletcher-Reeves form stalls. For an exact SPD preconditioner
   // the two coincide.
-  std::vector<double> r_old(n);
 
   for (int it = 1; it <= max_iterations; ++it) {
     sparse::spmv(a, p, ap);
-    const double pap = dot(p, ap);
+    const double pap = blas1::dot(p, ap);
     CPX_CHECK_MSG(pap > 0.0, "pcg: matrix not SPD (p^T A p = " << pap << ")");
     const double alpha = rz / pap;
     std::copy(r.begin(), r.end(), r_old.begin());
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-    }
-    rnorm = std::sqrt(dot(r, r));
+    // Fused x += α·p, r −= α·ap, ‖r‖² — one pass over four vectors instead
+    // of an update sweep plus a norm sweep.
+    rnorm2 = blas1::axpy2_norm2(alpha, p, ap, x, r);
     result.iterations = it;
     support::metrics::counter_add("amg/pcg_iterations", 1);
-    if (rnorm <= stop) {
+    if (rnorm2 <= stop2) {
       result.converged = true;
       break;
     }
     double beta;
     if (precond) {
-      std::fill(z.begin(), z.end(), 0.0);
+      std::fill(z.begin(), z.end(), 0.0);  // contract: precond gets zeroed z
       precond(z, r);
-      double zdr = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        zdr += z[i] * (r[i] - r_old[i]);
-      }
-      beta = zdr / rz;
-      rz = dot(r, z);
+      beta = blas1::dot_diff(z, r, r_old) / rz;
+      rz = blas1::dot(r, z);
     } else {
       std::copy(r.begin(), r.end(), z.begin());
-      const double rz_new = dot(r, z);
+      const double rz_new = rnorm2;  // z ≡ r, so r·z = ‖r‖², already computed
       beta = rz_new / rz;
       rz = rz_new;
     }
@@ -99,14 +103,13 @@ PcgResult pcg(const sparse::CsrMatrix& a, std::span<double> x,
       // Restart on loss of conjugacy (possible with flexible
       // preconditioning); steepest-descent step in the z direction.
       beta = 0.0;
-      rz = dot(r, z);
+      rz = blas1::dot(r, z);
       CPX_CHECK_MSG(rz > 0.0, "pcg: preconditioner not positive definite");
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      p[i] = z[i] + beta * p[i];
-    }
+    blas1::xpby(z, beta, p);  // p = z + β·p
   }
-  result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+  result.relative_residual =
+      bnorm > 0.0 ? std::sqrt(rnorm2) / bnorm : std::sqrt(rnorm2);
   return result;
 }
 
@@ -126,8 +129,9 @@ Preconditioner make_jacobi_preconditioner(const sparse::CsrMatrix& a) {
 }
 
 Preconditioner make_amg_preconditioner(AmgHierarchy& hierarchy) {
+  // pcg's contract zero-fills z before every application, so the cycle can
+  // take it as the initial guess directly (no duplicate clearing pass).
   return [&hierarchy](std::span<double> z, std::span<const double> r) {
-    std::fill(z.begin(), z.end(), 0.0);
     hierarchy.cycle(z, r);
   };
 }

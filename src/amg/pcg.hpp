@@ -5,12 +5,16 @@
 
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "sparse/csr.hpp"
 
 namespace cpx::amg {
 
-/// Applies a preconditioner: z = M^{-1} r.
+/// Applies a preconditioner: z = M^{-1} r. Contract: pcg passes z already
+/// zero-filled, so iterative preconditioners (an AMG cycle) can use it as
+/// the initial guess directly — implementations must not rely on any other
+/// incoming content, and need not clear it themselves.
 using Preconditioner =
     std::function<void(std::span<double> z, std::span<const double> r)>;
 
@@ -20,12 +24,33 @@ struct PcgResult {
   bool converged = false;
 };
 
+/// Persistent CG work vectors. Pass the same workspace to repeated pcg
+/// calls of the same size (a timestep loop) and the iteration allocates
+/// nothing after the first call; resize() is a no-op when already sized.
+struct PcgWorkspace {
+  std::vector<double> r;
+  std::vector<double> z;
+  std::vector<double> p;
+  std::vector<double> ap;
+  std::vector<double> r_old;
+
+  void resize(std::size_t n);
+};
+
 /// Solves A x = b with (optionally preconditioned) CG. `x` holds the
 /// initial guess on entry and the solution on exit. If `precond` is null,
-/// unpreconditioned CG is used.
+/// unpreconditioned CG is used. This overload allocates its work vectors
+/// per call; solver loops should hold a PcgWorkspace and use the overload
+/// below.
 PcgResult pcg(const sparse::CsrMatrix& a, std::span<double> x,
               std::span<const double> b, double tol, int max_iterations,
               const Preconditioner& precond = nullptr);
+
+/// As above, with caller-owned work vectors (allocation-free when the
+/// workspace is already sized).
+PcgResult pcg(const sparse::CsrMatrix& a, std::span<double> x,
+              std::span<const double> b, double tol, int max_iterations,
+              const Preconditioner& precond, PcgWorkspace& workspace);
 
 /// Jacobi (diagonal) preconditioner for A.
 Preconditioner make_jacobi_preconditioner(const sparse::CsrMatrix& a);

@@ -127,14 +127,7 @@ void residual(const sparse::CsrMatrix& a, std::span<const double> x,
               std::span<const double> b, std::span<double> r) {
   CPX_REQUIRE(r.size() == static_cast<std::size_t>(a.rows()),
               "residual: size mismatch");
-  sparse::spmv(a, x, r);
-  support::parallel_for(0, a.rows(), kSmootherGrain, [&](std::int64_t i0,
-                                                         std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      r[static_cast<std::size_t>(i)] =
-          b[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
-    }
-  });
+  sparse::spmv_residual(a, x, b, r);
 }
 
 }  // namespace cpx::amg

@@ -46,15 +46,22 @@ ProjectionSolver::ProjectionSolver(const mesh::UnstructuredMesh& mesh,
   amg::AmgOptions amg_opts;
   amg_opts.coarse_size = 32;
   amg_ = std::make_unique<amg::AmgHierarchy>(laplacian_, amg_opts);
+  precond_ = amg::make_amg_preconditioner(*amg_);
+  rhs_.assign(static_cast<std::size_t>(num_cells_), 0.0);
 }
 
-std::vector<double> ProjectionSolver::divergence() const {
-  std::vector<double> div(static_cast<std::size_t>(num_cells_), 0.0);
+void ProjectionSolver::divergence_into(std::span<double> div) const {
+  std::fill(div.begin(), div.end(), 0.0);
   for (std::size_t f = 0; f < edges_.size(); ++f) {
     const mesh::Edge& e = edges_[f];
     div[static_cast<std::size_t>(e.a)] += face_flux_[f];
     div[static_cast<std::size_t>(e.b)] -= face_flux_[f];
   }
+}
+
+std::vector<double> ProjectionSolver::divergence() const {
+  std::vector<double> div(static_cast<std::size_t>(num_cells_), 0.0);
+  divergence_into(div);
   return div;
 }
 
@@ -70,16 +77,15 @@ double ProjectionSolver::max_divergence() const {
 int ProjectionSolver::project() {
   // The assembled graph Laplacian is positive definite (it discretises
   // -div grad), so  L p = -div(u*); the pinned cell's equation is p_0 = 0.
-  std::vector<double> rhs = divergence();
-  for (double& v : rhs) {
+  divergence_into(rhs_);
+  for (double& v : rhs_) {
     v = -v;
   }
-  rhs[0] = 0.0;
+  rhs_[0] = 0.0;
   std::fill(pressure_.begin(), pressure_.end(), 0.0);
   const amg::PcgResult result =
-      amg::pcg(laplacian_, pressure_, rhs, options_.cg_tolerance,
-               options_.cg_max_iterations,
-               amg::make_amg_preconditioner(*amg_));
+      amg::pcg(laplacian_, pressure_, rhs_, options_.cg_tolerance,
+               options_.cg_max_iterations, precond_, workspace_);
   CPX_CHECK_MSG(result.converged,
                 "ProjectionSolver: pressure CG did not converge ("
                     << result.iterations << " iterations, residual "

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "amg/hierarchy.hpp"
+#include "amg/pcg.hpp"
 #include "mesh/mesh.hpp"
 #include "sparse/csr.hpp"
 
@@ -55,6 +56,8 @@ class ProjectionSolver {
   const std::vector<double>& pressure() const { return pressure_; }
 
  private:
+  void divergence_into(std::span<double> div) const;
+
   ProjectionOptions options_;
   std::int64_t num_cells_;
   std::vector<mesh::Edge> edges_;
@@ -63,6 +66,12 @@ class ProjectionSolver {
   std::vector<double> pressure_;
   sparse::CsrMatrix laplacian_;
   std::unique_ptr<amg::AmgHierarchy> amg_;
+  // Persistent solve state: repeated project() calls in a timestep loop
+  // reuse the preconditioner, the CG work vectors, and the rhs buffer, so
+  // the steady-state solve path allocates nothing.
+  amg::Preconditioner precond_;
+  amg::PcgWorkspace workspace_;
+  std::vector<double> rhs_;
 };
 
 }  // namespace cpx::pressure

@@ -30,6 +30,24 @@ CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
   validate();
 }
 
+CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
+                     std::vector<std::int64_t> row_offsets,
+                     std::vector<std::int32_t> col_indices,
+                     std::vector<double> values, Trusted)
+    : rows_(rows),
+      cols_(cols),
+      row_offsets_(std::move(row_offsets)),
+      col_indices_(std::move(col_indices)),
+      values_(std::move(values)) {
+  // Internally-built structure: the O(nnz) per-entry sweep ran inside
+  // solve loops on every intermediate SpGEMM product, so it is a debug
+  // check here; the O(rows) shape invariants stay always-on.
+  validate_shape();
+#ifndef NDEBUG
+  validate();
+#endif
+}
+
 std::span<const std::int32_t> CsrMatrix::row_cols(std::int64_t r) const {
   CPX_DCHECK(r >= 0 && r < rows_);
   const auto begin = static_cast<std::size_t>(
@@ -59,7 +77,7 @@ double CsrMatrix::at(std::int64_t r, std::int64_t c) const {
   return 0.0;
 }
 
-void CsrMatrix::validate() const {
+void CsrMatrix::validate_shape() const {
   CPX_CHECK_MSG(rows_ >= 0 && cols_ >= 0, "negative dimensions");
   CPX_CHECK_MSG(row_offsets_.size() == static_cast<std::size_t>(rows_) + 1,
                 "row_offsets size " << row_offsets_.size() << " != rows+1");
@@ -73,6 +91,12 @@ void CsrMatrix::validate() const {
     CPX_CHECK_MSG(row_offsets_[static_cast<std::size_t>(r)] <=
                       row_offsets_[static_cast<std::size_t>(r) + 1],
                   "non-monotone row_offsets at row " << r);
+  }
+}
+
+void CsrMatrix::validate() const {
+  validate_shape();
+  for (std::int64_t r = 0; r < rows_; ++r) {
     const auto cols = row_cols(r);
     for (std::size_t i = 0; i < cols.size(); ++i) {
       CPX_CHECK_MSG(cols[i] >= 0 && cols[i] < cols_,
@@ -96,7 +120,7 @@ CsrMatrix CsrMatrix::identity(std::int64_t n) {
     cols[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
   }
   return CsrMatrix(n, n, std::move(offsets), std::move(cols),
-                   std::move(vals));
+                   std::move(vals), Trusted{});
 }
 
 CsrMatrix csr_from_triplets(std::int64_t rows, std::int64_t cols,
@@ -197,7 +221,73 @@ void spmv_add(const CsrMatrix& a, std::span<const double> x,
   });
 }
 
-CsrMatrix transpose(const CsrMatrix& a) {
+void spmv_residual(const CsrMatrix& a, std::span<const double> x,
+                   std::span<const double> b, std::span<double> r) {
+  CPX_REQUIRE(x.size() == static_cast<std::size_t>(a.cols()),
+              "spmv_residual: x size mismatch");
+  CPX_REQUIRE(b.size() == static_cast<std::size_t>(a.rows()) &&
+                  r.size() == b.size(),
+              "spmv_residual: b/r size mismatch");
+  CPX_METRICS_SCOPE("sparse/spmv");
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("sparse/spmv_nnz", a.nnz());
+  }
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+  support::parallel_for(0, a.rows(), kRowGrain, [&](std::int64_t r0,
+                                                    std::int64_t r1) {
+    for (std::int64_t row = r0; row < r1; ++row) {
+      double sum = 0.0;
+      for (std::int64_t k = offsets[static_cast<std::size_t>(row)];
+           k < offsets[static_cast<std::size_t>(row) + 1]; ++k) {
+        sum += vals[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+      }
+      r[static_cast<std::size_t>(row)] =
+          b[static_cast<std::size_t>(row)] - sum;
+    }
+  });
+}
+
+double spmv_residual_norm2(const CsrMatrix& a, std::span<const double> x,
+                           std::span<const double> b, std::span<double> r) {
+  CPX_REQUIRE(x.size() == static_cast<std::size_t>(a.cols()),
+              "spmv_residual_norm2: x size mismatch");
+  CPX_REQUIRE(b.size() == static_cast<std::size_t>(a.rows()) &&
+                  r.size() == b.size(),
+              "spmv_residual_norm2: b/r size mismatch");
+  CPX_METRICS_SCOPE("sparse/spmv");
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("sparse/spmv_nnz", a.nnz());
+  }
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+  return support::parallel_reduce(
+      0, a.rows(), kRowGrain, 0.0, [&](std::int64_t r0, std::int64_t r1) {
+        double partial = 0.0;
+        for (std::int64_t row = r0; row < r1; ++row) {
+          double sum = 0.0;
+          for (std::int64_t k = offsets[static_cast<std::size_t>(row)];
+               k < offsets[static_cast<std::size_t>(row) + 1]; ++k) {
+            sum +=
+                vals[static_cast<std::size_t>(k)] *
+                x[static_cast<std::size_t>(
+                    cols[static_cast<std::size_t>(k)])];
+          }
+          const double res = b[static_cast<std::size_t>(row)] - sum;
+          r[static_cast<std::size_t>(row)] = res;
+          partial += res * res;
+        }
+        return partial;
+      });
+}
+
+namespace {
+
+/// Serial transpose core (also the small-matrix path of the parallel one).
+CsrMatrix transpose_serial(const CsrMatrix& a) {
   std::vector<std::int64_t> offsets(static_cast<std::size_t>(a.cols()) + 1,
                                     0);
   for (std::int32_t c : a.col_indices()) {
@@ -220,12 +310,151 @@ CsrMatrix transpose(const CsrMatrix& a) {
     }
   }
   return CsrMatrix(a.cols(), a.rows(), std::move(offsets), std::move(cols),
-                   std::move(vals));
+                   std::move(vals), Trusted{});
 }
+
+}  // namespace
+
+CsrMatrix transpose(const CsrMatrix& a) {
+  CPX_METRICS_SCOPE("sparse/transpose");
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("sparse/transpose_nnz", a.nnz());
+  }
+  // Two-phase chunked transpose: per-chunk column histograms, a serial
+  // chunk-order prefix giving each chunk its starting cursor per column,
+  // then a parallel scatter. Entries within an output row keep ascending
+  // source-row order (each chunk covers a contiguous row range and chunks
+  // are prefixed in order), so the result is byte-identical to the serial
+  // scan — transpose has no floating-point accumulation, which is why the
+  // chunk count may depend on the thread count without breaking the
+  // determinism contract. The histogram memory is nchunks*cols, so the
+  // chunk count is capped independently of the row grain.
+  const std::int64_t rows = a.rows();
+  const std::int64_t cols_n = a.cols();
+  const std::int64_t max_chunks =
+      std::min<std::int64_t>(4 * support::max_threads(), 64);
+  const std::int64_t grain =
+      std::max<std::int64_t>(kRowGrain, (rows + max_chunks - 1) / max_chunks);
+  const std::int64_t nchunks = support::num_chunks(0, rows, grain);
+  if (nchunks <= 1 || cols_n == 0) {
+    return transpose_serial(a);
+  }
+
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(nchunks * cols_n), 0);
+  support::parallel_chunks(0, rows, grain, [&](std::int64_t chunk,
+                                               std::int64_t r0,
+                                               std::int64_t r1, int) {
+    std::int64_t* count = counts.data() + chunk * cols_n;
+    for (std::int64_t r = r0; r < r1; ++r) {
+      for (std::int32_t c : a.row_cols(r)) {
+        ++count[c];
+      }
+    }
+  });
+
+  // Column offsets plus per-chunk starting cursors, both from one serial
+  // chunk-order scan of the histograms.
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(cols_n) + 1, 0);
+  for (std::int64_t c = 0; c < cols_n; ++c) {
+    std::int64_t total = 0;
+    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+      const std::int64_t n = counts[static_cast<std::size_t>(
+          chunk * cols_n + c)];
+      counts[static_cast<std::size_t>(chunk * cols_n + c)] = total;
+      total += n;
+    }
+    offsets[static_cast<std::size_t>(c) + 1] = total;
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+
+  std::vector<std::int32_t> out_cols(a.values().size());
+  std::vector<double> out_vals(a.values().size());
+  support::parallel_chunks(0, rows, grain, [&](std::int64_t chunk,
+                                               std::int64_t r0,
+                                               std::int64_t r1, int) {
+    std::int64_t* cursor = counts.data() + chunk * cols_n;
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const auto rc = a.row_cols(r);
+      const auto rv = a.row_values(r);
+      for (std::size_t i = 0; i < rc.size(); ++i) {
+        const auto c = static_cast<std::size_t>(rc[i]);
+        const auto slot = static_cast<std::size_t>(
+            offsets[c] + cursor[c]++);
+        out_cols[slot] = static_cast<std::int32_t>(r);
+        out_vals[slot] = rv[i];
+      }
+    }
+  });
+  return CsrMatrix(a.cols(), a.rows(), std::move(offsets),
+                   std::move(out_cols), std::move(out_vals), Trusted{});
+}
+
+bool same_structure(const CsrMatrix& a, const CsrMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         a.row_offsets() == b.row_offsets() &&
+         a.col_indices() == b.col_indices();
+}
+
+std::vector<std::int64_t> transpose_permutation(const CsrMatrix& a,
+                                                const CsrMatrix& at) {
+  CPX_REQUIRE(at.rows() == a.cols() && at.cols() == a.rows() &&
+                  at.nnz() == a.nnz(),
+              "transpose_permutation: shape mismatch");
+  std::vector<std::int64_t> cursor(at.row_offsets().begin(),
+                                   at.row_offsets().end() - 1);
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(a.nnz()));
+  std::int64_t k = 0;
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int32_t c : a.row_cols(r)) {
+      perm[static_cast<std::size_t>(k++)] =
+          cursor[static_cast<std::size_t>(c)]++;
+    }
+  }
+  return perm;
+}
+
+void transpose_numeric(const CsrMatrix& a,
+                       std::span<const std::int64_t> perm, CsrMatrix& at) {
+  CPX_REQUIRE(perm.size() == static_cast<std::size_t>(a.nnz()) &&
+                  at.nnz() == a.nnz(),
+              "transpose_numeric: size mismatch");
+  const auto& src = a.values();
+  auto& dst = at.mutable_values();
+  support::parallel_for(0, a.nnz(), kRowGrain, [&](std::int64_t k0,
+                                                   std::int64_t k1) {
+    for (std::int64_t k = k0; k < k1; ++k) {
+      dst[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])] =
+          src[static_cast<std::size_t>(k)];
+    }
+  });
+}
+
+namespace {
+
+/// Multiply-add count of A·B: Σ over entries (r,k) of A of nnz(B row k).
+/// O(nnz(A)); used for the sparse/spgemm_flops counter.
+std::int64_t spgemm_flop_count(const CsrMatrix& a, const CsrMatrix& b) {
+  const auto& boff = b.row_offsets();
+  std::int64_t flops = 0;
+  for (std::int32_t ak : a.col_indices()) {
+    flops += boff[static_cast<std::size_t>(ak) + 1] -
+             boff[static_cast<std::size_t>(ak)];
+  }
+  return flops;
+}
+
+}  // namespace
 
 CsrMatrix spgemm_twopass(const CsrMatrix& a, const CsrMatrix& b) {
   CPX_REQUIRE(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
   CPX_METRICS_SCOPE("sparse/spgemm_twopass");
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("sparse/spgemm_flops",
+                                  spgemm_flop_count(a, b));
+  }
   const std::int64_t m = a.rows();
   const std::int64_t n = b.cols();
 
@@ -327,12 +556,16 @@ CsrMatrix spgemm_twopass(const CsrMatrix& a, const CsrMatrix& b) {
     }
   });
   return CsrMatrix(m, n, std::move(offsets), std::move(cols),
-                   std::move(vals));
+                   std::move(vals), Trusted{});
 }
 
 CsrMatrix spgemm_spa(const CsrMatrix& a, const CsrMatrix& b) {
   CPX_REQUIRE(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
   CPX_METRICS_SCOPE("sparse/spgemm_spa");
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("sparse/spgemm_flops",
+                                  spgemm_flop_count(a, b));
+  }
   const std::int64_t m = a.rows();
   const std::int64_t n = b.cols();
 
@@ -409,13 +642,162 @@ CsrMatrix spgemm_spa(const CsrMatrix& a, const CsrMatrix& b) {
     vals.insert(vals.end(), out.vals.begin(), out.vals.end());
   }
   return CsrMatrix(m, n, std::move(offsets), std::move(cols),
-                   std::move(vals));
+                   std::move(vals), Trusted{});
 }
 
 CsrMatrix galerkin_product(const CsrMatrix& r, const CsrMatrix& a,
                            const CsrMatrix& p) {
   const CsrMatrix ap = spgemm_spa(a, p);
   return spgemm_spa(r, ap);
+}
+
+SpgemmPlan::SpgemmPlan(const CsrMatrix& a, const CsrMatrix& b) {
+  CPX_REQUIRE(a.cols() == b.rows(),
+              "SpgemmPlan: inner dimension mismatch");
+  CPX_METRICS_SCOPE("sparse/spgemm_symbolic");
+  rows_ = a.rows();
+  cols_ = b.cols();
+  inner_ = a.cols();
+  flops_ = spgemm_flop_count(a, b);
+
+  // Symbolic pass: the twopass marker scheme, but recording the sorted
+  // column structure instead of discarding it. Chunk outputs are compacted
+  // in chunk order, so the structure is thread-count independent.
+  const std::int64_t m = rows_;
+  const std::int64_t n = cols_;
+  const auto lanes = static_cast<std::size_t>(support::max_threads());
+  struct LaneScratch {
+    std::vector<std::int64_t> marker;
+    std::vector<std::int32_t> row_cols;
+  };
+  std::vector<LaneScratch> scratch(lanes);
+  const std::int64_t nchunks = support::num_chunks(0, m, kSpgemmGrain);
+  std::vector<std::vector<std::int32_t>> outs(
+      static_cast<std::size_t>(nchunks));
+
+  row_offsets_.assign(static_cast<std::size_t>(m) + 1, 0);
+  support::parallel_chunks(0, m, kSpgemmGrain, [&](std::int64_t chunk,
+                                                   std::int64_t r0,
+                                                   std::int64_t r1,
+                                                   int lane) {
+    LaneScratch& s = scratch[static_cast<std::size_t>(lane)];
+    if (s.marker.empty() && n > 0) {
+      s.marker.assign(static_cast<std::size_t>(n), -1);
+    }
+    auto& out = outs[static_cast<std::size_t>(chunk)];
+    for (std::int64_t r = r0; r < r1; ++r) {
+      s.row_cols.clear();
+      for (std::int32_t ak : a.row_cols(r)) {
+        for (std::int32_t bk : b.row_cols(ak)) {
+          if (s.marker[static_cast<std::size_t>(bk)] != r) {
+            s.marker[static_cast<std::size_t>(bk)] = r;
+            s.row_cols.push_back(bk);
+          }
+        }
+      }
+      std::sort(s.row_cols.begin(), s.row_cols.end());
+      out.insert(out.end(), s.row_cols.begin(), s.row_cols.end());
+      row_offsets_[static_cast<std::size_t>(r) + 1] =
+          static_cast<std::int64_t>(s.row_cols.size());
+    }
+  });
+  for (std::size_t i = 1; i < row_offsets_.size(); ++i) {
+    row_offsets_[i] += row_offsets_[i - 1];
+  }
+  col_indices_.reserve(static_cast<std::size_t>(row_offsets_.back()));
+  for (const auto& out : outs) {
+    col_indices_.insert(col_indices_.end(), out.begin(), out.end());
+  }
+}
+
+SpgemmPlan::SpgemmPlan(const CsrMatrix& a, const CsrMatrix& b,
+                       const CsrMatrix& c)
+    : rows_(a.rows()),
+      cols_(b.cols()),
+      inner_(a.cols()),
+      flops_(spgemm_flop_count(a, b)),
+      row_offsets_(c.row_offsets()),
+      col_indices_(c.col_indices()) {
+  CPX_REQUIRE(a.cols() == b.rows(),
+              "SpgemmPlan: inner dimension mismatch");
+  CPX_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+              "SpgemmPlan: product shape mismatch");
+}
+
+void SpgemmPlan::check_inputs(const CsrMatrix& a, const CsrMatrix& b) const {
+  CPX_REQUIRE(!empty(), "SpgemmPlan: numeric pass on an empty plan");
+  CPX_REQUIRE(a.rows() == rows_ && a.cols() == inner_ &&
+                  b.rows() == inner_ && b.cols() == cols_,
+              "SpgemmPlan: input shapes do not match the planned product");
+}
+
+void SpgemmPlan::fill_values(const CsrMatrix& a, const CsrMatrix& b,
+                             const std::vector<std::int64_t>& offsets,
+                             const std::vector<std::int32_t>& cols,
+                             std::vector<double>& vals) const {
+  CPX_METRICS_SCOPE("sparse/spgemm_numeric");
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add("sparse/spgemm_flops", flops_);
+  }
+  // Sizing the outer per-lane vector happens serially, before the parallel
+  // region, so concurrent chunks only ever touch their own lane's slot.
+  const auto lanes = static_cast<std::size_t>(support::max_threads());
+  if (lane_acc_.size() < lanes) {
+    lane_acc_.resize(lanes);
+  }
+  support::parallel_chunks(0, rows_, kSpgemmGrain, [&](std::int64_t,
+                                                       std::int64_t r0,
+                                                       std::int64_t r1,
+                                                       int lane) {
+    auto& acc = lane_acc_[static_cast<std::size_t>(lane)];
+    if (acc.empty() && cols_ > 0) {
+      acc.assign(static_cast<std::size_t>(cols_), 0.0);
+    }
+    for (std::int64_t r = r0; r < r1; ++r) {
+      // Accumulate the row into the dense array (per output entry in A-row
+      // order — the accumulation order of spgemm_spa/spgemm_twopass, so
+      // values match the from-scratch kernels), then gather the planned
+      // columns into the output slice and clear exactly what was touched
+      // (the plan's columns are precisely the union of the B-row supports).
+      const auto ac = a.row_cols(r);
+      const auto av = a.row_values(r);
+      for (std::size_t i = 0; i < ac.size(); ++i) {
+        const double aval = av[i];
+        const auto bc = b.row_cols(ac[i]);
+        const auto bv = b.row_values(ac[i]);
+        for (std::size_t j = 0; j < bc.size(); ++j) {
+          acc[static_cast<std::size_t>(bc[j])] += aval * bv[j];
+        }
+      }
+      const auto lo = static_cast<std::size_t>(
+          offsets[static_cast<std::size_t>(r)]);
+      const auto hi = static_cast<std::size_t>(
+          offsets[static_cast<std::size_t>(r) + 1]);
+      for (std::size_t k = lo; k < hi; ++k) {
+        const auto c = static_cast<std::size_t>(cols[k]);
+        vals[k] = acc[c];
+        acc[c] = 0.0;
+      }
+    }
+  });
+}
+
+CsrMatrix SpgemmPlan::numeric(const CsrMatrix& a, const CsrMatrix& b) const {
+  check_inputs(a, b);
+  std::vector<std::int64_t> offsets = row_offsets_;
+  std::vector<std::int32_t> cols = col_indices_;
+  std::vector<double> vals(col_indices_.size());
+  fill_values(a, b, row_offsets_, col_indices_, vals);
+  return CsrMatrix(rows_, cols_, std::move(offsets), std::move(cols),
+                   std::move(vals), Trusted{});
+}
+
+void SpgemmPlan::numeric_into(const CsrMatrix& a, const CsrMatrix& b,
+                              CsrMatrix& c) const {
+  check_inputs(a, b);
+  CPX_REQUIRE(c.rows() == rows_ && c.cols() == cols_ && c.nnz() == nnz(),
+              "SpgemmPlan::numeric_into: output structure mismatch");
+  fill_values(a, b, row_offsets_, col_indices_, c.mutable_values());
 }
 
 double frobenius_distance(const CsrMatrix& a, const CsrMatrix& b) {

@@ -16,6 +16,13 @@ struct Triplet {
   double value = 0.0;
 };
 
+/// Tag for CSR storage produced by the library's own kernels (SpGEMM,
+/// transpose, plan numeric passes): structure invariants hold by
+/// construction, so the O(nnz) per-entry validation is skipped in NDEBUG
+/// builds and kept as a debug check. User-facing constructors
+/// (csr_from_triplets, the untagged constructor) always validate fully.
+struct Trusted {};
+
 class CsrMatrix {
  public:
   CsrMatrix() = default;
@@ -23,6 +30,10 @@ class CsrMatrix {
             std::vector<std::int64_t> row_offsets,
             std::vector<std::int32_t> col_indices,
             std::vector<double> values);
+  CsrMatrix(std::int64_t rows, std::int64_t cols,
+            std::vector<std::int64_t> row_offsets,
+            std::vector<std::int32_t> col_indices,
+            std::vector<double> values, Trusted);
 
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
@@ -48,6 +59,9 @@ class CsrMatrix {
   static CsrMatrix identity(std::int64_t n);
 
  private:
+  /// O(rows) shape/offset checks only (the Trusted construction path).
+  void validate_shape() const;
+
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
   std::vector<std::int64_t> row_offsets_;
@@ -68,7 +82,92 @@ void spmv(const CsrMatrix& a, std::span<const double> x,
 void spmv_add(const CsrMatrix& a, std::span<const double> x,
               std::span<double> y, double beta);
 
+/// Fused residual r = b − A·x in one sweep (vs spmv + subtract pass).
+void spmv_residual(const CsrMatrix& a, std::span<const double> x,
+                   std::span<const double> b, std::span<double> r);
+
+/// Fused residual + reduction: computes r = b − A·x and returns ‖r‖² in
+/// the same sweep — the residual-check kernel of the solve loops, one
+/// read of A/x/b and one write of r instead of three vector passes. The
+/// reduction uses the deterministic chunked combine of docs/parallelism.md.
+double spmv_residual_norm2(const CsrMatrix& a, std::span<const double> x,
+                           std::span<const double> b, std::span<double> r);
+
 CsrMatrix transpose(const CsrMatrix& a);
+
+/// True iff a and b have identical dimensions, row offsets, and column
+/// indices (values may differ).
+bool same_structure(const CsrMatrix& a, const CsrMatrix& b);
+
+/// For fixed-structure transpose refreshes: perm[k] is the slot in
+/// transpose(a) holding entry k of a, so a numeric-only transpose is
+/// at.values[perm[k]] = a.values[k]. `at` must be transpose(a)'s structure.
+std::vector<std::int64_t> transpose_permutation(const CsrMatrix& a,
+                                                const CsrMatrix& at);
+
+/// Numeric-only transpose over fixed structure using a permutation from
+/// transpose_permutation. Allocation-free.
+void transpose_numeric(const CsrMatrix& a,
+                       std::span<const std::int64_t> perm, CsrMatrix& at);
+
+/// Cached symbolic SpGEMM plan for products over fixed sparsity: holds the
+/// output structure of A·B (offsets + columns) plus per-lane scatter
+/// scratch, so repeated products where only values change pay the numeric
+/// pass alone — the structure-reuse scheme the coupled workflow's
+/// fixed-mesh pressure matrix enables (paper §IV-B task compaction, done
+/// once instead of every step). Accumulation order per output entry
+/// matches spgemm_spa/spgemm_twopass exactly, so numeric results are
+/// bitwise identical to the from-scratch kernels at any thread count.
+class SpgemmPlan {
+ public:
+  SpgemmPlan() = default;
+
+  /// Symbolic pass over A·B (counts and records the output structure).
+  SpgemmPlan(const CsrMatrix& a, const CsrMatrix& b);
+
+  /// Adopts the structure of an already-computed product C = A·B (no
+  /// symbolic pass — free when the first product was computed anyway).
+  SpgemmPlan(const CsrMatrix& a, const CsrMatrix& b, const CsrMatrix& c);
+
+  bool empty() const { return rows_ == 0 && cols_ == 0; }
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t nnz() const {
+    return row_offsets_.empty() ? 0 : row_offsets_.back();
+  }
+  /// Multiply-add count of one numeric pass (fixed by the structure).
+  std::int64_t flops() const { return flops_; }
+
+  /// Numeric pass into a freshly allocated matrix.
+  CsrMatrix numeric(const CsrMatrix& a, const CsrMatrix& b) const;
+
+  /// Numeric pass into an existing matrix with this plan's structure;
+  /// allocation-free after the per-lane scratch warms up.
+  void numeric_into(const CsrMatrix& a, const CsrMatrix& b,
+                    CsrMatrix& c) const;
+
+ private:
+  void check_inputs(const CsrMatrix& a, const CsrMatrix& b) const;
+  void fill_values(const CsrMatrix& a, const CsrMatrix& b,
+                   const std::vector<std::int64_t>& offsets,
+                   const std::vector<std::int32_t>& cols,
+                   std::vector<double>& vals) const;
+
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;      ///< output columns (= B cols)
+  std::int64_t inner_ = 0;     ///< inner dimension (= A cols = B rows)
+  std::int64_t flops_ = 0;
+  std::vector<std::int64_t> row_offsets_;
+  std::vector<std::int32_t> col_indices_;
+  // Per-lane dense accumulators (one double per output column). The
+  // numeric pass accumulates each row into the dense array with a single
+  // indirection, then gathers/clears exactly the planned columns — no
+  // marker branch, no sort, no compaction. A lane runs one chunk at a time
+  // (support::parallel_chunks), so lane-indexed scratch needs no locking;
+  // mutable because reusing it is an implementation detail of the const
+  // numeric passes.
+  mutable std::vector<std::vector<double>> lane_acc_;
+};
 
 /// Reference SpGEMM: symbolic pass sizes the output, numeric pass fills it
 /// (the "input matrices read twice" baseline of §IV-B).

@@ -1,0 +1,111 @@
+#include "support/blas1.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/check.hpp"
+#include "support/parallel.hpp"
+
+namespace cpx::support::blas1 {
+namespace {
+
+// Fixed reduction grain (docs/parallelism.md): the partial-sum
+// decomposition — and therefore every bit of the result — depends on the
+// vector length alone, never on the thread count.
+constexpr std::int64_t kBlasGrain = 4096;
+
+}  // namespace
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  CPX_REQUIRE(a.size() == b.size(), "blas1::dot: size mismatch");
+  return parallel_reduce(
+      0, static_cast<std::int64_t>(a.size()), kBlasGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+        }
+        return s;
+      });
+}
+
+double norm2_squared(std::span<const double> a) {
+  return parallel_reduce(
+      0, static_cast<std::int64_t>(a.size()), kBlasGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double v = a[static_cast<std::size_t>(i)];
+          s += v * v;
+        }
+        return s;
+      });
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(norm2_squared(a)); }
+
+void axpy2(double alpha, std::span<const double> p,
+           std::span<const double> ap, std::span<double> x,
+           std::span<double> r) {
+  const auto n = x.size();
+  CPX_REQUIRE(p.size() == n && ap.size() == n && r.size() == n,
+              "blas1::axpy2: size mismatch");
+  parallel_for(0, static_cast<std::int64_t>(n), kBlasGrain,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const auto k = static_cast<std::size_t>(i);
+                   x[k] += alpha * p[k];
+                   r[k] -= alpha * ap[k];
+                 }
+               });
+}
+
+double axpy2_norm2(double alpha, std::span<const double> p,
+                   std::span<const double> ap, std::span<double> x,
+                   std::span<double> r) {
+  const auto n = x.size();
+  CPX_REQUIRE(p.size() == n && ap.size() == n && r.size() == n,
+              "blas1::axpy2_norm2: size mismatch");
+  return parallel_reduce(0, static_cast<std::int64_t>(n), kBlasGrain, 0.0,
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           double s = 0.0;
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                             const auto k = static_cast<std::size_t>(i);
+                             x[k] += alpha * p[k];
+                             const double rv = r[k] - alpha * ap[k];
+                             r[k] = rv;
+                             s += rv * rv;
+                           }
+                           return s;
+                         });
+}
+
+double dot_diff(std::span<const double> z, std::span<const double> a,
+                std::span<const double> b) {
+  const auto n = z.size();
+  CPX_REQUIRE(a.size() == n && b.size() == n,
+              "blas1::dot_diff: size mismatch");
+  return parallel_reduce(
+      0, static_cast<std::int64_t>(n), kBlasGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(i);
+          s += z[k] * (a[k] - b[k]);
+        }
+        return s;
+      });
+}
+
+void xpby(std::span<const double> x, double beta, std::span<double> y) {
+  CPX_REQUIRE(x.size() == y.size(), "blas1::xpby: size mismatch");
+  parallel_for(0, static_cast<std::int64_t>(x.size()), kBlasGrain,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const auto k = static_cast<std::size_t>(i);
+                   y[k] = x[k] + beta * y[k];
+                 }
+               });
+}
+
+}  // namespace cpx::support::blas1

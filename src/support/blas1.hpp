@@ -1,0 +1,42 @@
+#pragma once
+// Deterministic parallel BLAS-1 kernels for the solve path (PCG, the AMG
+// cycles, and the smoothers). Reductions use the fixed-grain chunked
+// partial sums of docs/parallelism.md: the chunk decomposition depends
+// only on (size, grain) and partials combine in chunk order on the calling
+// thread, so every result is bitwise identical at any CPX_THREADS. The
+// fused variants exist to halve memory traffic in the CG iteration: one
+// sweep updates two vectors (axpy2) or updates and reduces (axpy2_norm2)
+// instead of separate passes. All entry points are allocation-free.
+
+#include <span>
+
+namespace cpx::support::blas1 {
+
+/// Σ a_i·b_i (sizes must match).
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Σ a_i² — the squared 2-norm.
+double norm2_squared(std::span<const double> a);
+
+/// ‖a‖₂.
+double norm2(std::span<const double> a);
+
+/// Fused CG update: x += alpha·p and r -= alpha·ap in one pass.
+void axpy2(double alpha, std::span<const double> p,
+           std::span<const double> ap, std::span<double> x,
+           std::span<double> r);
+
+/// axpy2 that additionally returns ‖r‖² of the updated r in the same
+/// sweep (saves the separate residual-norm pass of the CG iteration).
+double axpy2_norm2(double alpha, std::span<const double> p,
+                   std::span<const double> ap, std::span<double> x,
+                   std::span<double> r);
+
+/// Σ z_i·(a_i − b_i) — the Polak-Ribière numerator z·(r − r_old), fused.
+double dot_diff(std::span<const double> z, std::span<const double> a,
+                std::span<const double> b);
+
+/// y = x + beta·y in place (the CG direction update).
+void xpby(std::span<const double> x, double beta, std::span<double> y);
+
+}  // namespace cpx::support::blas1

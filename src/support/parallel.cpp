@@ -60,12 +60,15 @@ class ThreadPool {
     start_workers();
   }
 
+  using JobFn = FunctionRef<void(std::int64_t, int)>;
+
   /// Runs fn(chunk, lane) for every chunk in [0, nchunks). The calling
   /// thread participates as lane 0; chunks are claimed dynamically but the
   /// chunk set itself is fixed by the caller, so results that depend only
-  /// on the chunk decomposition are thread-count independent.
-  void run(std::int64_t nchunks,
-           const std::function<void(std::int64_t, int)>& fn) {
+  /// on the chunk decomposition are thread-count independent. Dispatch is
+  /// allocation-free when metrics are off: the job slot holds a non-owning
+  /// FunctionRef, valid because run() blocks until every chunk completes.
+  void run(std::int64_t nchunks, JobFn fn) {
     if (nchunks <= 0) {
       return;
     }
@@ -91,25 +94,24 @@ class ThreadPool {
     // Per-task queue wait (submit -> claim) and per-lane execution time.
     // Wrapped only when metrics are on: the wrapper costs two clock reads
     // per chunk. The serial/inline paths above stay unwrapped — there is
-    // no queue and the caller's own region timer already covers them.
-    std::function<void(std::int64_t, int)> timed;
-    const std::function<void(std::int64_t, int)>* run_fn = &fn;
-    if (metrics::enabled()) {
-      const auto submit = std::chrono::steady_clock::now();
-      timed = [&fn, submit](std::int64_t chunk, int lane) {
-        const auto claim = std::chrono::steady_clock::now();
-        fn(chunk, lane);
-        const auto done = std::chrono::steady_clock::now();
-        const auto ns = [](auto a, auto b) {
-          return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
-              .count();
-        };
-        metrics::counter_add("pool/tasks", 1);
-        metrics::counter_add("pool/queue_wait_ns", ns(submit, claim));
-        metrics::counter_add(lane_exec_counter_name(lane), ns(claim, done));
+    // no queue and the caller's own region timer already covers them. The
+    // wrapper lambda lives on this frame, which outlives the job.
+    const bool timed_run = metrics::enabled();
+    const auto submit = timed_run ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+    auto timed = [&fn, submit](std::int64_t chunk, int lane) {
+      const auto claim = std::chrono::steady_clock::now();
+      fn(chunk, lane);
+      const auto done = std::chrono::steady_clock::now();
+      const auto ns = [](auto a, auto b) {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+            .count();
       };
-      run_fn = &timed;
-    }
+      metrics::counter_add("pool/tasks", 1);
+      metrics::counter_add("pool/queue_wait_ns", ns(submit, claim));
+      metrics::counter_add(lane_exec_counter_name(lane), ns(claim, done));
+    };
+    const JobFn run_fn = timed_run ? JobFn(timed) : fn;
     {
       std::lock_guard<std::mutex> lock(job_mutex_);
       job_fn_ = run_fn;
@@ -198,7 +200,7 @@ class ThreadPool {
         return;
       }
       try {
-        (*job_fn_)(c, tl_lane);
+        job_fn_(c, tl_lane);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job_mutex_);
         if (!job_error_) {
@@ -221,7 +223,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
-  const std::function<void(std::int64_t, int)>* job_fn_ = nullptr;
+  JobFn job_fn_;
   std::int64_t job_chunks_ = 0;
   std::atomic<std::int64_t> job_next_{0};
   std::atomic<std::int64_t> job_pending_{0};
@@ -273,7 +275,7 @@ std::pair<std::int64_t, std::int64_t> chunk_bounds(std::int64_t begin,
 }
 
 void parallel_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                     const ChunkFn& fn) {
+                     ChunkFn fn) {
   const std::int64_t n = num_chunks(begin, end, grain);
   if (n == 0) {
     return;
@@ -285,7 +287,7 @@ void parallel_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const RangeFn& fn) {
+                  RangeFn fn) {
   parallel_chunks(begin, end, grain,
                   [&](std::int64_t, std::int64_t lo, std::int64_t hi, int) {
                     fn(lo, hi);
@@ -293,15 +295,25 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
 }
 
 double parallel_reduce(std::int64_t begin, std::int64_t end,
-                       std::int64_t grain, double init, const ReduceFn& fn) {
+                       std::int64_t grain, double init, ReduceFn fn) {
   const std::int64_t n = num_chunks(begin, end, grain);
-  std::vector<double> partial(static_cast<std::size_t>(n), 0.0);
+  // Partials stay on this frame for the common case so steady-state
+  // reductions (the BLAS-1 layer) allocate nothing. Chunks write disjoint
+  // slots and the pool joins before the combine, so this is race-free.
+  constexpr std::int64_t kStackChunks = 512;
+  double stack_partial[kStackChunks];
+  std::vector<double> heap_partial;
+  double* partial = stack_partial;
+  if (n > kStackChunks) {
+    heap_partial.assign(static_cast<std::size_t>(n), 0.0);
+    partial = heap_partial.data();
+  }
   parallel_chunks(begin, end, grain,
                   [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi,
-                      int) { partial[static_cast<std::size_t>(chunk)] = fn(lo, hi); });
+                      int) { partial[chunk] = fn(lo, hi); });
   double acc = init;
-  for (double p : partial) {  // fixed chunk order: deterministic
-    acc += p;
+  for (std::int64_t i = 0; i < n; ++i) {  // fixed chunk order: deterministic
+    acc += partial[i];
   }
   return acc;
 }

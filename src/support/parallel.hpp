@@ -17,7 +17,8 @@
 // from inside a chunk run inline on the calling worker's lane.
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 #include <utility>
 
 namespace cpx {
@@ -25,6 +26,40 @@ class Options;
 }  // namespace cpx
 
 namespace cpx::support {
+
+/// Non-owning callable view (two raw pointers), used instead of
+/// std::function on the dispatch path so that entering a parallel region
+/// never heap-allocates — a requirement of the allocation-free solve path
+/// (docs/parallelism.md). The referenced callable must outlive every
+/// invocation; the parallel_* entry points block until all chunks are
+/// done, so passing a stack lambda is safe.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function
+  FunctionRef(F&& f)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return call_ != nullptr; }
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
 
 /// Number of execution lanes (worker threads + the calling thread).
 int max_threads();
@@ -56,21 +91,22 @@ std::pair<std::int64_t, std::int64_t> chunk_bounds(std::int64_t begin,
 /// lane in [0, max_threads()). A lane executes at most one chunk at a time,
 /// so per-lane scratch needs no locking. Exceptions thrown by fn are
 /// rethrown (first one wins) on the calling thread.
-using ChunkFn = std::function<void(std::int64_t chunk, std::int64_t begin,
-                                   std::int64_t end, int lane)>;
+using ChunkFn = FunctionRef<void(std::int64_t chunk, std::int64_t begin,
+                                 std::int64_t end, int lane)>;
 void parallel_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                     const ChunkFn& fn);
+                     ChunkFn fn);
 
 /// fn(chunk_begin, chunk_end): chunk-id-free convenience wrapper for
 /// kernels whose chunks write disjoint outputs.
-using RangeFn = std::function<void(std::int64_t begin, std::int64_t end)>;
+using RangeFn = FunctionRef<void(std::int64_t begin, std::int64_t end)>;
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const RangeFn& fn);
+                  RangeFn fn);
 
 /// init + sum of fn(chunk_begin, chunk_end) over all chunks, combined in
 /// chunk order — deterministic for a fixed grain at any thread count.
-using ReduceFn = std::function<double(std::int64_t begin, std::int64_t end)>;
+/// Partials live on the caller's stack up to 512 chunks (no allocation).
+using ReduceFn = FunctionRef<double(std::int64_t begin, std::int64_t end)>;
 double parallel_reduce(std::int64_t begin, std::int64_t end,
-                       std::int64_t grain, double init, const ReduceFn& fn);
+                       std::int64_t grain, double init, ReduceFn fn);
 
 }  // namespace cpx::support

@@ -63,6 +63,8 @@ void ThermalSolver::build_system() {
   amg::AmgOptions amg_opts;
   amg_opts.coarse_size = 32;
   amg_ = std::make_unique<amg::AmgHierarchy>(system_, amg_opts);
+  precond_ = amg::make_amg_preconditioner(*amg_);
+  rhs_.assign(static_cast<std::size_t>(n), 0.0);
   system_current_ = true;
 }
 
@@ -91,13 +93,12 @@ int ThermalSolver::step() {
     build_system();
   }
   const auto n = temperature_.size();
-  std::vector<double> rhs(n);
   for (std::size_t c = 0; c < n; ++c) {
     if (fixed_[c]) {
-      rhs[c] = temperature_[c];
+      rhs_[c] = temperature_[c];
       continue;
     }
-    rhs[c] = volumes_[c] / options_.dt * temperature_[c] + source_[c];
+    rhs_[c] = volumes_[c] / options_.dt * temperature_[c] + source_[c];
   }
   // Known (fixed) temperatures contribute through the dropped couplings.
   for (std::int64_t r = 0; r < conduction_.rows(); ++r) {
@@ -108,14 +109,14 @@ int ThermalSolver::step() {
     const auto vals = conduction_.row_values(r);
     for (std::size_t i = 0; i < cols.size(); ++i) {
       if (fixed_[static_cast<std::size_t>(cols[i])]) {
-        rhs[static_cast<std::size_t>(r)] -=
+        rhs_[static_cast<std::size_t>(r)] -=
             vals[i] * temperature_[static_cast<std::size_t>(cols[i])];
       }
     }
   }
   const amg::PcgResult result =
-      amg::pcg(system_, temperature_, rhs, options_.cg_tolerance,
-               options_.cg_max_iterations, amg::make_amg_preconditioner(*amg_));
+      amg::pcg(system_, temperature_, rhs_, options_.cg_tolerance,
+               options_.cg_max_iterations, precond_, workspace_);
   CPX_CHECK_MSG(result.converged, "ThermalSolver: CG did not converge ("
                                       << result.iterations << " iterations)");
   return result.iterations;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "amg/hierarchy.hpp"
+#include "amg/pcg.hpp"
 #include "mesh/mesh.hpp"
 #include "sparse/csr.hpp"
 
@@ -74,6 +75,12 @@ class ThermalSolver {
   std::unique_ptr<amg::AmgHierarchy> amg_;
   bool system_current_ = false;
   const mesh::UnstructuredMesh* mesh_;
+  // Persistent solve state (rebuilt with the system): repeated step() calls
+  // reuse the preconditioner, CG work vectors, and rhs buffer, so the
+  // timestep loop allocates nothing in steady state.
+  amg::Preconditioner precond_;
+  amg::PcgWorkspace workspace_;
+  std::vector<double> rhs_;
 };
 
 }  // namespace cpx::thermal

@@ -1,0 +1,171 @@
+// Allocation-count regression for the allocation-free solve path: after a
+// warm-up solve sizes every workspace (PcgWorkspace, AMG per-level scratch,
+// SpgemmPlan lane accumulators, coarse Cholesky buffers), steady-state
+// PCG iterations, multigrid cycles, and numeric re-setup must perform ZERO
+// heap allocations. Enforced by replacing global operator new/delete with
+// counting versions — any vector growth or hidden temporary inside the hot
+// loops shows up as a nonzero delta.
+//
+// This file must stay a standalone test binary: the global operator
+// new/delete replacement below applies to the whole process.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "amg/hierarchy.hpp"
+#include "amg/pcg.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_allocation_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded ? rounded : align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace cpx::amg {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = rng.uniform(-1.0, 1.0);
+  }
+  return v;
+}
+
+/// Allocations performed by fn().
+template <typename Fn>
+std::size_t allocations_during(Fn&& fn) {
+  const std::size_t before =
+      g_allocation_count.load(std::memory_order_relaxed);
+  fn();
+  return g_allocation_count.load(std::memory_order_relaxed) - before;
+}
+
+TEST(SolverAllocations, SteadyStatePcgAndCycleAllocateNothing) {
+  const sparse::CsrMatrix a = sparse::laplacian_3d(12, 12, 12);
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 1);
+  std::vector<double> x(n, 0.0);
+
+  AmgOptions opt;
+  AmgHierarchy hierarchy(a, opt);
+  const Preconditioner precond = make_amg_preconditioner(hierarchy);
+  PcgWorkspace workspace;
+
+  // Warm-up: sizes the PCG workspace and any lazily-sized solver scratch.
+  PcgResult warm = pcg(a, x, b, 1e-8, 50, precond, workspace);
+  ASSERT_TRUE(warm.converged);
+
+  // Steady state: the same solve again must not touch the heap.
+  std::fill(x.begin(), x.end(), 0.0);
+  PcgResult res;
+  const std::size_t pcg_allocs = allocations_during(
+      [&] { res = pcg(a, x, b, 1e-8, 50, precond, workspace); });
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(pcg_allocs, 0u)
+      << "steady-state PCG made " << pcg_allocs << " heap allocations";
+
+  // A bare multigrid cycle on the pre-sized hierarchy is allocation-free
+  // too (V, plus the W/K scratch paths are covered by their own sizing).
+  const std::size_t cycle_allocs =
+      allocations_during([&] { hierarchy.cycle(x, b); });
+  EXPECT_EQ(cycle_allocs, 0u)
+      << "steady-state cycle made " << cycle_allocs << " heap allocations";
+}
+
+TEST(SolverAllocations, SteadyStateResetValuesAllocatesNothing) {
+  const sparse::CsrMatrix a = sparse::laplacian_3d(10, 10, 10);
+  AmgOptions opt;
+  AmgHierarchy hierarchy(a, opt);
+
+  // First re-setup warms the SpGEMM plan lane accumulators and the dense
+  // Cholesky staging buffers; after that, re-setup is allocation-free.
+  hierarchy.reset_values(a);
+  const std::size_t resetup_allocs =
+      allocations_during([&] { hierarchy.reset_values(a); });
+  EXPECT_EQ(resetup_allocs, 0u)
+      << "steady-state reset_values made " << resetup_allocs
+      << " heap allocations";
+}
+
+TEST(SolverAllocations, WAndKCyclesAllocateNothingAfterSetup) {
+  const sparse::CsrMatrix a = sparse::laplacian_2d(32, 32);
+  const auto n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = random_vector(n, 2);
+  std::vector<double> x(n, 0.0);
+
+  for (const CycleKind kind : {CycleKind::kW, CycleKind::kK}) {
+    AmgOptions opt;
+    opt.cycle = kind;
+    AmgHierarchy hierarchy(a, opt);
+    hierarchy.cycle(x, b);  // warm-up (scratch is pre-sized, but be safe)
+    const std::size_t allocs =
+        allocations_during([&] { hierarchy.cycle(x, b); });
+    EXPECT_EQ(allocs, 0u) << "cycle kind "
+                          << (kind == CycleKind::kW ? "W" : "K") << " made "
+                          << allocs << " heap allocations";
+  }
+}
+
+}  // namespace
+}  // namespace cpx::amg

@@ -139,6 +139,98 @@ TEST(Spgemm, DimensionMismatchThrows) {
   EXPECT_THROW(spgemm_spa(a, b), CheckError);
 }
 
+TEST(Transpose, PermutationRefreshesValuesInPlace) {
+  const CsrMatrix a = random_spd(120, 5, 11);
+  CsrMatrix at = transpose(a);
+  const auto perm = transpose_permutation(a, at);
+
+  // New values over the same structure: numeric-only refresh must equal a
+  // full transpose of the modified matrix.
+  CsrMatrix a2 = a;
+  for (double& v : a2.mutable_values()) {
+    v *= 1.5;
+  }
+  transpose_numeric(a2, perm, at);
+  const CsrMatrix reference = transpose(a2);
+  EXPECT_TRUE(same_structure(at, reference));
+  EXPECT_EQ(at.values(), reference.values());
+}
+
+TEST(Transpose, ParallelMatchesSerialOnTallMatrix) {
+  // Enough rows to engage the chunked two-phase path regardless of the
+  // thread count; rectangular so row/col confusion would be caught.
+  std::vector<Triplet> t;
+  Rng rng(13);
+  for (std::int64_t r = 0; r < 9000; ++r) {
+    for (int k = 0; k < 3; ++k) {
+      t.push_back({r, static_cast<std::int64_t>(rng.uniform_index(40)),
+                   rng.uniform(-1.0, 1.0)});
+    }
+  }
+  const CsrMatrix a = csr_from_triplets(9000, 40, t);
+  const CsrMatrix at = transpose(a);
+  at.validate();
+  EXPECT_EQ(at.rows(), 40);
+  EXPECT_EQ(at.cols(), 9000);
+  const CsrMatrix att = transpose(at);
+  EXPECT_TRUE(same_structure(att, a));
+  EXPECT_EQ(att.values(), a.values());
+}
+
+TEST(SameStructure, DetectsValueAndStructureDifferences) {
+  const CsrMatrix a = laplacian_2d(6, 6);
+  CsrMatrix b = a;
+  for (double& v : b.mutable_values()) {
+    v += 1.0;
+  }
+  EXPECT_TRUE(same_structure(a, b));  // values may differ
+  EXPECT_TRUE(same_structure(a, a));
+  EXPECT_FALSE(same_structure(a, laplacian_2d(6, 5)));
+  EXPECT_FALSE(same_structure(a, CsrMatrix::identity(a.rows())));
+}
+
+TEST(SpgemmPlan, SymbolicMatchesProductStructure) {
+  const CsrMatrix a = random_spd(200, 4, 17);
+  const CsrMatrix b = random_spd(200, 5, 18);
+  const CsrMatrix ref = spgemm_spa(a, b);
+  const SpgemmPlan plan(a, b);
+  EXPECT_EQ(plan.rows(), ref.rows());
+  EXPECT_EQ(plan.cols(), ref.cols());
+  EXPECT_EQ(plan.nnz(), ref.nnz());
+  const CsrMatrix c = plan.numeric(a, b);
+  EXPECT_TRUE(same_structure(c, ref));
+  EXPECT_EQ(c.values(), ref.values());
+}
+
+TEST(SpgemmPlan, AdoptedStructureReproducesProduct) {
+  const CsrMatrix a = random_spd(150, 4, 19);
+  const CsrMatrix b = random_spd(150, 4, 20);
+  const CsrMatrix ref = spgemm_spa(a, b);
+  const SpgemmPlan plan(a, b, ref);  // adopt, no symbolic pass
+  EXPECT_EQ(plan.nnz(), ref.nnz());
+  EXPECT_GT(plan.flops(), 0);
+
+  // numeric_into over new values with the same structure.
+  CsrMatrix a2 = a;
+  for (double& v : a2.mutable_values()) {
+    v *= -0.5;
+  }
+  CsrMatrix c = ref;
+  plan.numeric_into(a2, b, c);
+  const CsrMatrix expected = spgemm_spa(a2, b);
+  EXPECT_TRUE(same_structure(c, expected));
+  EXPECT_EQ(c.values(), expected.values());
+}
+
+TEST(SpgemmPlan, RejectsMismatchedInputs) {
+  const CsrMatrix a = laplacian_1d(10);
+  const CsrMatrix b = laplacian_1d(10);
+  const SpgemmPlan plan(a, b);
+  const CsrMatrix wrong = laplacian_1d(9);
+  EXPECT_THROW(plan.numeric(wrong, b), CheckError);
+  EXPECT_THROW(SpgemmPlan{}.numeric(a, b), CheckError);
+}
+
 TEST(Galerkin, TripleProductShape) {
   const CsrMatrix a = laplacian_2d(8, 8);
   // Piecewise-constant P aggregating pairs of columns.
