@@ -32,10 +32,12 @@ int main(int argc, char** argv) {
   // Two counter-streaming beams, ppc particles per cell each, with a small
   // sinusoidal position seed on the forward beam.
   const std::int64_t per_beam = cells * ppc;
-  const double weight = -pic_opts.length / (2.0 * per_beam);
+  const double weight =
+      -pic_opts.length / (2.0 * static_cast<double>(per_beam));
   constexpr double kTwoPi = 6.28318530717958647692;
   for (std::int64_t i = 0; i < per_beam; ++i) {
-    const double x0 = (i + 0.5) / static_cast<double>(per_beam);
+    const double x0 =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(per_beam);
     const double seed =
         1e-3 / kTwoPi * std::sin(kTwoPi * x0);  // mode 1
     pic.add_particle(std::fmod(x0 + seed + 1.0, 1.0), v0, weight);

@@ -190,6 +190,82 @@ AmgHierarchy::AmgHierarchy(sparse::CsrMatrix a, const AmgOptions& options)
       }
     }
   }
+
+  if (check::deep()) {
+    validate();
+  }
+}
+
+void AmgHierarchy::validate() const {
+  CPX_CHECK_MSG(!levels_.empty(), "hierarchy has no levels");
+  CPX_CHECK_MSG(resetup_.size() == levels_.size() - 1,
+                "resetup cache count " << resetup_.size()
+                                       << " != transitions "
+                                       << levels_.size() - 1);
+  CPX_CHECK_MSG(scratch_.size() == levels_.size(),
+                "scratch count != level count");
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const Level& lv = levels_[l];
+    lv.a.validate();
+    CPX_CHECK_MSG(lv.a.rows() == lv.a.cols(),
+                  "level " << l << " operator not square");
+    for (std::int64_t r = 0; r < lv.a.rows(); ++r) {
+      CPX_CHECK_MSG(lv.a.at(r, r) > 0.0,
+                    "level " << l << " diagonal not positive at row " << r
+                             << " (operator not SPD)");
+    }
+    CPX_CHECK_MSG(
+        scratch_[l].r.size() == static_cast<std::size_t>(lv.a.rows()) &&
+            scratch_[l].tmp.size() == static_cast<std::size_t>(lv.a.rows()),
+        "level " << l << " scratch not sized to the operator");
+
+    if (l + 1 == levels_.size()) {
+      break;  // coarsest level has no transfer operators
+    }
+    const sparse::CsrMatrix& coarse = levels_[l + 1].a;
+    lv.p.validate();
+    lv.r.validate();
+    CPX_CHECK_MSG(lv.p.rows() == lv.a.rows() && lv.p.cols() == coarse.rows(),
+                  "level " << l << " prolongator shape " << lv.p.rows() << "x"
+                           << lv.p.cols() << " inconsistent with operators");
+    CPX_CHECK_MSG(lv.r.rows() == lv.p.cols() && lv.r.cols() == lv.p.rows() &&
+                      lv.r.nnz() == lv.p.nnz(),
+                  "level " << l << " restriction is not a transpose of P");
+
+    // Frozen-sparsity contract of reset_values(): the cached Galerkin
+    // plans and product buffers must still describe exactly these
+    // operators, otherwise a numeric-only refresh would scatter values
+    // into the wrong structure.
+    const Resetup& rs = resetup_[l];
+    CPX_CHECK_MSG(rs.ap.rows() == lv.a.rows() &&
+                      rs.ap.cols() == lv.p.cols() &&
+                      rs.ap_plan.rows() == lv.a.rows() &&
+                      rs.ap_plan.cols() == lv.p.cols() &&
+                      rs.ap_plan.nnz() == rs.ap.nnz(),
+                  "level " << l << " A*P plan out of sync with its product");
+    CPX_CHECK_MSG(rs.rap_plan.rows() == lv.r.rows() &&
+                      rs.rap_plan.cols() == lv.p.cols() &&
+                      rs.rap_plan.nnz() == coarse.nnz(),
+                  "level " << l
+                           << " Galerkin plan out of sync with the coarse "
+                              "operator");
+    if (!rs.p_frozen) {
+      CPX_CHECK_MSG(rs.r_perm.size() == static_cast<std::size_t>(lv.p.nnz()),
+                    "level " << l << " transpose permutation size mismatch");
+      CPX_CHECK_MSG(sparse::same_structure(rs.s, lv.a),
+                    "level " << l
+                             << " smoothing operator lost A's structure");
+      CPX_CHECK_MSG(rs.p_tent.rows() == lv.a.rows(),
+                    "level " << l << " tentative prolongator row mismatch");
+    }
+  }
+  const sparse::CsrMatrix& coarsest = levels_.back().a;
+  CPX_CHECK_MSG(coarse_n_ == coarsest.rows(),
+                "coarse factor order " << coarse_n_ << " != coarsest rows "
+                                       << coarsest.rows());
+  CPX_CHECK_MSG(coarse_factor_.size() ==
+                    static_cast<std::size_t>(coarse_n_ * coarse_n_),
+                "coarse Cholesky factor not n*n");
 }
 
 void AmgHierarchy::reset_values(const sparse::CsrMatrix& a) {
@@ -216,6 +292,10 @@ void AmgHierarchy::reset_values(const sparse::CsrMatrix& a) {
     rs.rap_plan.numeric_into(lv.r, rs.ap, levels_[l + 1].a);
   }
   factor_coarse();
+
+  if (check::deep()) {
+    validate();
+  }
 }
 
 const Level& AmgHierarchy::level(int l) const {

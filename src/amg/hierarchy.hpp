@@ -81,6 +81,15 @@ class AmgHierarchy {
   int solve(std::span<double> x, std::span<const double> b, double tol,
             int max_cycles);
 
+  /// Deep invariant walk (tier 2, see support/check.hpp): per-level CSR
+  /// structure, square operators with positive stored diagonals (an SPD
+  /// necessary condition), transfer-operator shape chains P/R, the frozen
+  /// sparsity the reset_values() fast path relies on (Galerkin plan shapes
+  /// matching the cached products), and coarse factor / scratch sizing.
+  /// Throws CheckError on violation. Runs automatically after setup and
+  /// reset_values when check::deep() is on.
+  void validate() const;
+
  private:
   void cycle_at(int level, std::span<double> x, std::span<const double> b);
   void coarse_solve(std::span<double> x, std::span<const double> b);

@@ -81,6 +81,9 @@ void FieldCoupler::remap() {
   const std::vector<mesh::Vec3> moved =
       rotation_ == 0.0 ? donors_ : rotate_z(donors_, rotation_);
   stencils_ = build_idw_stencils(moved, targets_, stencil_size_);
+  if (check::deep()) {
+    validate_stencils(stencils_, donors_.size());
+  }
   mapped_rotation_ = rotation_;
   ++remap_count_;
 }

@@ -121,6 +121,32 @@ void apply_stencils(std::span<const Stencil> stencils,
       });
 }
 
+void validate_stencils(std::span<const Stencil> stencils,
+                       std::size_t num_donors, bool partition_of_unity) {
+  for (std::size_t t = 0; t < stencils.size(); ++t) {
+    const Stencil& s = stencils[t];
+    CPX_CHECK_MSG(!s.donors.empty(), "stencil " << t << " has no donors");
+    CPX_CHECK_MSG(s.donors.size() == s.weights.size(),
+                  "stencil " << t << " donor/weight size mismatch");
+    double sum = 0.0;
+    for (std::size_t j = 0; j < s.donors.size(); ++j) {
+      CPX_CHECK_MSG(s.donors[j] >= 0 &&
+                        static_cast<std::size_t>(s.donors[j]) < num_donors,
+                    "stencil " << t << " donor index " << s.donors[j]
+                               << " out of range");
+      CPX_CHECK_MSG(std::isfinite(s.weights[j]) && s.weights[j] >= 0.0,
+                    "stencil " << t << " weight " << s.weights[j]
+                               << " not a finite non-negative value");
+      sum += s.weights[j];
+    }
+    if (partition_of_unity) {
+      CPX_CHECK_MSG(std::abs(sum - 1.0) <= 1e-9,
+                    "stencil " << t << " weights sum to " << sum
+                               << " (interpolation not consistent)");
+    }
+  }
+}
+
 std::vector<Stencil> make_conservative(std::span<const Stencil> stencils,
                                        std::size_t num_donors) {
   // Column sums of the transfer operator: how much of each donor's value

@@ -30,6 +30,16 @@ void apply_stencils(std::span<const Stencil> stencils,
                     std::span<const double> donor_field,
                     std::span<double> target_field);
 
+/// Deep validator (tier 2, support/check.hpp): every stencil is non-empty
+/// with matching donor/weight arrays, donor indices in [0, num_donors),
+/// finite non-negative weights, and — when partition_of_unity is true (the
+/// consistent/IDW case; conservative stencils rescale per donor instead) —
+/// weights summing to 1 within 1e-9. Runs automatically after every
+/// FieldCoupler remap when check::deep() is on. Throws CheckError.
+void validate_stencils(std::span<const Stencil> stencils,
+                       std::size_t num_donors,
+                       bool partition_of_unity = true);
+
 /// Rotates points about the z axis by `radians` — the relative motion of a
 /// sliding-plane interface between timesteps.
 std::vector<mesh::Vec3> rotate_z(const std::vector<mesh::Vec3>& points,

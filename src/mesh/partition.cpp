@@ -1,6 +1,7 @@
 #include "mesh/partition.hpp"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 #include <unordered_map>
 
@@ -127,8 +128,11 @@ std::vector<LocalMesh> extract_local_meshes(const UnstructuredMesh& mesh,
   // ghost_index[part] maps global id -> local ghost slot.
   std::vector<std::unordered_map<CellId, std::int32_t>> ghost_index(
       static_cast<std::size_t>(p));
-  // send_map[part][neighbor] -> set of owned local indices (kept sorted later)
-  std::vector<std::unordered_map<int, std::vector<std::int32_t>>> send_map(
+  // send_map[part][neighbor] -> set of owned local indices (kept sorted
+  // later). An ordered map: finalisation iterates it, and neighbour counts
+  // are small, so deterministic order costs nothing (lint rule
+  // `deterministic-kernels`, docs/static_analysis.md).
+  std::vector<std::map<int, std::vector<std::int32_t>>> send_map(
       static_cast<std::size_t>(p));
 
   const auto ghost_slot = [&](int part, CellId global) {
@@ -168,7 +172,8 @@ std::vector<LocalMesh> extract_local_meshes(const UnstructuredMesh& mesh,
     send_map[static_cast<std::size_t>(pb)][pa].push_back(lb);
   }
 
-  // Finalise send lists (dedup) and recv counts.
+  // Finalise send lists (dedup) and recv counts. send_map is ordered by
+  // neighbour id, so the send lists come out sorted without a second pass.
   for (int part = 0; part < p; ++part) {
     LocalMesh& lm = locals[static_cast<std::size_t>(part)];
     for (auto& [neighbor, cells] : send_map[static_cast<std::size_t>(part)]) {
@@ -176,10 +181,6 @@ std::vector<LocalMesh> extract_local_meshes(const UnstructuredMesh& mesh,
       cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
       lm.sends.push_back({neighbor, cells});
     }
-    std::sort(lm.sends.begin(), lm.sends.end(),
-              [](const LocalMesh::SendList& a, const LocalMesh::SendList& b) {
-                return a.neighbor < b.neighbor;
-              });
   }
   // recv counts mirror the neighbour's send list sizes.
   for (int part = 0; part < p; ++part) {
@@ -195,7 +196,132 @@ std::vector<LocalMesh> extract_local_meshes(const UnstructuredMesh& mesh,
       }
     }
   }
+
+  if (check::deep()) {
+    validate_local_meshes(mesh, partitioning, locals);
+  }
   return locals;
+}
+
+void validate_partitioning(const UnstructuredMesh& mesh,
+                           const Partitioning& partitioning) {
+  CPX_CHECK_MSG(partitioning.num_parts >= 1, "partitioning has no parts");
+  CPX_CHECK_MSG(partitioning.part_of.size() ==
+                    static_cast<std::size_t>(mesh.num_cells()),
+                "part_of size " << partitioning.part_of.size()
+                                << " != cell count " << mesh.num_cells());
+  for (std::size_t c = 0; c < partitioning.part_of.size(); ++c) {
+    const int part = partitioning.part_of[c];
+    CPX_CHECK_MSG(part >= 0 && part < partitioning.num_parts,
+                  "cell " << c << " assigned to invalid part " << part);
+  }
+}
+
+void validate_local_meshes(const UnstructuredMesh& mesh,
+                           const Partitioning& partitioning,
+                           std::span<const LocalMesh> locals) {
+  validate_partitioning(mesh, partitioning);
+  CPX_CHECK_MSG(locals.size() ==
+                    static_cast<std::size_t>(partitioning.num_parts),
+                "local mesh count " << locals.size() << " != parts "
+                                    << partitioning.num_parts);
+
+  // Every cell owned exactly once, by the part the partitioning says.
+  std::vector<std::int8_t> seen(static_cast<std::size_t>(mesh.num_cells()),
+                                0);
+  for (const LocalMesh& lm : locals) {
+    for (const CellId c : lm.owned) {
+      CPX_CHECK_MSG(c >= 0 && c < mesh.num_cells(),
+                    "part " << lm.part << " owns out-of-range cell " << c);
+      CPX_CHECK_MSG(partitioning.part_of[static_cast<std::size_t>(c)] ==
+                        lm.part,
+                    "cell " << c << " owned by part " << lm.part
+                            << " but assigned to part "
+                            << partitioning.part_of[static_cast<std::size_t>(
+                                   c)]);
+      CPX_CHECK_MSG(seen[static_cast<std::size_t>(c)] == 0,
+                    "cell " << c << " owned by more than one part");
+      seen[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+  for (std::size_t c = 0; c < seen.size(); ++c) {
+    CPX_CHECK_MSG(seen[c] != 0, "cell " << c << " owned by no part");
+  }
+
+  // Globals each part sends to each neighbour (send lists hold local owned
+  // indices; owned ids are ascending, so the translated lists stay sorted).
+  std::vector<std::map<int, std::vector<CellId>>> sent(locals.size());
+  for (const LocalMesh& lm : locals) {
+    for (const LocalMesh::SendList& s : lm.sends) {
+      CPX_CHECK_MSG(s.neighbor >= 0 &&
+                        s.neighbor < partitioning.num_parts &&
+                        s.neighbor != lm.part,
+                    "part " << lm.part << " sends to invalid neighbour "
+                            << s.neighbor);
+      auto& globals = sent[static_cast<std::size_t>(lm.part)][s.neighbor];
+      globals.reserve(s.cells.size());
+      for (const std::int32_t local : s.cells) {
+        CPX_CHECK_MSG(local >= 0 &&
+                          local < static_cast<std::int32_t>(lm.owned.size()),
+                      "part " << lm.part << " send list references local "
+                              << local << " outside its owned range");
+        globals.push_back(lm.owned[static_cast<std::size_t>(local)]);
+      }
+    }
+  }
+
+  for (const LocalMesh& lm : locals) {
+    // Halo symmetry: each ghost is owned elsewhere and is sent to us by
+    // its owner.
+    for (const CellId g : lm.ghosts) {
+      CPX_CHECK_MSG(g >= 0 && g < mesh.num_cells(),
+                    "part " << lm.part << " has out-of-range ghost " << g);
+      const int owner = partitioning.part_of[static_cast<std::size_t>(g)];
+      CPX_CHECK_MSG(owner != lm.part,
+                    "part " << lm.part << " lists owned cell " << g
+                            << " as a ghost");
+      const auto& owner_sends = sent[static_cast<std::size_t>(owner)];
+      const auto it = owner_sends.find(lm.part);
+      CPX_CHECK_MSG(it != owner_sends.end() &&
+                        std::binary_search(it->second.begin(),
+                                           it->second.end(), g),
+                    "ghost " << g << " of part " << lm.part
+                             << " missing from owner " << owner
+                             << "'s send list (halo asymmetry)");
+    }
+    // Receive counts mirror the neighbour's send lists and cover exactly
+    // the ghost ring.
+    std::int64_t recv_total = 0;
+    for (const LocalMesh::RecvCount& rc : lm.recvs) {
+      const auto& neighbor_sends = sent[static_cast<std::size_t>(rc.neighbor)];
+      const auto it = neighbor_sends.find(lm.part);
+      const auto expected =
+          it == neighbor_sends.end()
+              ? std::int64_t{0}
+              : static_cast<std::int64_t>(it->second.size());
+      CPX_CHECK_MSG(rc.count == expected,
+                    "part " << lm.part << " expects " << rc.count
+                            << " ghosts from " << rc.neighbor << " but "
+                            << rc.neighbor << " sends " << expected);
+      recv_total += rc.count;
+    }
+    CPX_CHECK_MSG(recv_total == lm.num_ghosts(),
+                  "part " << lm.part << " receive total " << recv_total
+                          << " != ghost count " << lm.num_ghosts());
+    // Local edges: endpoints in range, no self-edges, at least one owned
+    // endpoint (pure-ghost edges belong to other parts).
+    const auto local_cells =
+        static_cast<std::int32_t>(lm.num_owned() + lm.num_ghosts());
+    for (const LocalMesh::LocalEdge& e : lm.edges) {
+      CPX_CHECK_MSG(e.a >= 0 && e.a < local_cells && e.b >= 0 &&
+                        e.b < local_cells && e.a != e.b,
+                    "part " << lm.part << " local edge " << e.a << "-" << e.b
+                            << " out of range");
+      CPX_CHECK_MSG(e.a < lm.num_owned() || e.b < lm.num_owned(),
+                    "part " << lm.part << " edge " << e.a << "-" << e.b
+                            << " connects two ghosts");
+    }
+  }
 }
 
 HaloSummary summarize_halos(const UnstructuredMesh& mesh,

@@ -6,6 +6,7 @@
 // is what the performance behaviour depends on.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "mesh/mesh.hpp"
@@ -69,6 +70,22 @@ struct LocalMesh {
 /// Extracts the local view of every part in one sweep.
 std::vector<LocalMesh> extract_local_meshes(const UnstructuredMesh& mesh,
                                             const Partitioning& partitioning);
+
+/// Deep validator (tier 2, support/check.hpp): partition shape and every
+/// part id in range. Throws CheckError on violation.
+void validate_partitioning(const UnstructuredMesh& mesh,
+                           const Partitioning& partitioning);
+
+/// Deep validator for extracted local meshes: every cell owned by exactly
+/// one part (and by the part the partitioning assigns it to), halo
+/// symmetry — each ghost of part p is owned by some other part q, appears
+/// in q's send list to p, and p's receive count from q matches q's send
+/// list — and local edge endpoints in range with at least one owned end.
+/// Runs automatically at the end of extract_local_meshes when
+/// check::deep() is on. Throws CheckError on violation.
+void validate_local_meshes(const UnstructuredMesh& mesh,
+                           const Partitioning& partitioning,
+                           std::span<const LocalMesh> locals);
 
 /// Aggregate halo statistics of a partitioning (no local meshes built).
 struct HaloSummary {

@@ -113,7 +113,47 @@ Allocation distribute_ranks(std::span<const InstanceModel> apps,
   }
   alloc.predicted_runtime = alloc.app_time + alloc.cu_time;
   alloc.total_ranks = total_ranks;
+  if (check::deep()) {
+    validate_allocation(alloc, apps, cus, total_ranks);
+  }
   return alloc;
+}
+
+void validate_allocation(const Allocation& alloc,
+                         std::span<const InstanceModel> apps,
+                         std::span<const InstanceModel> cus,
+                         int total_ranks) {
+  CPX_CHECK_MSG(alloc.app_ranks.size() == apps.size() &&
+                    alloc.cu_ranks.size() == cus.size(),
+                "allocation does not cover every instance");
+  int used = 0;
+  double app_time = 0.0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const int r = alloc.app_ranks[i];
+    CPX_CHECK_MSG(r >= apps[i].min_ranks && r <= apps[i].max_ranks,
+                  "app " << apps[i].name << " allocated " << r
+                         << " ranks outside [" << apps[i].min_ranks << ", "
+                         << apps[i].max_ranks << "]");
+    used += r;
+    app_time = std::max(app_time, apps[i].time(r));
+  }
+  double cu_time = 0.0;
+  for (std::size_t i = 0; i < cus.size(); ++i) {
+    const int r = alloc.cu_ranks[i];
+    CPX_CHECK_MSG(r >= cus[i].min_ranks && r <= cus[i].max_ranks,
+                  "coupler unit " << cus[i].name << " allocated " << r
+                                  << " ranks outside [" << cus[i].min_ranks
+                                  << ", " << cus[i].max_ranks << "]");
+    used += r;
+    cu_time = std::max(cu_time, cus[i].time(r));
+  }
+  CPX_CHECK_MSG(used <= total_ranks, "allocation uses " << used
+                                                        << " ranks, budget is "
+                                                        << total_ranks);
+  CPX_CHECK_MSG(alloc.app_time == app_time && alloc.cu_time == cu_time,
+                "reported class times do not match the scaling curves");
+  CPX_CHECK_MSG(alloc.predicted_runtime == alloc.app_time + alloc.cu_time,
+                "predicted runtime is not app_time + cu_time");
 }
 
 }  // namespace cpx::perfmodel

@@ -56,4 +56,15 @@ Allocation distribute_ranks(std::span<const InstanceModel> apps,
                             std::span<const InstanceModel> cus,
                             int total_ranks);
 
+/// Deep validator (tier 2, support/check.hpp): the allocation is feasible —
+/// one rank count per instance, every count within [min_ranks, max_ranks],
+/// the total within budget — and the reported times match the models:
+/// app_time/cu_time are the per-class maxima recomputed from the curves and
+/// predicted_runtime is their sum. Runs automatically at the end of
+/// distribute_ranks when check::deep() is on. Throws CheckError.
+void validate_allocation(const Allocation& alloc,
+                         std::span<const InstanceModel> apps,
+                         std::span<const InstanceModel> cus,
+                         int total_ranks);
+
 }  // namespace cpx::perfmodel

@@ -134,6 +134,15 @@ void Pic::deposit() {
     rho_.front() = wall;
     rho_.back() = wall;
   }
+
+  if (check::deep()) {
+    double total_weight = 0.0;
+    for (const double w : w_) {
+      total_weight += w;
+    }
+    validate_charge_conservation(rho_, background_, dx_, options_.boundary,
+                                 total_weight);
+  }
 }
 
 std::vector<double> Pic::solve_poisson_dirichlet(
@@ -275,6 +284,58 @@ void Pic::step() {
   deposit();
   solve_field();
   push();
+  if (check::deep()) {
+    validate();
+  }
+}
+
+void Pic::validate() const {
+  CPX_CHECK_MSG(v_.size() == x_.size() && w_.size() == x_.size(),
+                "particle arrays out of sync: " << x_.size() << "/"
+                                                << v_.size() << "/"
+                                                << w_.size());
+  const auto nodes = static_cast<std::size_t>(num_nodes());
+  CPX_CHECK_MSG(rho_.size() == nodes && phi_.size() == nodes &&
+                    e_.size() == nodes,
+                "grid arrays not sized to " << nodes << " nodes");
+  validate_particles(x_, options_.length);
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    CPX_CHECK_MSG(std::isfinite(v_[i]) && std::isfinite(w_[i]),
+                  "particle " << i << " has non-finite velocity or weight");
+  }
+}
+
+void validate_particles(std::span<const double> positions, double length) {
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    CPX_CHECK_MSG(std::isfinite(positions[i]) && positions[i] >= 0.0 &&
+                      positions[i] <= length,
+                  "particle " << i << " escaped the domain: x = "
+                              << positions[i] << " not in [0, " << length
+                              << "]");
+  }
+}
+
+void validate_charge_conservation(std::span<const double> rho,
+                                  double background, double dx,
+                                  Boundary boundary, double total_weight) {
+  CPX_REQUIRE(rho.size() >= 2 && dx > 0.0,
+              "validate_charge_conservation: bad grid");
+  // CIC deposit puts q(1-frac) and q*frac on the two bracketing nodes, so
+  // summing (rho - background)*dx over the grid recovers the particle
+  // charge exactly. Periodic wrap duplicates the folded wall value on both
+  // wall nodes, so one of them is excluded from the sum.
+  const std::size_t count =
+      boundary == Boundary::kPeriodic ? rho.size() - 1 : rho.size();
+  double grid_charge = 0.0;
+  double scale = 1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double c = (rho[i] - background) * dx;
+    grid_charge += c;
+    scale += std::abs(c);
+  }
+  CPX_CHECK_MSG(std::abs(grid_charge - total_weight) <= 1e-9 * scale,
+                "charge not conserved by deposit: grid holds "
+                    << grid_charge << ", particles carry " << total_weight);
 }
 
 void Pic::run(int steps) {

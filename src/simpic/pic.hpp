@@ -18,6 +18,7 @@
 // pipeline of the field solve) is modelled by simpic::Instance.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace cpx::simpic {
@@ -73,6 +74,13 @@ class Pic {
 
   PicDiagnostics diagnostics() const;
 
+  /// Deep invariant walk (tier 2, support/check.hpp): consistent particle
+  /// array sizes, grid arrays sized to the node count, every particle
+  /// inside [0, length] with finite velocity and weight. Runs
+  /// automatically after every step when check::deep() is on; the
+  /// charge-conservation audit runs inside deposit(). Throws CheckError.
+  void validate() const;
+
   // --- Individual stages (exposed for testing) ---
   void deposit();
   void solve_field();
@@ -109,5 +117,18 @@ class Pic {
   std::vector<double> push_v_;
   std::vector<unsigned char> push_keep_;
 };
+
+/// Checks every position lies in [0, length] and is finite. Free function
+/// so tests can reject deliberately corrupted particle sets directly.
+void validate_particles(std::span<const double> positions, double length);
+
+/// Checks the deposited grid charge matches the particle charge: with CIC
+/// weighting the grid integral of (rho - background) equals the summed
+/// particle weights exactly (the periodic wrap folds the two wall nodes
+/// onto one). `total_weight` is the summed particle charge. Throws
+/// CheckError when conservation is violated beyond rounding.
+void validate_charge_conservation(std::span<const double> rho,
+                                  double background, double dx,
+                                  Boundary boundary, double total_weight);
 
 }  // namespace cpx::simpic

@@ -18,9 +18,11 @@ struct Triplet {
 
 /// Tag for CSR storage produced by the library's own kernels (SpGEMM,
 /// transpose, plan numeric passes): structure invariants hold by
-/// construction, so the O(nnz) per-entry validation is skipped in NDEBUG
-/// builds and kept as a debug check. User-facing constructors
-/// (csr_from_triplets, the untagged constructor) always validate fully.
+/// construction, so the O(nnz) per-entry validation runs only when the
+/// checking tier is at least check::Level::kDebug (the default in debug
+/// builds; CPX_CHECK_LEVEL=debug opts a release build in). User-facing
+/// constructors (csr_from_triplets, the untagged constructor) always
+/// validate fully.
 struct Trusted {};
 
 class CsrMatrix {

@@ -45,7 +45,9 @@ Renumbering renumber_hash_merge(std::span<const std::int64_t> global_ids,
     }
     auto& k = keys[static_cast<std::size_t>(c)];
     k.reserve(map.size());
-    for (const auto& [g, unused] : map) {
+    // Hash order leaks into k only until the sort below restores a single
+    // deterministic order, so the unordered walk is sound here.
+    for (const auto& [g, unused] : map) {  // cpx-lint: allow(deterministic-kernels)
       k.push_back(g);
     }
     std::sort(k.begin(), k.end());

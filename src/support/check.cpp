@@ -1,6 +1,12 @@
 #include "support/check.hpp"
 
-namespace cpx::detail {
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace cpx {
+
+namespace detail {
 
 void check_failed(const char* expr, const char* file, int line,
                   const std::string& message) {
@@ -12,4 +18,61 @@ void check_failed(const char* expr, const char* file, int line,
   throw CheckError(oss.str());
 }
 
-}  // namespace cpx::detail
+}  // namespace detail
+
+namespace check {
+namespace {
+
+// -1 = not yet resolved from the environment. Relaxed ordering suffices:
+// the value is write-once (modulo the set_level test hook) and every
+// transition is between valid tiers.
+std::atomic<int> g_level{-1};
+
+Level default_level() {
+#ifdef CPX_DCHECK_ENABLED
+  return Level::kDebug;
+#else
+  return Level::kAssert;
+#endif
+}
+
+}  // namespace
+
+Level parse_level(const char* text, Level fallback) {
+  if (text == nullptr || *text == '\0') {
+    return fallback;
+  }
+  if (std::strcmp(text, "0") == 0 || std::strcmp(text, "off") == 0 ||
+      std::strcmp(text, "none") == 0) {
+    return Level::kOff;
+  }
+  if (std::strcmp(text, "1") == 0 || std::strcmp(text, "assert") == 0) {
+    return Level::kAssert;
+  }
+  if (std::strcmp(text, "2") == 0 || std::strcmp(text, "debug") == 0) {
+    return Level::kDebug;
+  }
+  if (std::strcmp(text, "3") == 0 || std::strcmp(text, "paranoid") == 0) {
+    return Level::kParanoid;
+  }
+  return fallback;
+}
+
+Level level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    // cpx-lint: allow(mt-unsafe) — one-time init read, racing first calls
+    // parse the same environment and store the same value.
+    v = static_cast<int>(
+        parse_level(std::getenv("CPX_CHECK_LEVEL"), default_level()));
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(v);
+}
+
+void set_level(Level l) {
+  g_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+}  // namespace check
+}  // namespace cpx

@@ -1,10 +1,32 @@
 #pragma once
-// Error-handling primitives used across the library.
+// Tiered invariant-checking layer (docs/static_analysis.md).
 //
-// CPX_CHECK is an always-on invariant check (never compiled out: this
-// library is a simulator whose correctness matters more than the last few
-// percent of speed). CPX_DCHECK is compiled out in NDEBUG builds and is
-// meant for hot loops.
+// Three tiers, from always-on to opt-in:
+//
+//  * Tier 0 — CPX_ASSERT / CPX_CHECK / CPX_REQUIRE: cheap, always-on
+//    precondition and invariant checks (never compiled out: this library is
+//    a simulator whose correctness matters more than the last few percent
+//    of speed). CPX_REQUIRE is the spelling used for public-API argument
+//    checks, CPX_ASSERT/CPX_CHECK for internal invariants.
+//
+//  * Tier 1 — CPX_DCHECK: hot-loop assertions. Compiled in only when
+//    CPX_DCHECK_ENABLED is defined (automatic in non-NDEBUG builds, forced
+//    by -DCPX_DCHECKS=ON), and then still runtime-gated on
+//    check::level() >= Level::kDebug. In release builds they compile to
+//    nothing, which is what keeps the allocation-free solve path at its
+//    measured speed (bench/amg_resetup, bench/threads_scaling).
+//
+//  * Tier 2 — deep validate() walkers: whole-structure invariant audits
+//    (CsrMatrix::validate, AmgHierarchy::validate, mesh/partition, coupler
+//    stencils, SIMPIC charge conservation, perfmodel allocations). These
+//    are ordinary functions compiled into every build and gated at their
+//    call sites on check::deep(), so CPX_CHECK_LEVEL=debug turns them on
+//    even in a release binary. Debug builds default to Level::kDebug and
+//    run them without any configuration.
+//
+// The runtime tier is selected once from the CPX_CHECK_LEVEL environment
+// variable ("off"/0, "assert"/1, "debug"/2, "paranoid"/3) and cached; the
+// per-call-site cost of a gated check is one relaxed atomic load.
 
 #include <sstream>
 #include <stdexcept>
@@ -12,7 +34,7 @@
 
 namespace cpx {
 
-/// Exception thrown by CPX_CHECK / CPX_REQUIRE failures.
+/// Exception thrown by CPX_ASSERT / CPX_CHECK / CPX_REQUIRE failures.
 class CheckError : public std::runtime_error {
  public:
   explicit CheckError(const std::string& what) : std::runtime_error(what) {}
@@ -23,6 +45,39 @@ namespace detail {
                                const std::string& message);
 }  // namespace detail
 
+namespace check {
+
+/// Runtime checking tier. Levels are cumulative: kDebug implies kAssert.
+enum class Level : int {
+  kOff = 0,       ///< gated checks disabled (tier-0 macros still fire)
+  kAssert = 1,    ///< tier 0 only — the release default
+  kDebug = 2,     ///< + CPX_DCHECK (where compiled in) and deep validators
+  kParanoid = 3,  ///< + the most expensive audits (full Trusted-tag sweeps
+                  ///<   on every kernel-built matrix, per-step SIMPIC walks)
+};
+
+/// Current tier: CPX_CHECK_LEVEL if set, else kDebug when CPX_DCHECK_ENABLED
+/// builds compile tier-1 in, else kAssert. Cached after the first call.
+Level level();
+
+/// Overrides the tier (test hook; also lets a bench force kOff). Not
+/// synchronised against concurrently running checks.
+void set_level(Level level);
+
+/// Parses a CPX_CHECK_LEVEL value; returns fallback for null/unknown text.
+Level parse_level(const char* text, Level fallback);
+
+inline bool at_least(Level l) {
+  return static_cast<int>(level()) >= static_cast<int>(l);
+}
+
+/// True when deep validate() walkers should run at this call site.
+inline bool deep() { return at_least(Level::kDebug); }
+
+/// True for the most expensive opt-in audits.
+inline bool paranoid() { return at_least(Level::kParanoid); }
+
+}  // namespace check
 }  // namespace cpx
 
 /// Always-on invariant check. Throws cpx::CheckError on failure.
@@ -45,13 +100,40 @@ namespace detail {
     }                                                                    \
   } while (false)
 
+/// Tier-0 spelling for cheap internal invariants (alias of CPX_CHECK).
+#define CPX_ASSERT(expr) CPX_CHECK(expr)
+#define CPX_ASSERT_MSG(expr, msg) CPX_CHECK_MSG(expr, msg)
+
 /// Precondition check on public API arguments.
 #define CPX_REQUIRE(expr, msg) CPX_CHECK_MSG(expr, msg)
 
-#ifdef NDEBUG
+// Tier 1: compiled in automatically for debug builds, forced by the
+// CPX_DCHECKS CMake option, and runtime-gated on Level::kDebug either way.
+#if !defined(CPX_DCHECK_ENABLED) && !defined(NDEBUG)
+#define CPX_DCHECK_ENABLED 1
+#endif
+
+#ifdef CPX_DCHECK_ENABLED
+#define CPX_DCHECK(expr)                                                  \
+  do {                                                                    \
+    if (::cpx::check::at_least(::cpx::check::Level::kDebug) && !(expr)) { \
+      ::cpx::detail::check_failed(#expr, __FILE__, __LINE__, "");         \
+    }                                                                     \
+  } while (false)
+#define CPX_DCHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (::cpx::check::at_least(::cpx::check::Level::kDebug) && !(expr)) { \
+      std::ostringstream cpx_check_oss_;                                  \
+      cpx_check_oss_ << msg;                                              \
+      ::cpx::detail::check_failed(#expr, __FILE__, __LINE__,              \
+                                  cpx_check_oss_.str());                  \
+    }                                                                     \
+  } while (false)
+#else
 #define CPX_DCHECK(expr) \
   do {                   \
   } while (false)
-#else
-#define CPX_DCHECK(expr) CPX_CHECK(expr)
+#define CPX_DCHECK_MSG(expr, msg) \
+  do {                            \
+  } while (false)
 #endif

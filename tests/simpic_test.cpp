@@ -147,10 +147,12 @@ TEST(Pic, TwoStreamInstabilityGrowsAndSaturates) {
   opt.boundary = Boundary::kPeriodic;
   Pic pic(opt);
   const std::int64_t per_beam = opt.cells * 20;
-  const double weight = -opt.length / (2.0 * per_beam);
+  const double weight =
+      -opt.length / (2.0 * static_cast<double>(per_beam));
   constexpr double kTwoPi = 6.28318530717958647692;
   for (std::int64_t i = 0; i < per_beam; ++i) {
-    const double x0 = (i + 0.5) / static_cast<double>(per_beam);
+    const double x0 =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(per_beam);
     const double seed = 1e-3 / kTwoPi * std::sin(kTwoPi * x0);
     pic.add_particle(std::fmod(x0 + seed + 1.0, 1.0), 0.08, weight);
     pic.add_particle(x0, -0.08, weight);

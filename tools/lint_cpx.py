@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""CPX custom lint (docs/static_analysis.md).
+
+Machine-enforces repo rules that clang-tidy and compiler warnings cannot
+express. Zero third-party dependencies; run from the repo root:
+
+    python3 tools/lint_cpx.py            # lint src/
+    python3 tools/lint_cpx.py --list     # show the rules
+
+Rules
+-----
+naked-new            No naked `new`/`delete` in src/ — ownership goes through
+                     containers or (rarely) smart pointers.
+alloc                No allocating container growth (push_back/resize/...)
+                     inside the solve-path kernels (amg/pcg.cpp,
+                     amg/smoothers.cpp, support/blas1.cpp). The solve path is
+                     allocation-free by contract
+                     (tests/solver_alloc_test.cpp); workspaces amortise
+                     allocation at setup and carry an explicit allow.
+reduce               Parallel floating-point reductions route through
+                     support/blas1 (or the parallel runtime itself) so that
+                     the deterministic chunk-order combine is the only
+                     summation policy in the repo.
+deterministic-kernels  No rand()/srand()/std::random_device/system_clock or
+                     time(NULL) in src/ (seeded support/rng.hpp is the only
+                     randomness source), and no iteration over unordered
+                     containers (iteration order varies across libstdc++
+                     versions and ASLR runs; use std::map, sort afterwards,
+                     or carry an allow with a reason).
+metrics-registry     Every region/counter name passed to CPX_METRICS_SCOPE,
+                     CPX_METRICS_SCOPE_COMM or metrics::counter_add in src/
+                     must be listed in src/support/metric_names.hpp, and
+                     every listed name must still be used somewhere.
+
+Suppression
+-----------
+Append `// cpx-lint: allow(<rule>)` to the offending line, or place it on
+the line directly above, with a comment explaining why the exception is
+sound. Allows are per-line, never per-file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+REGISTRY = SRC / "support" / "metric_names.hpp"
+
+# Solve-path kernels that must not grow containers (rule `alloc`).
+ALLOC_FREE_FILES = {
+    "src/amg/pcg.cpp",
+    "src/amg/smoothers.cpp",
+    "src/support/blas1.cpp",
+}
+
+# The only homes of raw parallel_reduce calls (rule `reduce`).
+REDUCE_ALLOWED_FILES = {
+    "src/support/blas1.cpp",
+    "src/support/parallel.hpp",
+    "src/support/parallel.cpp",
+}
+
+GROWTH_CALLS = (
+    "push_back",
+    "emplace_back",
+    "emplace",
+    "resize",
+    "reserve",
+    "assign",
+    "insert",
+    "append",
+)
+
+ALLOW_RE = re.compile(r"//\s*cpx-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|\[|[A-Za-z_:])")
+NAKED_DELETE_RE = re.compile(r"\bdelete\b\s*(?:\[\s*\]\s*)?[A-Za-z_(*]")
+GROWTH_RE = re.compile(
+    r"[.>]\s*(?:" + "|".join(GROWTH_CALLS) + r")\s*\("
+)
+REDUCE_RE = re.compile(r"\bparallel_reduce\s*[(<]")
+NONDET_RES = (
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time(NULL)"),
+)
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)"
+)
+METRIC_USE_RE = re.compile(
+    r"(?:CPX_METRICS_SCOPE(?:_COMM)?|counter_add)\s*\(\s*\"([^\"]+)\"",
+    re.DOTALL,
+)
+METRIC_DEF_RE = re.compile(r"=\s*\"([^\"]+)\"\s*;")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            out.append("  ")  # keep offsets roughly stable, drop content
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, path: Path, line_no: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(REPO)
+        self.findings.append(f"{rel}:{line_no}: [{rule}] {msg}")
+
+    @staticmethod
+    def allows(raw_lines: list[str], idx: int) -> set[str]:
+        """Rules allowed on line `idx` (same line or the line above)."""
+        allowed: set[str] = set()
+        for j in (idx, idx - 1):
+            if 0 <= j < len(raw_lines):
+                m = ALLOW_RE.search(raw_lines[j])
+                if m:
+                    allowed.update(
+                        r.strip() for r in m.group(1).split(",")
+                    )
+        return allowed
+
+    def lint_file(self, path: Path) -> None:
+        raw = path.read_text(encoding="utf-8")
+        raw_lines = raw.splitlines()
+        code = strip_comments_and_strings(raw)
+        code_lines = code.splitlines()
+        rel = path.relative_to(REPO).as_posix()
+
+        unordered_vars = set(UNORDERED_DECL_RE.findall(code))
+        range_for_res = [
+            (re.compile(r"for\s*\([^;)]*:\s*" + re.escape(v) + r"\s*\)"), v)
+            for v in unordered_vars
+        ]
+
+        for idx, line in enumerate(code_lines):
+            line_no = idx + 1
+            allowed = self.allows(raw_lines, idx)
+
+            if "naked-new" not in allowed:
+                if NAKED_NEW_RE.search(line):
+                    self.report(path, line_no, "naked-new",
+                                "naked `new`; use a container or make_unique")
+                if NAKED_DELETE_RE.search(line):
+                    self.report(path, line_no, "naked-new",
+                                "naked `delete`; ownership must be scoped")
+
+            if rel in ALLOC_FREE_FILES and "alloc" not in allowed:
+                m = GROWTH_RE.search(line)
+                if m:
+                    self.report(
+                        path, line_no, "alloc",
+                        f"container growth ({m.group(0).strip()[:-1].strip('.>( ')}) "
+                        "in an allocation-free solve-path kernel")
+
+            if (rel not in REDUCE_ALLOWED_FILES
+                    and "reduce" not in allowed
+                    and REDUCE_RE.search(line)):
+                self.report(
+                    path, line_no, "reduce",
+                    "raw parallel_reduce outside support/blas1; use the "
+                    "blas1 wrappers so reductions share one combine order")
+
+            if "deterministic-kernels" not in allowed:
+                for pattern, what in NONDET_RES:
+                    if pattern.search(line):
+                        self.report(
+                            path, line_no, "deterministic-kernels",
+                            f"{what}; kernels must be reproducible — seed "
+                            "through support/rng.hpp")
+                for pattern, var in range_for_res:
+                    if pattern.search(line):
+                        self.report(
+                            path, line_no, "deterministic-kernels",
+                            f"iteration over unordered container `{var}`; "
+                            "order is not deterministic")
+
+    def lint_metrics_registry(self, files: list[Path]) -> None:
+        if not REGISTRY.is_file():
+            self.findings.append(
+                "src/support/metric_names.hpp: [metrics-registry] "
+                "registry header missing")
+            return
+        registered = set(METRIC_DEF_RE.findall(REGISTRY.read_text()))
+        used: dict[str, tuple[Path, int]] = {}
+        for path in files:
+            if path == REGISTRY:
+                continue
+            text = path.read_text(encoding="utf-8")
+            for m in METRIC_USE_RE.finditer(text):
+                line_no = text.count("\n", 0, m.start()) + 1
+                used.setdefault(m.group(1), (path, line_no))
+        for name, (path, line_no) in sorted(used.items()):
+            if name not in registered:
+                self.report(
+                    path, line_no, "metrics-registry",
+                    f'metric name "{name}" not listed in '
+                    "src/support/metric_names.hpp")
+        for name in sorted(registered - set(used)):
+            self.findings.append(
+                f"src/support/metric_names.hpp: [metrics-registry] "
+                f'registered name "{name}" is no longer used in src/')
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the rule list and exit")
+    args = parser.parse_args()
+
+    if args.list:
+        print(__doc__)
+        return 0
+
+    roots = args.paths or [SRC]
+    files: list[Path] = []
+    for root in roots:
+        root = root.resolve()
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.hpp")))
+            files.extend(sorted(root.rglob("*.cpp")))
+        elif root.is_file():
+            files.append(root)
+        else:
+            print(f"lint_cpx: no such path: {root}", file=sys.stderr)
+            return 2
+
+    linter = Linter()
+    for path in sorted(set(files)):
+        linter.lint_file(path)
+    # The registry cross-reference is defined over src/ as a whole.
+    src_files = [f for f in sorted(set(files)) if SRC in f.parents
+                 or f.parent == SRC]
+    linter.lint_metrics_registry(src_files)
+
+    if linter.findings:
+        for f in linter.findings:
+            print(f)
+        print(f"\nlint_cpx: {len(linter.findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_cpx: {len(set(files))} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
