@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/comm_bridge.hpp"
 #include "support/check.hpp"
 
 namespace cpx::coupler {
@@ -43,16 +44,15 @@ void CouplerUnit::half_exchange(sim::Cluster& cluster, sim::App& src,
   // min(src ranks, 4 * CU ranks) senders, round-robin onto CU ranks.
   const sim::RankRange src_ranks = src.ranks();
   const int senders = std::min(src_ranks.size(), 4 * ranks_.size());
-  message_scratch_.clear();
   for (int s = 0; s < senders; ++s) {
     const sim::Rank from = src_ranks.begin + s;
     const sim::Rank to = ranks_.begin + (s % ranks_.size());
     const auto bytes = static_cast<std::size_t>(
         static_cast<double>(config_.interface_cells) *
         config_.fields_per_cell * sizeof(double) / senders);
-    message_scratch_.push_back({from, to, bytes});
+    comm_.post(from, to, bytes);
   }
-  cluster.exchange(message_scratch_, region_gather_);
+  sim::flush_exchange(comm_, cluster, region_gather_, 0, message_scratch_);
 
   // 2. (Re)mapping on the CU ranks.
   if (remap) {
@@ -73,21 +73,25 @@ void CouplerUnit::half_exchange(sim::Cluster& cluster, sim::App& src,
   // 4. Scatter to the target instance's boundary ranks.
   const sim::RankRange dst_ranks = dst.ranks();
   const int receivers = std::min(dst_ranks.size(), 4 * ranks_.size());
-  message_scratch_.clear();
   for (int r = 0; r < receivers; ++r) {
     const sim::Rank from = ranks_.begin + (r % ranks_.size());
     const sim::Rank to = dst_ranks.begin + r;
     const auto bytes = static_cast<std::size_t>(
         static_cast<double>(payload_per_cu_rank) * ranks_.size() / receivers);
-    message_scratch_.push_back({from, to, bytes});
+    comm_.post(from, to, bytes);
   }
-  cluster.exchange(message_scratch_, region_scatter_);
+  sim::flush_exchange(comm_, cluster, region_scatter_, 0, message_scratch_);
 }
 
 void CouplerUnit::exchange(sim::Cluster& cluster) {
   region_gather_ = cluster.region(name_ + "/gather");
   region_map_ = cluster.region(name_ + "/map");
   region_scatter_ = cluster.region(name_ + "/scatter");
+  if (!comm_ || comm_.size() != cluster.num_ranks()) {
+    // Gather/scatter endpoints live in the instances' rank ranges, so the
+    // unit's communicator spans the whole cluster.
+    comm_ = comm::Communicator::world(cluster.num_ranks(), name_ + "/world");
+  }
 
   const bool remap =
       config_.kind == InterfaceKind::kSlidingPlane || !mapped_;

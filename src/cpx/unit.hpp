@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 
+#include "comm/communicator.hpp"
 #include "sim/app.hpp"
 
 namespace cpx::coupler {
@@ -67,6 +68,14 @@ class CouplerUnit {
   /// unit across independent runs).
   void reset() { mapped_ = false; }
 
+  /// Gather/scatter traffic this unit has posted (cluster-global rank
+  /// space) — shared byte accounting with every other subsystem, see
+  /// docs/communication.md. Zero until the first exchange().
+  const comm::CommStats& comm_stats() const {
+    static const comm::CommStats kEmpty{};
+    return comm_ ? comm_.stats() : kEmpty;
+  }
+
  private:
   void half_exchange(sim::Cluster& cluster, sim::App& src, sim::App& dst,
                      bool remap);
@@ -77,6 +86,7 @@ class CouplerUnit {
   sim::App& side_a_;
   sim::App& side_b_;
   bool mapped_ = false;
+  comm::Communicator comm_;  ///< cluster-global; sized on first exchange
 
   sim::RegionId region_gather_ = -1;
   sim::RegionId region_map_ = -1;

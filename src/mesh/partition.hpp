@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/exchange_plan.hpp"
 #include "mesh/mesh.hpp"
 
 namespace cpx::mesh {
@@ -70,6 +71,16 @@ struct LocalMesh {
 /// Extracts the local view of every part in one sweep.
 std::vector<LocalMesh> extract_local_meshes(const UnstructuredMesh& mesh,
                                             const Partitioning& partitioning);
+
+/// Builds the halo-exchange schedule of a set of local meshes: one comm
+/// channel per directed neighbour pair, send indices the owner's send-list
+/// cells, receive indices the matching ghost slots on the destination
+/// (local indices into the owned+ghost cell array). Channels are emitted
+/// in (part, send-list) order — the deterministic order the per-site halo
+/// loops used before the comm refactor. The caller finalizes the plan
+/// with its per-cell element size. Throws CheckError if a sent cell has
+/// no ghost slot on the receiver (halo asymmetry).
+comm::ExchangePlan build_halo_plan(std::span<const LocalMesh> locals);
 
 /// Deep validator (tier 2, support/check.hpp): partition shape and every
 /// part id in range. Throws CheckError on violation.

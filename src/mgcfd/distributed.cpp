@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
+#include "sim/comm_bridge.hpp"
 #include "support/check.hpp"
 
 namespace cpx::mgcfd {
@@ -63,6 +65,13 @@ DistributedSolver::DistributedSolver(const mesh::UnstructuredMesh& mesh,
   part_of_ = partitioning.part_of;
   auto locals = mesh::extract_local_meshes(mesh, partitioning);
 
+  // The halo schedule comes straight from the mesh send lists; one plan
+  // serves every step, so steady-state exchange is allocation-free.
+  comm_ = comm::Communicator::world(parts, "mgcfd");
+  halo_plan_ = mesh::build_halo_plan(locals);
+  halo_plan_.finalize(sizeof(State));
+  norm_partials_.assign(static_cast<std::size_t>(parts), 0.0);
+
   local_of_.assign(static_cast<std::size_t>(global_cells_), -1);
   parts_.reserve(locals.size());
   for (mesh::LocalMesh& lm : locals) {
@@ -110,31 +119,6 @@ DistributedSolver::DistributedSolver(const mesh::UnstructuredMesh& mesh,
     ps.local = std::move(lm);
     parts_.push_back(std::move(ps));
   }
-  // Precompute halo routing: for each send list entry, the ghost slot in
-  // the receiving part that holds the same global cell.
-  for (PartState& src : parts_) {
-    src.send_targets.resize(src.local.sends.size());
-    for (std::size_t s = 0; s < src.local.sends.size(); ++s) {
-      const auto& send = src.local.sends[s];
-      const PartState& dst = parts_[static_cast<std::size_t>(send.neighbor)];
-      auto& targets = src.send_targets[s];
-      targets.reserve(send.cells.size());
-      for (std::int32_t local_idx : send.cells) {
-        const mesh::CellId global =
-            src.local.owned[static_cast<std::size_t>(local_idx)];
-        std::int32_t slot = -1;
-        for (std::size_t g = 0; g < dst.local.ghosts.size(); ++g) {
-          if (dst.local.ghosts[g] == global) {
-            slot = static_cast<std::int32_t>(
-                static_cast<std::size_t>(dst.local.num_owned()) + g);
-            break;
-          }
-        }
-        CPX_CHECK_MSG(slot >= 0, "halo routing: ghost slot not found");
-        targets.push_back(slot);
-      }
-    }
-  }
 }
 
 void DistributedSolver::set_uniform(const State& u) {
@@ -164,36 +148,25 @@ void DistributedSolver::attach_cluster(sim::Cluster* cluster) {
 }
 
 void DistributedSolver::exchange_halos() {
-  last_halo_bytes_ = 0;
-  std::vector<sim::Message> messages;
-  // Deliver each part's send list into the neighbour's ghost slots. Ghost
-  // ordering in the receiver matches the discovery order of cut edges; we
-  // route by global id, which is what the send lists carry implicitly.
-  for (const PartState& src : parts_) {
-    for (std::size_t s = 0; s < src.local.sends.size(); ++s) {
-      const auto& send = src.local.sends[s];
-      PartState& dst = parts_[static_cast<std::size_t>(send.neighbor)];
-      const auto& targets = src.send_targets[s];
-      for (std::size_t i = 0; i < send.cells.size(); ++i) {
-        dst.u[static_cast<std::size_t>(targets[i])] =
-            src.u[static_cast<std::size_t>(send.cells[i])];
-      }
-      const std::size_t bytes = send.cells.size() * sizeof(State);
-      last_halo_bytes_ += bytes;
-      if (cluster_ != nullptr) {
-        messages.push_back({src.local.part, send.neighbor, bytes});
-      }
-    }
-  }
-  if (cluster_ != nullptr && !messages.empty()) {
-    cluster_->exchange(messages, region_halo_);
+  // One plan execution per step: pack each send list, move the bytes
+  // through the communicator, scatter into the neighbours' ghost slots.
+  halo_plan_.execute(comm_, [this](comm::Rank r) {
+    return std::as_writable_bytes(
+        std::span<State>(parts_[static_cast<std::size_t>(r)].u));
+  });
+  if (cluster_ != nullptr) {
+    // Charge the co-simulated cluster with the transfers that actually
+    // moved — same message list the hand-rolled exchange used to build.
+    sim::flush_exchange(comm_, *cluster_, region_halo_, 0, message_scratch_);
+  } else {
+    comm_.clear_transfers();
   }
 }
 
 double DistributedSolver::compute_and_update() {
-  double norm_sq = 0.0;
   for (PartState& ps : parts_) {
     const auto owned = static_cast<std::size_t>(ps.local.num_owned());
+    double part_norm_sq = 0.0;
     std::fill(ps.residual.begin(), ps.residual.end(), State{});
     for (const auto& e : ps.local.edges) {
       const State f = rusanov_flux(ps.u[static_cast<std::size_t>(e.a)],
@@ -230,7 +203,7 @@ double DistributedSolver::compute_and_update() {
       const double dt =
           options_.cfl * vol / std::max(wave * face_area, 1e-12);
       for (int k = 0; k < 5; ++k) {
-        norm_sq += ps.residual[c][k] * ps.residual[c][k];
+        part_norm_sq += ps.residual[c][k] * ps.residual[c][k];
         uc[k] += dt * ps.residual[c][k] / vol;
       }
       uc[0] = std::max(uc[0], 1e-10);
@@ -246,7 +219,11 @@ double DistributedSolver::compute_and_update() {
                 static_cast<double>(owned) * 100.0;
       cluster_->compute(ps.local.part, w, region_flux_);
     }
+    norm_partials_[static_cast<std::size_t>(ps.local.part)] = part_norm_sq;
   }
+  // Deterministic allreduce of the per-rank partials (what an MPI run
+  // computes: each rank reduces its owned cells, ranks combine in order).
+  const double norm_sq = comm_.allreduce_sum(norm_partials_);
   if (cluster_ != nullptr && num_parts() > 1) {
     cluster_->allreduce({0, num_parts()}, sizeof(double), region_reduce_);
   }

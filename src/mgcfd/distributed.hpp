@@ -1,8 +1,10 @@
 #pragma once
 // Distributed-memory MG-CFD: the Euler solver actually partitioned over
-// ranks with real halo exchange, executed rank-by-rank in process (the
-// message-passing data plane is simulated by direct buffer copies, exactly
-// as an MPI implementation would move the bytes).
+// ranks with real halo exchange, executed rank-by-rank in process. The
+// data plane is the comm layer (src/comm/, docs/communication.md): a
+// world communicator over the parts and a precomputed ExchangePlan built
+// from the mesh send lists move the halo bytes exactly as an MPI
+// implementation would.
 //
 // This closes the loop between the performance instance (instance.hpp,
 // which only *accounts* for communication) and the numerics (euler.hpp,
@@ -11,11 +13,14 @@
 // communication structure — per-neighbour pack/send/unpack plus a residual
 // allreduce — is precisely what the performance instance charges to the
 // virtual cluster. Passing a Cluster lets one run co-simulate: real
-// physics and virtual timing from the same execution.
+// physics and virtual timing from the same execution, charged with the
+// real message sizes recorded by the communicator.
 
 #include <memory>
 #include <vector>
 
+#include "comm/communicator.hpp"
+#include "comm/exchange_plan.hpp"
 #include "mesh/partition.hpp"
 #include "mgcfd/euler.hpp"
 #include "sim/cluster.hpp"
@@ -39,7 +44,8 @@ class DistributedSolver {
 
   /// One explicit timestep across all ranks: halo exchange, per-rank flux
   /// residual and update, residual allreduce. Returns the global residual
-  /// norm (as the allreduce would deliver it).
+  /// norm (as the allreduce would deliver it: deterministic rank-order
+  /// combine of per-rank partial sums).
   double step();
 
   /// Runs `steps` timesteps; returns the last residual norm.
@@ -48,13 +54,21 @@ class DistributedSolver {
   /// Solution gathered back to global cell order.
   std::vector<State> gather_solution() const;
 
-  /// Bytes moved through halo exchange in the last step (sum over ranks).
-  std::size_t last_halo_bytes() const { return last_halo_bytes_; }
+  /// Cumulative traffic counters of the solver's communicator (halo
+  /// payloads + residual allreduce contributions). Shared accounting with
+  /// every other subsystem — see docs/communication.md.
+  const comm::CommStats& comm_stats() const { return comm_.stats(); }
+  const comm::Communicator& communicator() const { return comm_; }
+
+  /// Halo payload bytes moved by one exchange (fixed by the partitioning).
+  std::size_t halo_bytes_per_exchange() const {
+    return halo_plan_.bytes_per_exchange();
+  }
 
   /// Attaches a virtual cluster for performance co-simulation: subsequent
   /// steps charge compute (from real kernel work counts) and communication
-  /// (from real message sizes) to `cluster` on ranks [0, num_parts).
-  /// Pass nullptr to detach.
+  /// (from the communicator's recorded transfers) to `cluster` on ranks
+  /// [0, num_parts). Pass nullptr to detach.
   void attach_cluster(sim::Cluster* cluster);
 
  private:
@@ -65,9 +79,6 @@ class DistributedSolver {
     std::vector<mesh::Vec3> closure;  ///< owned only
     std::vector<double> volumes;      ///< owned only
     std::vector<double> degrees;      ///< owned only (incident edge count)
-    /// Per send list: destination ghost slots, aligned with sends[k].cells
-    /// (precomputed routing so exchange is a straight copy).
-    std::vector<std::vector<std::int32_t>> send_targets;
   };
 
   void exchange_halos();
@@ -78,7 +89,10 @@ class DistributedSolver {
   std::vector<int> part_of_;           ///< global cell -> part
   std::vector<std::int32_t> local_of_;  ///< global cell -> owned local index
   std::vector<PartState> parts_;
-  std::size_t last_halo_bytes_ = 0;
+  comm::Communicator comm_;
+  comm::ExchangePlan halo_plan_;
+  std::vector<double> norm_partials_;      ///< one residual partial per rank
+  std::vector<sim::Message> message_scratch_;
   sim::Cluster* cluster_ = nullptr;
   sim::RegionId region_flux_ = -1;
   sim::RegionId region_halo_ = -1;

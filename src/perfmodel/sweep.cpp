@@ -15,6 +15,23 @@ double measure_step_seconds(sim::App& app, sim::Cluster& cluster, int steps) {
   return (cluster.max_clock(app.ranks()) - t0) / steps;
 }
 
+CommVolume measure_comm_volume(sim::App& app, sim::Cluster& cluster,
+                               int steps) {
+  CPX_REQUIRE(steps >= 1, "measure_comm_volume: bad step count");
+  app.step(cluster);  // warm-up (one-off mapping / plan setup traffic)
+  const std::size_t bytes0 = cluster.comm_bytes(app.ranks());
+  const std::int64_t messages0 = cluster.comm_messages(app.ranks());
+  for (int s = 0; s < steps; ++s) {
+    app.step(cluster);
+  }
+  CommVolume volume;
+  volume.bytes =
+      (cluster.comm_bytes(app.ranks()) - bytes0) /
+      static_cast<std::size_t>(steps);
+  volume.messages = (cluster.comm_messages(app.ranks()) - messages0) / steps;
+  return volume;
+}
+
 std::vector<ScalingPoint> measure_scaling(const AppFactory& factory,
                                           const sim::MachineModel& machine,
                                           std::span<const int> core_counts,

@@ -23,6 +23,20 @@ using AppFactory =
 /// interface mapping).
 double measure_step_seconds(sim::App& app, sim::Cluster& cluster, int steps);
 
+/// Measured communication volume (docs/communication.md).
+struct CommVolume {
+  std::size_t bytes = 0;
+  std::int64_t messages = 0;
+};
+
+/// Mean per-step bytes/messages the app's ranks inject, measured over
+/// `steps` steps after one warm-up step, from the cluster's per-rank
+/// traffic counters. This is what the comm layer actually moved — real
+/// message sizes, not per-site estimates — so predicted coupling cost can
+/// be driven by measured volume.
+CommVolume measure_comm_volume(sim::App& app, sim::Cluster& cluster,
+                               int steps);
+
 /// Sweeps the app over `core_counts`, each on a dedicated cluster.
 std::vector<ScalingPoint> measure_scaling(const AppFactory& factory,
                                           const sim::MachineModel& machine,

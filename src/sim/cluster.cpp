@@ -13,6 +13,8 @@ Cluster::Cluster(const MachineModel& machine, int num_ranks)
       num_nodes_((num_ranks + machine.cores_per_node - 1) /
                  machine.cores_per_node),
       clocks_(static_cast<std::size_t>(num_ranks), 0.0),
+      comm_bytes_(static_cast<std::size_t>(num_ranks), 0),
+      comm_messages_(static_cast<std::size_t>(num_ranks), 0),
       profile_(num_ranks) {
   CPX_REQUIRE(num_ranks >= 1, "Cluster: need at least one rank");
   CPX_REQUIRE(machine.cores_per_node >= 1, "Cluster: bad cores_per_node");
@@ -69,6 +71,42 @@ void Cluster::compute_seconds(Rank rank, double seconds, RegionId region) {
   profile_.add_compute(rank, region, seconds);
 }
 
+void Cluster::account_traffic(Rank src, std::size_t bytes,
+                              std::int64_t messages) {
+  comm_bytes_[static_cast<std::size_t>(src)] += bytes;
+  comm_messages_[static_cast<std::size_t>(src)] += messages;
+}
+
+std::size_t Cluster::comm_bytes(Rank rank) const {
+  CPX_DCHECK(rank >= 0 && rank < num_ranks_);
+  return comm_bytes_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t Cluster::comm_bytes(RankRange range) const {
+  CPX_REQUIRE(range.begin >= 0 && range.end <= num_ranks_ && range.size() > 0,
+              "Cluster: bad rank range");
+  std::size_t total = 0;
+  for (Rank r = range.begin; r < range.end; ++r) {
+    total += comm_bytes_[static_cast<std::size_t>(r)];
+  }
+  return total;
+}
+
+std::int64_t Cluster::comm_messages(Rank rank) const {
+  CPX_DCHECK(rank >= 0 && rank < num_ranks_);
+  return comm_messages_[static_cast<std::size_t>(rank)];
+}
+
+std::int64_t Cluster::comm_messages(RankRange range) const {
+  CPX_REQUIRE(range.begin >= 0 && range.end <= num_ranks_ && range.size() > 0,
+              "Cluster: bad rank range");
+  std::int64_t total = 0;
+  for (Rank r = range.begin; r < range.end; ++r) {
+    total += comm_messages_[static_cast<std::size_t>(r)];
+  }
+  return total;
+}
+
 void Cluster::bump_to(Rank rank, double time, RegionId region) {
   double& c = clocks_[static_cast<std::size_t>(rank)];
   if (time > c) {
@@ -106,6 +144,7 @@ void Cluster::exchange(std::span<const Message> messages, RegionId region) {
     double& src_clock = clocks_[static_cast<std::size_t>(m.src)];
     src_clock += machine_.msg_overhead;
     profile_.add_comm(m.src, region, machine_.msg_overhead);
+    account_traffic(m.src, m.bytes);
 
     double bw = machine_.bandwidth(same_node);
     if (!same_node) {
@@ -135,6 +174,7 @@ void Cluster::send(Rank src, Rank dst, std::size_t bytes, RegionId region) {
   double& src_clock = clocks_[static_cast<std::size_t>(src)];
   src_clock += machine_.msg_overhead;
   profile_.add_comm(src, region, machine_.msg_overhead);
+  account_traffic(src, bytes);
   const double arrival = src_clock + machine_.wire_time(bytes, same_node);
   bump_to(dst, arrival, region);
   clocks_[static_cast<std::size_t>(dst)] += machine_.msg_overhead;
@@ -151,6 +191,7 @@ void Cluster::allreduce(RankRange range, std::size_t bytes, RegionId region) {
   const double cost = machine_.allreduce_time(range.size(), nodes, bytes);
   const double done = max_clock(range) + cost;
   for (Rank r = range.begin; r < range.end; ++r) {
+    account_traffic(r, bytes);
     bump_to(r, done, region);
   }
 }
@@ -178,6 +219,7 @@ void Cluster::broadcast(RankRange range, Rank root, std::size_t bytes,
   const int nodes = node_of(range.end - 1) - node_of(range.begin) + 1;
   const double done =
       clock(root) + machine_.broadcast_time(range.size(), nodes, bytes);
+  account_traffic(root, bytes);
   for (Rank r = range.begin; r < range.end; ++r) {
     bump_to(r, done, region);
   }
@@ -200,6 +242,9 @@ void Cluster::gather(RankRange range, Rank root, std::size_t bytes_per_rank,
                       machine_.msg_overhead * std::log2(range.size());
   const double done = max_clock(range) + cost;
   for (Rank r = range.begin; r < range.end; ++r) {
+    if (r != root) {
+      account_traffic(r, bytes_per_rank);
+    }
     bump_to(r, done, region);
   }
 }
@@ -216,6 +261,9 @@ void Cluster::alltoall(RankRange range, std::size_t bytes_per_pair,
       max_clock(range) +
       machine_.alltoall_time(range.size(), nodes, bytes_per_pair);
   for (Rank r = range.begin; r < range.end; ++r) {
+    account_traffic(r, bytes_per_pair * static_cast<std::size_t>(
+                                            range.size() - 1),
+                    range.size() - 1);
     bump_to(r, done, region);
   }
 }
@@ -239,6 +287,8 @@ void Cluster::comm_delay(Rank rank, double seconds, RegionId region) {
 
 void Cluster::reset() {
   std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  std::fill(comm_bytes_.begin(), comm_bytes_.end(), 0);
+  std::fill(comm_messages_.begin(), comm_messages_.end(), 0);
   profile_.reset();
   if (trace_ != nullptr) {
     trace_->clear();

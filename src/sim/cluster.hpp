@@ -104,6 +104,17 @@ class Cluster {
   /// multigrid coarse levels) where per-message simulation would be wasteful.
   void comm_delay(Rank rank, double seconds, RegionId region);
 
+  // --- Traffic accounting (docs/communication.md) ---
+  /// Bytes rank `rank` has injected into the network: message payloads
+  /// from exchange()/send(), plus its modelled contribution to
+  /// collectives (allreduce/broadcast root/gather leaves/alltoall).
+  std::size_t comm_bytes(Rank rank) const;
+  /// Total injected bytes over a rank range — the measured per-instance
+  /// comm volume consumed by perfmodel (perfmodel::measure_comm_volume).
+  std::size_t comm_bytes(RankRange range) const;
+  std::int64_t comm_messages(Rank rank) const;
+  std::int64_t comm_messages(RankRange range) const;
+
   /// Zeroes every clock and the profile (region ids survive).
   void reset();
 
@@ -122,7 +133,12 @@ class Cluster {
   MachineModel machine_;
   int num_ranks_;
   int num_nodes_;
+  void account_traffic(Rank src, std::size_t bytes,
+                       std::int64_t messages = 1);
+
   std::vector<double> clocks_;
+  std::vector<std::size_t> comm_bytes_;
+  std::vector<std::int64_t> comm_messages_;
   Profile profile_;
   std::unique_ptr<Trace> trace_;
 

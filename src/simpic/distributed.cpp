@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <span>
 
+#include "sim/comm_bridge.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace cpx::simpic {
+namespace {
+
+// Message tags of the per-step exchanges (one tag per logical channel so
+// the pipeline carries can never match a boundary-merge payload).
+enum Tag : int {
+  kTagRho = 1,        ///< shared boundary-node charge, both directions
+  kTagElim = 2,       ///< forward-elimination carry (c_prev, d_prev)
+  kTagPhiBack = 3,    ///< back-substitution carry (phi of first unknown)
+  kTagPhiShared = 4,  ///< shared-node phi, left owner -> right neighbour
+  kTagGhostLeft = 5,  ///< phi[end-1] to the right neighbour (its left ghost)
+  kTagGhostRight = 6, ///< phi[1] to the left neighbour (its right ghost)
+  kTagMigrate = 7,    ///< packed (x, v, w) triplets of migrating particles
+};
+
+}  // namespace
 
 DistributedPic::DistributedPic(const PicOptions& options, int parts)
     : options_(options) {
@@ -31,6 +49,15 @@ DistributedPic::DistributedPic(const PicOptions& options, int parts)
     rs.phi.assign(nodes, 0.0);
     rs.e.assign(nodes, 0.0);
   }
+
+  comm_ = comm::Communicator::world(parts, "simpic");
+  const auto p = static_cast<std::size_t>(parts);
+  rho_from_left_.assign(p, 0.0);
+  rho_from_right_.assign(p, 0.0);
+  phi_shared_recv_.assign(p, 0.0);
+  ghost_from_left_.assign(p, 0.0);
+  ghost_from_right_.assign(p, 0.0);
+  migr_pack_.resize(p);
 }
 
 int DistributedPic::owner_of(double x) const {
@@ -89,16 +116,42 @@ void DistributedPic::deposit() {
   }
   // Merge the shared boundary nodes: both neighbours hold the node and
   // each contributed its own particles (plus the background once each).
-  for (int r = 0; r + 1 < num_parts(); ++r) {
-    RankState& left = ranks_[static_cast<std::size_t>(r)];
-    RankState& right = ranks_[static_cast<std::size_t>(r + 1)];
-    const double merged = left.rho.back() + right.rho.front() - background_;
-    left.rho.back() = merged;
-    right.rho.front() = merged;
-    if (cluster_ != nullptr) {
-      cluster_->send(r, r + 1, sizeof(double), region_deposit_);
-      cluster_->send(r + 1, r, sizeof(double), region_deposit_);
+  // Each rank sends its own edge value, then both sides apply the same
+  // commutative merge — bitwise what the single-owner merge computed.
+  const int parts = num_parts();
+  for (int r = 0; r < parts; ++r) {
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    if (r + 1 < parts) {
+      comm_.isend_value(r, r + 1, kTagRho, rs.rho.back());
     }
+    if (r > 0) {
+      comm_.isend_value(r, r - 1, kTagRho, rs.rho.front());
+    }
+  }
+  for (int r = 0; r + 1 < parts; ++r) {
+    comm_.irecv_value(r + 1, r, kTagRho,
+                      &rho_from_left_[static_cast<std::size_t>(r + 1)]);
+    comm_.irecv_value(r, r + 1, kTagRho,
+                      &rho_from_right_[static_cast<std::size_t>(r)]);
+  }
+  comm_.wait_all();
+  for (int r = 0; r < parts; ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    if (r + 1 < parts) {
+      rs.rho.back() =
+          rs.rho.back() + rho_from_right_[static_cast<std::size_t>(r)] -
+          background_;
+    }
+    if (r > 0) {
+      rs.rho.front() =
+          rs.rho.front() + rho_from_left_[static_cast<std::size_t>(r)] -
+          background_;
+    }
+  }
+  if (cluster_ != nullptr) {
+    sim::flush_sends(comm_, *cluster_, region_deposit_, 0);
+  } else {
+    comm_.clear_transfers();
   }
   if (cluster_ != nullptr) {
     for (int r = 0; r < num_parts(); ++r) {
@@ -129,12 +182,23 @@ void DistributedPic::solve_field() {
   std::vector<Elim> elim(static_cast<std::size_t>(num_parts()));
 
   // --- forward pass (rank r waits for rank r-1) ---
-  double c_prev = 0.0;
-  double d_prev = 0.0;
-  bool have_prev = false;
-  for (int r = 0; r < num_parts(); ++r) {
+  // The elimination carry (c_prev, d_prev) travels one hop per rank; each
+  // rank blocks on its left neighbour's carry before eliminating — the
+  // pipeline the performance instance charges. Rank 0 always handles at
+  // least one unknown when there are >= 2 parts, so a received carry is
+  // always live (have_prev below).
+  const int parts = num_parts();
+  double carry[2] = {0.0, 0.0};
+  for (int r = 0; r < parts; ++r) {
     RankState& rs = ranks_[static_cast<std::size_t>(r)];
     Elim& el = elim[static_cast<std::size_t>(r)];
+    if (r > 0) {
+      comm_.irecv_span(r, r - 1, kTagElim, std::span<double>(carry));
+      comm_.wait_all();
+    }
+    double c_prev = carry[0];
+    double d_prev = carry[1];
+    bool have_prev = r > 0;
     const std::int64_t lo = std::max<std::int64_t>(rs.node_begin + 1, 1);
     const std::int64_t hi = std::min<std::int64_t>(rs.node_end, n_nodes - 1);
     el.first = lo;
@@ -157,16 +221,23 @@ void DistributedPic::solve_field() {
       c_prev = ci;
       d_prev = di;
     }
-    if (cluster_ != nullptr && r + 1 < num_parts()) {
-      cluster_->send(r, r + 1, 2 * sizeof(double), region_field_);
+    if (r + 1 < parts) {
+      carry[0] = c_prev;
+      carry[1] = d_prev;
+      comm_.isend_span(r, r + 1, kTagElim,
+                       std::span<const double>(carry, 2));
     }
   }
 
   // --- back substitution (rank r waits for rank r+1) ---
   double phi_next = 0.0;  // phi[n_nodes] = 0 wall
-  for (int r = num_parts() - 1; r >= 0; --r) {
+  for (int r = parts - 1; r >= 0; --r) {
     RankState& rs = ranks_[static_cast<std::size_t>(r)];
     const Elim& el = elim[static_cast<std::size_t>(r)];
+    if (r + 1 < parts) {
+      comm_.irecv_value(r, r + 1, kTagPhiBack, &phi_next);
+      comm_.wait_all();
+    }
     for (std::int64_t k = static_cast<std::int64_t>(el.c.size()) - 1;
          k >= 0; --k) {
       const std::int64_t i = el.first + k;
@@ -187,32 +258,71 @@ void DistributedPic::solve_field() {
     if (rs.node_end == n_nodes) {
       rs.phi.back() = 0.0;
     }
-    if (cluster_ != nullptr && r > 0) {
-      cluster_->send(r, r - 1, sizeof(double), region_field_);
+    if (r > 0) {
+      comm_.isend_value(r, r - 1, kTagPhiBack, phi_next);
     }
   }
+  if (cluster_ != nullptr) {
+    // Both pipeline directions in hop order — the same send sequence the
+    // hand-rolled solve used to charge.
+    sim::flush_sends(comm_, *cluster_, region_field_, 0);
+  } else {
+    comm_.clear_transfers();
+  }
+
   // Shared node phi values: the *left* rank computes the shared node (its
-  // unknown range is (node_begin, node_end]); copy to the right
-  // neighbour's first node.
-  for (int r = 0; r + 1 < num_parts(); ++r) {
-    const RankState& left = ranks_[static_cast<std::size_t>(r)];
-    RankState& right = ranks_[static_cast<std::size_t>(r + 1)];
-    right.phi.front() = left.phi.back();
+  // unknown range is (node_begin, node_end]); send to the right
+  // neighbour's first node. Like the ghost exchange below, this is part
+  // of the field compute's memory traffic, not a charged message.
+  for (int r = 0; r + 1 < parts; ++r) {
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    comm_.isend_value(r, r + 1, kTagPhiShared, rs.phi.back());
+  }
+  for (int r = 1; r < parts; ++r) {
+    comm_.irecv_value(r, r - 1, kTagPhiShared,
+                      &phi_shared_recv_[static_cast<std::size_t>(r)]);
+  }
+  comm_.wait_all();
+  for (int r = 1; r < parts; ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    rs.phi.front() = phi_shared_recv_[static_cast<std::size_t>(r)];
   }
 
   // --- E = -dphi/dx: central differences need one phi beyond each end ---
-  for (int r = 0; r < num_parts(); ++r) {
+  // Ghost exchange: every rank sends its own second-from-edge phi values
+  // (post shared-node update) to the neighbours that need them.
+  for (int r = 0; r < parts; ++r) {
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    if (r + 1 < parts) {
+      comm_.isend_value(r, r + 1, kTagGhostLeft, rs.phi[rs.phi.size() - 2]);
+    }
+    if (r > 0) {
+      comm_.isend_value(r, r - 1, kTagGhostRight, rs.phi[1]);
+    }
+  }
+  for (int r = 0; r < parts; ++r) {
+    if (r > 0) {
+      comm_.irecv_value(r, r - 1, kTagGhostLeft,
+                        &ghost_from_left_[static_cast<std::size_t>(r)]);
+    }
+    if (r + 1 < parts) {
+      comm_.irecv_value(r, r + 1, kTagGhostRight,
+                        &ghost_from_right_[static_cast<std::size_t>(r)]);
+    }
+  }
+  comm_.wait_all();
+  comm_.clear_transfers();  // shared/ghost phi is never cluster-charged
+
+  for (int r = 0; r < parts; ++r) {
     RankState& rs = ranks_[static_cast<std::size_t>(r)];
     const auto nodes = rs.phi.size();
     const double phi_left_ghost =
-        rs.node_begin == 0
-            ? 0.0
-            : ranks_[static_cast<std::size_t>(r - 1)]
-                  .phi[ranks_[static_cast<std::size_t>(r - 1)].phi.size() - 2];
+        rs.node_begin == 0 ? 0.0
+                           : ghost_from_left_[static_cast<std::size_t>(r)];
     const double phi_right_ghost =
         rs.node_end == n_nodes
             ? 0.0
-            : ranks_[static_cast<std::size_t>(r + 1)].phi[1];
+            : ghost_from_right_[static_cast<std::size_t>(r)];
     for (std::size_t i = 0; i < nodes; ++i) {
       const std::int64_t g = rs.node_begin + static_cast<std::int64_t>(i);
       if (g == 0) {
@@ -237,16 +347,13 @@ void DistributedPic::solve_field() {
 void DistributedPic::push_and_migrate() {
   last_migrations_ = 0;
   const double qm = -1.0;
-  struct Moved {
-    double x;
-    double v;
-    double w;
-    int to;
-  };
-  std::vector<Moved> moved;
+  const int parts = num_parts();
 
-  for (int r = 0; r < num_parts(); ++r) {
+  for (int r = 0; r < parts; ++r) {
     RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    for (std::vector<double>& pack : migr_pack_) {
+      pack.clear();
+    }
     std::size_t alive = 0;
     for (std::size_t i = 0; i < rs.x.size(); ++i) {
       const double c = rs.x[i] / dx_;
@@ -266,12 +373,25 @@ void DistributedPic::push_and_migrate() {
         rs.w[alive] = rs.w[i];
         ++alive;
       } else {
-        moved.push_back({x, v, rs.w[i], owner_of(x)});
+        // Pack (x, v, w) for the new owner; one message per destination.
+        std::vector<double>& pack =
+            migr_pack_[static_cast<std::size_t>(owner_of(x))];
+        pack.push_back(x);
+        pack.push_back(v);
+        pack.push_back(rs.w[i]);
       }
     }
     rs.x.resize(alive);
     rs.v.resize(alive);
     rs.w.resize(alive);
+    for (int dst = 0; dst < parts; ++dst) {
+      const std::vector<double>& pack =
+          migr_pack_[static_cast<std::size_t>(dst)];
+      if (!pack.empty()) {
+        comm_.isend_span(r, dst, kTagMigrate, std::span<const double>(pack));
+        last_migrations_ += static_cast<std::int64_t>(pack.size() / 3);
+      }
+    }
     if (cluster_ != nullptr) {
       sim::Work w;
       w.flops = 20.0 * static_cast<double>(alive);
@@ -279,22 +399,29 @@ void DistributedPic::push_and_migrate() {
       cluster_->compute(r, w, region_push_);
     }
   }
-  last_migrations_ = static_cast<std::int64_t>(moved.size());
-  std::vector<sim::Message> messages;
-  for (const Moved& m : moved) {
-    RankState& dst = ranks_[static_cast<std::size_t>(m.to)];
-    dst.x.push_back(m.x);
-    dst.v.push_back(m.v);
-    dst.w.push_back(m.w);
+
+  // Deliver: sources ascending per destination, particles in push order —
+  // the append order the single-array implementation produced.
+  for (int r = 0; r < parts; ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    comm_.deliver(r, kTagMigrate,
+                  [&rs](comm::Rank, std::span<const std::byte> payload) {
+                    CPX_CHECK(payload.size() % (3 * sizeof(double)) == 0);
+                    double p[3];
+                    for (std::size_t off = 0; off < payload.size();
+                         off += sizeof(p)) {
+                      std::memcpy(p, payload.data() + off, sizeof(p));
+                      rs.x.push_back(p[0]);
+                      rs.v.push_back(p[1]);
+                      rs.w.push_back(p[2]);
+                    }
+                  });
   }
-  if (cluster_ != nullptr && !moved.empty()) {
-    // Migration traffic: particles move to adjacent slices in practice.
-    for (const Moved& m : moved) {
-      const int from = std::clamp(m.to > 0 ? m.to - 1 : m.to + 1, 0,
-                                  num_parts() - 1);
-      messages.push_back({from, m.to, 3 * sizeof(double)});
-    }
-    cluster_->exchange(messages, region_migrate_);
+  if (cluster_ != nullptr) {
+    sim::flush_exchange(comm_, *cluster_, region_migrate_, 0,
+                        message_scratch_);
+  } else {
+    comm_.clear_transfers();
   }
 }
 

@@ -4,7 +4,10 @@
 // distributed Thomas solve (forward elimination ripples rank 0 -> p-1,
 // back substitution ripples p-1 -> 0 — the serial chain the performance
 // instance charges to the virtual cluster), and real particle migration
-// between neighbouring ranks.
+// between neighbouring ranks. All rank-to-rank bytes move through the
+// comm layer (src/comm/, docs/communication.md): boundary charges and
+// pipeline carries are isend/irecv pairs, migrated particles travel as
+// packed triplets matched by Communicator::deliver.
 //
 // The distributed field solve continues the sequential algorithm's
 // elimination recurrence across rank boundaries, so the result matches
@@ -18,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/communicator.hpp"
 #include "sim/cluster.hpp"
 #include "simpic/pic.hpp"
 
@@ -52,6 +56,12 @@ class DistributedPic {
   /// Particles that crossed a rank boundary in the last step.
   std::int64_t last_migrations() const { return last_migrations_; }
 
+  /// Cumulative traffic counters of the solver's communicator (boundary
+  /// merges, Thomas pipeline hops, phi ghosts, particle migration). Shared
+  /// accounting with every other subsystem — see docs/communication.md.
+  const comm::CommStats& comm_stats() const { return comm_.stats(); }
+  const comm::Communicator& communicator() const { return comm_; }
+
   /// Optional performance co-simulation on ranks [0, num_parts).
   void attach_cluster(sim::Cluster* cluster);
 
@@ -82,6 +92,16 @@ class DistributedPic {
   double dx_;
   double background_ = 0.0;
   std::vector<RankState> ranks_;
+  comm::Communicator comm_;
+  // Receive scratch, one slot per rank (sized once in the constructor so
+  // the steady-state exchange stays allocation-free).
+  std::vector<double> rho_from_left_;
+  std::vector<double> rho_from_right_;
+  std::vector<double> phi_shared_recv_;
+  std::vector<double> ghost_from_left_;
+  std::vector<double> ghost_from_right_;
+  std::vector<std::vector<double>> migr_pack_;  ///< outgoing, by destination
+  std::vector<sim::Message> message_scratch_;
   std::int64_t last_migrations_ = 0;
   sim::Cluster* cluster_ = nullptr;
   sim::RegionId region_deposit_ = -1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/comm_bridge.hpp"
 #include "support/check.hpp"
 
 namespace cpx::spray {
@@ -15,6 +16,14 @@ Instance::Instance(std::string name, const InstanceConfig& config,
   CPX_REQUIRE(config.spray_rank_fraction > 0.0 &&
                   config.spray_rank_fraction <= 1.0,
               "Instance: bad spray_rank_fraction");
+  world_ = comm::Communicator::world(ranks.size(), name_ + "/world");
+  if (config_.strategy == Strategy::kAsyncTask) {
+    // Real subgroup carve-out: the leading fraction of ranks form the
+    // dedicated spray communicator. split() asserts every rank lands in
+    // exactly one subgroup.
+    auto groups = world_.split_fraction(config_.spray_rank_fraction);
+    spray_comm_ = groups.front();
+  }
 }
 
 void Instance::step(sim::Cluster& cluster) {
@@ -38,20 +47,22 @@ void Instance::step(sim::Cluster& cluster) {
       }
       // Neighbour migration + the source-term gather that serialises on
       // the hot rank (all ranks contribute to the injector region's gas
-      // coupling terms).
-      message_scratch_.clear();
+      // coupling terms). The data plane is virtual: messages are posted
+      // to the communicator (shared byte accounting) and the recorded
+      // transfers charged to the cluster.
       const auto mig_bytes = static_cast<std::size_t>(
           config_.migration_fraction * mean *
           static_cast<double>(config_.bytes_per_migrated_particle));
       for (int l = 0; l + 1 < p; ++l) {
-        message_scratch_.push_back(
-            {ranks_.begin + l, ranks_.begin + l + 1, mig_bytes});
-        message_scratch_.push_back(
-            {ranks_.begin + l + 1, ranks_.begin + l, mig_bytes});
+        world_.post(l, l + 1, mig_bytes);
+        world_.post(l + 1, l, mig_bytes);
       }
-      cluster.exchange(message_scratch_, region_comm);
-      cluster.gather(ranks_, ranks_.begin, 2 * sizeof(double) * 8,
-                     region_comm);
+      sim::flush_exchange(world_, cluster, region_comm, ranks_.begin,
+                          message_scratch_);
+      const std::size_t gather_bytes = 2 * sizeof(double) * 8;
+      world_.post_collective(static_cast<std::size_t>(p - 1) * gather_bytes,
+                             p - 1);
+      cluster.gather(ranks_, ranks_.begin, gather_bytes, region_comm);
       break;
     }
     case Strategy::kBalanced: {
@@ -68,34 +79,38 @@ void Instance::step(sim::Cluster& cluster) {
           std::max(1.0, mean / p *
                             static_cast<double>(
                                 config_.bytes_per_migrated_particle)));
+      world_.post_collective(
+          static_cast<std::size_t>(p) * static_cast<std::size_t>(p - 1) *
+              pair_bytes,
+          static_cast<std::int64_t>(p) * (p - 1));
       cluster.alltoall(ranks_, pair_bytes, region_comm);
       break;
     }
     case Strategy::kAsyncTask: {
       // Dedicated spray ranks drain a balanced queue; the solver ranks'
-      // only involvement is the one-sided hand-off (tiny).
-      const int workers = std::max(
-          1, static_cast<int>(p * config_.spray_rank_fraction));
+      // only involvement is the one-sided hand-off (tiny). The worker set
+      // is the split_fraction subgroup carved in the constructor.
+      const int workers = spray_comm_.size();
       const double per_worker = total / workers;
       for (int l = 0; l < workers; ++l) {
         sim::Work w;
         w.flops = per_worker * config_.flops_per_particle;
         w.bytes = per_worker * config_.bytes_per_particle;
-        cluster.compute(ranks_.begin + l, w, region_push);
+        cluster.compute(ranks_.begin + spray_comm_.global_rank(l), w,
+                        region_push);
       }
-      message_scratch_.clear();
       for (int l = 0; l < workers; ++l) {
-        // One-sided exposure epoch with a solver-side partner.
-        const sim::Rank partner =
-            ranks_.begin + workers + (l % std::max(1, p - workers));
-        if (partner < ranks_.end) {
-          message_scratch_.push_back(
-              {ranks_.begin + l, partner, 4 * sizeof(double)});
+        // One-sided exposure epoch with a solver-side partner (a rank of
+        // the complementary subgroup); posted on the world communicator
+        // since the hand-off crosses the split.
+        const int partner = workers + (l % std::max(1, p - workers));
+        if (partner < p) {
+          world_.post(spray_comm_.global_rank(l), partner,
+                      4 * sizeof(double));
         }
       }
-      if (!message_scratch_.empty()) {
-        cluster.exchange(message_scratch_, region_comm);
-      }
+      sim::flush_exchange(world_, cluster, region_comm, ranks_.begin,
+                          message_scratch_);
       break;
     }
   }

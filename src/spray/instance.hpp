@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "comm/communicator.hpp"
 #include "sim/app.hpp"
 #include "spray/cloud.hpp"
 
@@ -47,10 +48,19 @@ class Instance final : public sim::App {
 
   const InstanceConfig& config() const { return config_; }
 
+  /// Traffic this instance posted to its world communicator (migration,
+  /// hand-off, and collective bytes — docs/communication.md).
+  const comm::CommStats& comm_stats() const { return world_.stats(); }
+  /// kAsyncTask: the dedicated spray subgroup carved by split_fraction
+  /// (null for the other strategies). Its size is the worker count.
+  const comm::Communicator& spray_communicator() const { return spray_comm_; }
+
  private:
   std::string name_;
   InstanceConfig config_;
   sim::RankRange ranks_;
+  comm::Communicator world_;
+  comm::Communicator spray_comm_;  ///< kAsyncTask subgroup 0 of world_
   std::vector<sim::Message> message_scratch_;
 };
 

@@ -16,6 +16,18 @@ constexpr std::int64_t kBlasGrain = 4096;
 
 }  // namespace
 
+double sum(std::span<const double> a) {
+  return parallel_reduce(
+      0, static_cast<std::int64_t>(a.size()), kBlasGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          s += a[static_cast<std::size_t>(i)];
+        }
+        return s;
+      });
+}
+
 double dot(std::span<const double> a, std::span<const double> b) {
   CPX_REQUIRE(a.size() == b.size(), "blas1::dot: size mismatch");
   return parallel_reduce(

@@ -12,6 +12,10 @@
 
 namespace cpx::support::blas1 {
 
+/// Σ a_i — the deterministic sum (chunk-order combine). Also the combine
+/// rule behind comm::Communicator::allreduce_sum.
+double sum(std::span<const double> a);
+
 /// Σ a_i·b_i (sizes must match).
 double dot(std::span<const double> a, std::span<const double> b);
 

@@ -41,6 +41,9 @@ inline constexpr const char* kWorkflowPressurePhase =
 
 // --- Counters (support::metrics::counter_add) ---
 inline constexpr const char* kAmgPcgIterations = "amg/pcg_iterations";
+inline constexpr const char* kCommBytes = "comm/bytes";
+inline constexpr const char* kCommMessages = "comm/messages";
+inline constexpr const char* kCommQueueWaitNs = "comm/queue_wait_ns";
 inline constexpr const char* kAmgResetupCount = "amg/resetup";
 inline constexpr const char* kAmgSolveCycles = "amg/solve_cycles";
 inline constexpr const char* kCouplerExchangeBytes = "coupler/exchange_bytes";

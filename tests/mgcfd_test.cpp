@@ -275,15 +275,24 @@ TEST(Distributed, HaloBytesMatchCutSurface) {
   EulerOptions opt;
   DistributedSolver dist(m, 4, opt);
   dist.set_uniform(freestream(0.3));
+  // Halo traffic equals the total send-list size times the state size,
+  // reported through the shared comm/bytes accounting (the plan knows the
+  // per-step payload; the communicator counts what actually moved).
+  EXPECT_GT(dist.halo_bytes_per_exchange(), 0u);
+  EXPECT_EQ(dist.halo_bytes_per_exchange() % sizeof(State), 0u);
+  const std::int64_t before = dist.comm_stats().bytes;
   dist.step();
-  // Halo traffic equals the total send-list size times the state size.
-  EXPECT_GT(dist.last_halo_bytes(), 0u);
-  EXPECT_EQ(dist.last_halo_bytes() % sizeof(State), 0u);
-  // A single part exchanges nothing.
+  const std::int64_t moved = dist.comm_stats().bytes - before;
+  // One step = one halo exchange plus the 8-byte-per-rank allreduce.
+  EXPECT_EQ(moved, static_cast<std::int64_t>(dist.halo_bytes_per_exchange()) +
+                       4 * static_cast<std::int64_t>(sizeof(double)));
+  // A single part exchanges no halo payload (only its allreduce entry).
   DistributedSolver solo(m, 1, opt);
   solo.set_uniform(freestream(0.3));
   solo.step();
-  EXPECT_EQ(solo.last_halo_bytes(), 0u);
+  EXPECT_EQ(solo.halo_bytes_per_exchange(), 0u);
+  EXPECT_EQ(solo.comm_stats().bytes,
+            static_cast<std::int64_t>(sizeof(double)));
 }
 
 TEST(Distributed, CoSimulationChargesTheCluster) {

@@ -31,6 +31,13 @@ metrics-registry     Every region/counter name passed to CPX_METRICS_SCOPE,
                      CPX_METRICS_SCOPE_COMM or metrics::counter_add in src/
                      must be listed in src/support/metric_names.hpp, and
                      every listed name must still be used somewhere.
+raw-comm             No raw neighbour-copy loops outside src/comm/: indexing
+                     a per-rank state array (`ranks_[...]`/`parts_[...]`)
+                     with a neighbour expression (r +/- 1, `to`, `partner`,
+                     `neighbor`) is how the pre-comm-layer code moved bytes
+                     between ranks by hand. Rank-to-rank data movement goes
+                     through comm::Communicator / ExchangePlan
+                     (docs/communication.md).
 
 Suppression
 -----------
@@ -91,6 +98,10 @@ NONDET_RES = (
 )
 UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)"
+)
+RAW_COMM_RE = re.compile(
+    r"\b(?:ranks_|parts_)\s*\["
+    r"[^\]]*(?:\+|-|\bneighbor\w*\b|\bpartner\b|\bto\b)[^\]]*\]"
 )
 METRIC_USE_RE = re.compile(
     r"(?:CPX_METRICS_SCOPE(?:_COMM)?|counter_add)\s*\(\s*\"([^\"]+)\"",
@@ -191,6 +202,15 @@ class Linter:
                     path, line_no, "reduce",
                     "raw parallel_reduce outside support/blas1; use the "
                     "blas1 wrappers so reductions share one combine order")
+
+            if (not rel.startswith("src/comm/")
+                    and "raw-comm" not in allowed
+                    and RAW_COMM_RE.search(line)):
+                self.report(
+                    path, line_no, "raw-comm",
+                    "neighbour-indexed rank state access; move rank-to-rank "
+                    "bytes through comm::Communicator/ExchangePlan "
+                    "(src/comm/, docs/communication.md)")
 
             if "deterministic-kernels" not in allowed:
                 for pattern, what in NONDET_RES:
