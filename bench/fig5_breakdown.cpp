@@ -10,6 +10,8 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "mgcfd/instance.hpp"
+#include "perfmodel/sweep.hpp"
 #include "pressure/surrogate.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
@@ -80,5 +82,26 @@ int main(int argc, char** argv) {
   pe.print(std::cout);
   std::cout << "(Paper anchors: spray drops below 50% PE at 256 cores; "
                "velocity/scalars scale well.)\n";
+
+  // --- Split-phase overlap visibility at the Fig 5 scale ---
+  // Runs the density solver once with the split-phase halo exchange on,
+  // so the "comm/overlap_hidden_ns" / "comm/overlap_window_ns" counters
+  // land in the --metrics dump next to the breakdown above
+  // (docs/communication.md; the full ablation is bench/comm_overlap).
+  print_banner(std::cout,
+               "Split-phase halo overlap — MG-CFD density row at 2048 "
+               "cores");
+  Table overlap({"mode", "s/step", "hidden comm s/step"});
+  overlap.set_precision(4);
+  for (const bool on : {false, true}) {
+    sim::Cluster cluster(sim::MachineModel::archer2(), 2048);
+    mgcfd::Instance density("density", 150'000'000, {0, 2048});
+    density.set_overlap(on);
+    const double step =
+        perfmodel::measure_step_seconds(density, cluster, 3);
+    overlap.add_row({on ? "overlapped" : "synchronous", step,
+                     cluster.comm_hidden_seconds(density.ranks()) / 4.0});
+  }
+  overlap.print(std::cout);
   return 0;
 }

@@ -52,13 +52,25 @@ void CouplerUnit::half_exchange(sim::Cluster& cluster, sim::App& src,
         config_.fields_per_cell * sizeof(double) / senders);
     comm_.post(from, to, bytes);
   }
-  sim::flush_exchange(comm_, cluster, region_gather_, 0, message_scratch_);
-
-  // 2. (Re)mapping on the CU ranks.
-  if (remap) {
+  // 2. (Re)mapping on the CU ranks. The donor mapping is pure geometry —
+  // it reads no gathered field data — so when a remap is due it can run
+  // inside the gather's flight window (split-phase overlap); the gather
+  // must still complete before interpolation touches the fields.
+  if (overlap_ && remap) {
+    const int pending = sim::begin_exchange(comm_, cluster, region_gather_,
+                                            0, message_scratch_);
     const double t_map = mapping_seconds(cluster);
     for (int l = 0; l < ranks_.size(); ++l) {
       cluster.compute_seconds(ranks_.begin + l, t_map, region_map_);
+    }
+    cluster.exchange_finish(pending);
+  } else {
+    sim::flush_exchange(comm_, cluster, region_gather_, 0, message_scratch_);
+    if (remap) {
+      const double t_map = mapping_seconds(cluster);
+      for (int l = 0; l < ranks_.size(); ++l) {
+        cluster.compute_seconds(ranks_.begin + l, t_map, region_map_);
+      }
     }
   }
 

@@ -68,6 +68,14 @@ class CouplerUnit {
   /// unit across independent runs).
   void reset() { mapped_ = false; }
 
+  /// Split-phase overlap (docs/communication.md): when a half-exchange
+  /// includes a remap, the gather is begun, the donor-mapping compute runs
+  /// inside the window, and the gather finishes before interpolation. The
+  /// mapping does not read gathered fields (it is pure geometry), so the
+  /// exchanged data is unchanged; only the cluster timing differs.
+  void set_overlap(bool on) { overlap_ = on; }
+  bool overlap() const { return overlap_; }
+
   /// Gather/scatter traffic this unit has posted (cluster-global rank
   /// space) — shared byte accounting with every other subsystem, see
   /// docs/communication.md. Zero until the first exchange().
@@ -86,6 +94,7 @@ class CouplerUnit {
   sim::App& side_a_;
   sim::App& side_b_;
   bool mapped_ = false;
+  bool overlap_ = false;
   comm::Communicator comm_;  ///< cluster-global; sized on first exchange
 
   sim::RegionId region_gather_ = -1;

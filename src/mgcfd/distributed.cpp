@@ -116,8 +116,89 @@ DistributedSolver::DistributedSolver(const mesh::UnstructuredMesh& mesh,
     for (mesh::CellId c : lm.owned) {
       ps.volumes.push_back(mesh.volumes()[static_cast<std::size_t>(c)]);
     }
+
+    // Incident-edge CSR: rows are owned cells, entries ascend in edge
+    // index, so gathering a cell's residual accumulates its edge
+    // contributions in exactly the order the edge-centric scatter loop
+    // used to — the gather form is bitwise-neutral.
+    ps.edge_offsets.assign(owned + 1, 0);
+    for (const auto& e : lm.edges) {
+      if (e.a < lm.num_owned()) {
+        ++ps.edge_offsets[static_cast<std::size_t>(e.a) + 1];
+      }
+      if (e.b < lm.num_owned()) {
+        ++ps.edge_offsets[static_cast<std::size_t>(e.b) + 1];
+      }
+    }
+    for (std::size_t i = 1; i < ps.edge_offsets.size(); ++i) {
+      ps.edge_offsets[i] += ps.edge_offsets[i - 1];
+    }
+    const auto num_incident =
+        static_cast<std::size_t>(ps.edge_offsets.back());
+    ps.edge_ids.resize(num_incident);
+    ps.edge_side.resize(num_incident);
+    std::vector<std::int32_t> cursor(ps.edge_offsets.begin(),
+                                     ps.edge_offsets.end() - 1);
+    for (std::size_t idx = 0; idx < lm.edges.size(); ++idx) {
+      const auto& e = lm.edges[idx];
+      if (e.a < lm.num_owned()) {
+        auto& at = cursor[static_cast<std::size_t>(e.a)];
+        ps.edge_ids[static_cast<std::size_t>(at)] =
+            static_cast<std::int32_t>(idx);
+        ps.edge_side[static_cast<std::size_t>(at)] = 0;
+        ++at;
+      }
+      if (e.b < lm.num_owned()) {
+        auto& at = cursor[static_cast<std::size_t>(e.b)];
+        ps.edge_ids[static_cast<std::size_t>(at)] =
+            static_cast<std::int32_t>(idx);
+        ps.edge_side[static_cast<std::size_t>(at)] = 1;
+        ++at;
+      }
+    }
+
+    ps.split = mesh::split_interior_boundary(lm);
+    for (const std::int32_t c : ps.split.interior) {
+      ps.interior_incidence +=
+          ps.edge_offsets[static_cast<std::size_t>(c) + 1] -
+          ps.edge_offsets[static_cast<std::size_t>(c)];
+    }
+    for (const std::int32_t c : ps.split.boundary) {
+      ps.boundary_incidence +=
+          ps.edge_offsets[static_cast<std::size_t>(c) + 1] -
+          ps.edge_offsets[static_cast<std::size_t>(c)];
+    }
+
     ps.local = std::move(lm);
     parts_.push_back(std::move(ps));
+  }
+
+  // Static message list of one halo round (src, dst, channel payload) for
+  // Cluster::exchange_begin in overlapped steps.
+  halo_messages_.reserve(halo_plan_.channels().size());
+  for (const comm::ExchangePlan::Channel& ch : halo_plan_.channels()) {
+    halo_messages_.push_back(
+        {ch.src, ch.dst, ch.send_indices.size() * sizeof(State)});
+  }
+
+  if (check::deep()) {
+    // Tier-2 audit of the overlap partition: interior rows never reach a
+    // ghost slot, and every ghost slot a boundary row reads is filled by
+    // a plan channel. The cell-neighbour stencil shares the CSR offsets.
+    std::vector<std::int32_t> stencil_cells;
+    for (const PartState& ps : parts_) {
+      stencil_cells.clear();
+      stencil_cells.reserve(ps.edge_ids.size());
+      for (std::size_t k = 0; k < ps.edge_ids.size(); ++k) {
+        const auto& e =
+            ps.local.edges[static_cast<std::size_t>(ps.edge_ids[k])];
+        stencil_cells.push_back(ps.edge_side[k] == 0 ? e.b : e.a);
+      }
+      comm::validate_split(
+          halo_plan_,
+          {ps.local.part, ps.local.num_owned(), ps.split.interior,
+           ps.split.boundary, ps.edge_offsets, stencil_cells});
+    }
   }
 }
 
@@ -163,63 +244,91 @@ void DistributedSolver::exchange_halos() {
   }
 }
 
-double DistributedSolver::compute_and_update() {
-  for (PartState& ps : parts_) {
-    const auto owned = static_cast<std::size_t>(ps.local.num_owned());
-    double part_norm_sq = 0.0;
-    std::fill(ps.residual.begin(), ps.residual.end(), State{});
-    for (const auto& e : ps.local.edges) {
+void DistributedSolver::compute_residuals(
+    PartState& ps, std::span<const std::int32_t> cells) const {
+  // Gather form of the flux loop: each cell accumulates its incident
+  // edges' contributions in ascending edge order — the order the
+  // edge-centric scatter delivered them — so any grouping of cells
+  // (interior-first, boundary-later) leaves the residuals bitwise
+  // unchanged. Cut-edge fluxes are recomputed on both owning cells;
+  // rusanov_flux is a pure function of its operands, so both sides see
+  // the identical value.
+  for (const std::int32_t c : cells) {
+    State& r = ps.residual[static_cast<std::size_t>(c)];
+    const std::int32_t lo = ps.edge_offsets[static_cast<std::size_t>(c)];
+    const std::int32_t hi =
+        ps.edge_offsets[static_cast<std::size_t>(c) + 1];
+    for (std::int32_t k = lo; k < hi; ++k) {
+      const auto& e =
+          ps.local.edges[static_cast<std::size_t>(
+              ps.edge_ids[static_cast<std::size_t>(k)])];
       const State f = rusanov_flux(ps.u[static_cast<std::size_t>(e.a)],
                                    ps.u[static_cast<std::size_t>(e.b)],
                                    e.normal, options_.dissipation);
-      for (int k = 0; k < 5; ++k) {
-        const double contrib = e.area * f[k];
-        if (e.a < ps.local.num_owned()) {
-          ps.residual[static_cast<std::size_t>(e.a)][k] -= contrib;
+      if (ps.edge_side[static_cast<std::size_t>(k)] == 0) {
+        for (int j = 0; j < 5; ++j) {
+          r[j] -= e.area * f[j];
         }
-        if (e.b < ps.local.num_owned()) {
-          ps.residual[static_cast<std::size_t>(e.b)][k] += contrib;
+      } else {
+        for (int j = 0; j < 5; ++j) {
+          r[j] += e.area * f[j];
         }
       }
     }
-    // Boundary closure (transmissive), identical to the sequential solver.
-    for (std::size_t c = 0; c < owned; ++c) {
-      const mesh::Vec3& d = ps.closure[c];
-      if (d.x == 0.0 && d.y == 0.0 && d.z == 0.0) {
-        continue;
-      }
-      const State f = physical_flux(ps.u[c], d);
-      for (int k = 0; k < 5; ++k) {
-        ps.residual[c][k] += f[k];
-      }
+  }
+}
+
+double DistributedSolver::finalize_part(PartState& ps) {
+  const auto owned = static_cast<std::size_t>(ps.local.num_owned());
+  // Boundary closure (transmissive), identical to the sequential solver.
+  for (std::size_t c = 0; c < owned; ++c) {
+    const mesh::Vec3& d = ps.closure[c];
+    if (d.x == 0.0 && d.y == 0.0 && d.z == 0.0) {
+      continue;
     }
-    // Local-time-step update with positivity guard.
-    for (std::size_t c = 0; c < owned; ++c) {
-      State& uc = ps.u[c];
-      const double vol = ps.volumes[c];
-      const double wave = std::abs(uc[1] / uc[0]) + sound_speed(uc);
-      const double face_area =
-          std::max(ps.degrees[c], 1.0) * std::pow(vol, 2.0 / 3.0);
-      const double dt =
-          options_.cfl * vol / std::max(wave * face_area, 1e-12);
-      for (int k = 0; k < 5; ++k) {
-        part_norm_sq += ps.residual[c][k] * ps.residual[c][k];
-        uc[k] += dt * ps.residual[c][k] / vol;
-      }
-      uc[0] = std::max(uc[0], 1e-10);
-      const double ke =
-          0.5 * (uc[1] * uc[1] + uc[2] * uc[2] + uc[3] * uc[3]) / uc[0];
-      uc[4] = std::max(uc[4], ke + 1e-10);
+    const State f = physical_flux(ps.u[c], d);
+    for (int k = 0; k < 5; ++k) {
+      ps.residual[c][k] += f[k];
     }
+  }
+  // Local-time-step update with positivity guard.
+  double part_norm_sq = 0.0;
+  for (std::size_t c = 0; c < owned; ++c) {
+    State& uc = ps.u[c];
+    const double vol = ps.volumes[c];
+    const double wave = std::abs(uc[1] / uc[0]) + sound_speed(uc);
+    const double face_area =
+        std::max(ps.degrees[c], 1.0) * std::pow(vol, 2.0 / 3.0);
+    const double dt =
+        options_.cfl * vol / std::max(wave * face_area, 1e-12);
+    for (int k = 0; k < 5; ++k) {
+      part_norm_sq += ps.residual[c][k] * ps.residual[c][k];
+      uc[k] += dt * ps.residual[c][k] / vol;
+    }
+    uc[0] = std::max(uc[0], 1e-10);
+    const double ke =
+        0.5 * (uc[1] * uc[1] + uc[2] * uc[2] + uc[3] * uc[3]) / uc[0];
+    uc[4] = std::max(uc[4], ke + 1e-10);
+  }
+  return part_norm_sq;
+}
+
+double DistributedSolver::compute_and_update() {
+  for (PartState& ps : parts_) {
+    std::fill(ps.residual.begin(), ps.residual.end(), State{});
+    compute_residuals(ps, ps.split.interior);
+    compute_residuals(ps, ps.split.boundary);
+    norm_partials_[static_cast<std::size_t>(ps.local.part)] =
+        finalize_part(ps);
     if (cluster_ != nullptr) {
+      const auto owned = static_cast<double>(ps.local.num_owned());
       sim::Work w;
-      w.flops = static_cast<double>(ps.local.edges.size()) * 120.0 +
-                static_cast<double>(owned) * 60.0;
-      w.bytes = static_cast<double>(ps.local.edges.size()) * 160.0 +
-                static_cast<double>(owned) * 100.0;
+      w.flops =
+          static_cast<double>(ps.local.edges.size()) * 120.0 + owned * 60.0;
+      w.bytes =
+          static_cast<double>(ps.local.edges.size()) * 160.0 + owned * 100.0;
       cluster_->compute(ps.local.part, w, region_flux_);
     }
-    norm_partials_[static_cast<std::size_t>(ps.local.part)] = part_norm_sq;
   }
   // Deterministic allreduce of the per-rank partials (what an MPI run
   // computes: each rank reduces its owned cells, ranks combine in order).
@@ -230,7 +339,79 @@ double DistributedSolver::compute_and_update() {
   return std::sqrt(norm_sq);
 }
 
+double DistributedSolver::step_overlapped() {
+  // Same data movement and numerics as the synchronous step — the halo
+  // payload is gathered from the identical pre-step states and interior
+  // cells never read a slot the plan fills — only phased so interior flux
+  // work sits inside the exchange window.
+  const auto rank_data = [this](comm::Rank r) {
+    return std::as_writable_bytes(
+        std::span<State>(parts_[static_cast<std::size_t>(r)].u));
+  };
+  halo_plan_.begin(comm_, rank_data);
+  int pending = -1;
+  if (cluster_ != nullptr) {
+    pending = cluster_->exchange_begin(halo_messages_, region_halo_);
+  }
+
+  for (PartState& ps : parts_) {
+    std::fill(ps.residual.begin(), ps.residual.end(), State{});
+    compute_residuals(ps, ps.split.interior);
+    if (cluster_ != nullptr) {
+      const double total_incid = static_cast<double>(
+          ps.interior_incidence + ps.boundary_incidence);
+      const double frac =
+          total_incid > 0.0
+              ? static_cast<double>(ps.interior_incidence) / total_incid
+              : 0.0;
+      sim::Work w;
+      w.flops = static_cast<double>(ps.local.edges.size()) * 120.0 * frac;
+      w.bytes = static_cast<double>(ps.local.edges.size()) * 160.0 * frac;
+      cluster_->compute(ps.local.part, w, region_flux_);
+    }
+  }
+
+  halo_plan_.finish(comm_, rank_data);
+  comm_.clear_transfers();  // charged via exchange_begin, not the bridge
+  if (cluster_ != nullptr) {
+    cluster_->exchange_finish(pending);
+  }
+
+  for (PartState& ps : parts_) {
+    compute_residuals(ps, ps.split.boundary);
+    norm_partials_[static_cast<std::size_t>(ps.local.part)] =
+        finalize_part(ps);
+    if (cluster_ != nullptr) {
+      const auto owned = static_cast<double>(ps.local.num_owned());
+      const double total_incid = static_cast<double>(
+          ps.interior_incidence + ps.boundary_incidence);
+      const double frac =
+          total_incid > 0.0
+              ? static_cast<double>(ps.boundary_incidence) / total_incid
+              : 1.0;
+      // Complements the interior charge: overlapped and synchronous steps
+      // account the same total compute, placed differently.
+      sim::Work w;
+      w.flops = static_cast<double>(ps.local.edges.size()) * 120.0 * frac +
+                owned * 60.0;
+      w.bytes = static_cast<double>(ps.local.edges.size()) * 160.0 * frac +
+                owned * 100.0;
+      w.launches = 0.0;  // the step's launch is charged with the interior
+      cluster_->compute(ps.local.part, w, region_flux_);
+    }
+  }
+
+  const double norm_sq = comm_.allreduce_sum(norm_partials_);
+  if (cluster_ != nullptr && num_parts() > 1) {
+    cluster_->allreduce({0, num_parts()}, sizeof(double), region_reduce_);
+  }
+  return std::sqrt(norm_sq);
+}
+
 double DistributedSolver::step() {
+  if (overlap_) {
+    return step_overlapped();
+  }
   exchange_halos();
   return compute_and_update();
 }

@@ -16,7 +16,9 @@
 // physics and virtual timing from the same execution, charged with the
 // real message sizes recorded by the communicator.
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -71,6 +73,15 @@ class DistributedSolver {
   /// [0, num_parts). Pass nullptr to detach.
   void attach_cluster(sim::Cluster* cluster);
 
+  /// Split-phase halo overlap (docs/communication.md): step() begins the
+  /// halo exchange, computes interior-cell residuals inside the window,
+  /// finishes, then computes boundary-cell residuals. Residuals are
+  /// gathered per cell in ascending incident-edge order in both modes, so
+  /// the overlapped and synchronous solutions are bitwise identical; only
+  /// the co-simulated timing differs (Cluster::comm_hidden_seconds).
+  void set_overlap(bool on) { overlap_ = on; }
+  bool overlap() const { return overlap_; }
+
  private:
   struct PartState {
     mesh::LocalMesh local;
@@ -79,10 +90,23 @@ class DistributedSolver {
     std::vector<mesh::Vec3> closure;  ///< owned only
     std::vector<double> volumes;      ///< owned only
     std::vector<double> degrees;      ///< owned only (incident edge count)
+
+    /// Per-cell incident-edge CSR (ascending edge index within each row):
+    /// the gather form of the residual loop, shared by both step modes.
+    std::vector<std::int32_t> edge_offsets;  ///< num_owned + 1
+    std::vector<std::int32_t> edge_ids;
+    std::vector<std::int8_t> edge_side;  ///< 0: cell is edge.a, 1: edge.b
+    mesh::CellSplit split;
+    std::int64_t interior_incidence = 0;  ///< CSR entries in interior rows
+    std::int64_t boundary_incidence = 0;
   };
 
   void exchange_halos();
   double compute_and_update();
+  double step_overlapped();
+  void compute_residuals(PartState& ps,
+                         std::span<const std::int32_t> cells) const;
+  double finalize_part(PartState& ps);
 
   EulerOptions options_;
   std::int64_t global_cells_ = 0;
@@ -93,7 +117,9 @@ class DistributedSolver {
   comm::ExchangePlan halo_plan_;
   std::vector<double> norm_partials_;      ///< one residual partial per rank
   std::vector<sim::Message> message_scratch_;
+  std::vector<sim::Message> halo_messages_;  ///< plan channels, for begin
   sim::Cluster* cluster_ = nullptr;
+  bool overlap_ = false;
   sim::RegionId region_flux_ = -1;
   sim::RegionId region_halo_ = -1;
   sim::RegionId region_reduce_ = -1;

@@ -60,6 +60,13 @@ class Instance final : public sim::App {
   /// Mean owned cells per rank (for reporting).
   double mean_owned() const;
 
+  /// Split-phase halo overlap (docs/communication.md): step() posts the
+  /// finest-level halo round first, charges each rank's interior-cell
+  /// share of the sweep compute inside the window, then finishes the
+  /// exchange and charges the boundary share. Totals match the
+  /// synchronous schedule; only placement differs.
+  void set_overlap(bool on) override { overlap_ = on; }
+
  private:
   struct RankLoad {
     std::int64_t owned = 0;
@@ -75,6 +82,7 @@ class Instance final : public sim::App {
   sim::RankRange ranks_;
   std::int64_t global_cells_ = 0;
   WorkModel work_;
+  bool overlap_ = false;
   std::vector<RankLoad> loads_;  ///< indexed by rank - ranks_.begin
 
   sim::RegionId region_flux_ = -1;

@@ -55,4 +55,38 @@ ScalingCurve fit_scaling(const AppFactory& factory,
   return ScalingCurve::fit(points);
 }
 
+OverlapVariants fit_overlap_variants(const AppFactory& factory,
+                                     const sim::MachineModel& machine,
+                                     std::span<const int> core_counts,
+                                     int steps) {
+  CPX_REQUIRE(!core_counts.empty(), "fit_overlap_variants: no core counts");
+  OverlapVariants variants;
+  for (const bool overlapped : {false, true}) {
+    std::vector<ScalingPoint> points;
+    points.reserve(core_counts.size());
+    for (int cores : core_counts) {
+      CPX_REQUIRE(cores >= 1,
+                  "fit_overlap_variants: bad core count " << cores);
+      sim::Cluster cluster(machine, cores);
+      const auto app = factory({0, cores});
+      app->set_overlap(overlapped);
+      points.push_back({static_cast<double>(cores),
+                        measure_step_seconds(*app, cluster, steps)});
+      if (overlapped && cores == core_counts.back()) {
+        const double hidden =
+            cluster.comm_hidden_seconds(app->ranks());
+        double charged = 0.0;
+        for (sim::Rank r = app->ranks().begin; r < app->ranks().end; ++r) {
+          charged += cluster.profile().rank_total(r).comm;
+        }
+        variants.hidden_fraction =
+            hidden + charged > 0.0 ? hidden / (hidden + charged) : 0.0;
+      }
+    }
+    (overlapped ? variants.overlapped : variants.synchronous) =
+        ScalingCurve::fit(points);
+  }
+  return variants;
+}
+
 }  // namespace cpx::perfmodel

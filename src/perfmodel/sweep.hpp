@@ -48,4 +48,29 @@ ScalingCurve fit_scaling(const AppFactory& factory,
                          const sim::MachineModel& machine,
                          std::span<const int> core_counts, int steps = 3);
 
+/// Paired fits of the same app with split-phase overlap off and on
+/// (sim::App::set_overlap), so the capacity planner can predict the
+/// parallel-efficiency gain of overlapping per scenario instead of
+/// extrapolating it (docs/CALIBRATION.md).
+struct OverlapVariants {
+  ScalingCurve synchronous;
+  ScalingCurve overlapped;
+  /// Hidden / (hidden + charged) comm seconds at the largest measured
+  /// core count — how much of the synchronous wait the window absorbed.
+  double hidden_fraction = 0.0;
+
+  /// Modelled PE gain of overlapping at `cores`:
+  /// overlapped efficiency minus synchronous efficiency, both vs
+  /// `base_cores`.
+  double efficiency_gain_at(double cores, double base_cores) const {
+    return overlapped.efficiency_at(cores, base_cores) -
+           synchronous.efficiency_at(cores, base_cores);
+  }
+};
+
+OverlapVariants fit_overlap_variants(const AppFactory& factory,
+                                     const sim::MachineModel& machine,
+                                     std::span<const int> core_counts,
+                                     int steps = 3);
+
 }  // namespace cpx::perfmodel

@@ -26,6 +26,11 @@ class App {
   /// Bytes of boundary data this instance exposes per coupling exchange
   /// through one interface of `interface_cells` cells.
   virtual std::size_t interface_bytes(std::int64_t interface_cells) const;
+
+  /// Enables split-phase communication/computation overlap where the
+  /// instance supports it (docs/communication.md); default is a no-op for
+  /// instances with nothing to hide.
+  virtual void set_overlap(bool /*on*/) {}
 };
 
 }  // namespace cpx::sim

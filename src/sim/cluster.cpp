@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace cpx::sim {
 
@@ -15,7 +16,10 @@ Cluster::Cluster(const MachineModel& machine, int num_ranks)
       clocks_(static_cast<std::size_t>(num_ranks), 0.0),
       comm_bytes_(static_cast<std::size_t>(num_ranks), 0),
       comm_messages_(static_cast<std::size_t>(num_ranks), 0),
-      profile_(num_ranks) {
+      comm_hidden_(static_cast<std::size_t>(num_ranks), 0.0),
+      profile_(num_ranks),
+      sync_clock_scratch_(static_cast<std::size_t>(num_ranks), 0.0),
+      sync_epoch_(static_cast<std::size_t>(num_ranks), 0) {
   CPX_REQUIRE(num_ranks >= 1, "Cluster: need at least one rank");
   CPX_REQUIRE(machine.cores_per_node >= 1, "Cluster: bad cores_per_node");
 }
@@ -120,6 +124,33 @@ void Cluster::exchange(std::span<const Message> messages, RegionId region) {
   if (messages.empty()) {
     return;
   }
+  // A synchronous exchange is a split-phase one with an empty window:
+  // receivers wait immediately, so the hidden-time channel stays zero and
+  // the charging is identical to the historical three-pass implementation.
+  exchange_finish(exchange_begin(messages, region));
+}
+
+int Cluster::exchange_begin(std::span<const Message> messages,
+                            RegionId region) {
+  // Reuse a finished slot; growing happens only while the set of
+  // concurrently in-flight exchanges is still being discovered.
+  int slot = -1;
+  for (std::size_t i = 0; i < pending_exchanges_.size(); ++i) {
+    if (!pending_exchanges_[i].active) {
+      slot = static_cast<int>(i);
+      break;
+    }
+  }
+  if (slot < 0) {
+    pending_exchanges_.emplace_back();
+    slot = static_cast<int>(pending_exchanges_.size()) - 1;
+  }
+  PendingExchange& pe = pending_exchanges_[static_cast<std::size_t>(slot)];
+  pe.active = true;
+  pe.region = region;
+  pe.messages.clear();
+  pe.begin_clocks.clear();
+
   // Pass 1: count sending ranks per node for injection-bandwidth sharing.
   senders_per_node_.assign(static_cast<std::size_t>(num_nodes_), 0);
   // A rank may send several messages; count distinct inter-node senders
@@ -134,10 +165,9 @@ void Cluster::exchange(std::span<const Message> messages, RegionId region) {
   }
 
   // Pass 2: compute send completion times (serialise per-sender overheads)
-  // and arrivals.
-  arrival_scratch_.assign(messages.size(), 0.0);
-  for (std::size_t i = 0; i < messages.size(); ++i) {
-    const Message& m = messages[i];
+  // and arrivals. Arrivals are fixed here — compute issued between begin
+  // and finish cannot make the wire faster.
+  for (const Message& m : messages) {
     const bool same_node = node_of(m.src) == node_of(m.dst);
     // Sender pays the per-message software overhead; multiple messages from
     // one rank serialise naturally because we advance its clock in place.
@@ -154,17 +184,118 @@ void Cluster::exchange(std::span<const Message> messages, RegionId region) {
           machine_.node_injection_bw / std::max(1, concurrent);
       bw = std::min(bw, nic_share);
     }
-    arrival_scratch_[i] = src_clock + machine_.latency(same_node) +
-                          static_cast<double>(m.bytes) / bw;
+    pe.messages.push_back({m.dst, src_clock + machine_.latency(same_node) +
+                                      static_cast<double>(m.bytes) / bw});
   }
 
-  // Pass 3: receivers pay a per-message overhead and wait for arrivals.
-  for (std::size_t i = 0; i < messages.size(); ++i) {
-    const Message& m = messages[i];
-    bump_to(m.dst, arrival_scratch_[i], region);
-    clocks_[static_cast<std::size_t>(m.dst)] += machine_.msg_overhead;
-    profile_.add_comm(m.dst, region, machine_.msg_overhead);
+  // Snapshot every destination's clock after all senders have been
+  // charged: the synchronous counterfactual would start waiting here.
+  for (const PendingMessage& pm : pe.messages) {
+    pe.begin_clocks.push_back(clocks_[static_cast<std::size_t>(pm.dst)]);
   }
+  return slot;
+}
+
+void Cluster::exchange_finish(int exchange) {
+  CPX_REQUIRE(exchange >= 0 &&
+                  static_cast<std::size_t>(exchange) <
+                      pending_exchanges_.size() &&
+              pending_exchanges_[static_cast<std::size_t>(exchange)].active,
+              "exchange_finish: no exchange in flight with handle "
+                  << exchange);
+  PendingExchange& pe =
+      pending_exchanges_[static_cast<std::size_t>(exchange)];
+  ++finish_epoch_;
+
+  // Pass A (before any bump): open the per-destination counterfactual
+  // clocks and measure the overlap window (compute done since begin).
+  double window_total = 0.0;
+  for (std::size_t i = 0; i < pe.messages.size(); ++i) {
+    const auto dst = static_cast<std::size_t>(pe.messages[i].dst);
+    if (sync_epoch_[dst] != finish_epoch_) {
+      sync_epoch_[dst] = finish_epoch_;
+      sync_clock_scratch_[dst] = pe.begin_clocks[i];
+      window_total += clocks_[dst] - pe.begin_clocks[i];
+    }
+  }
+
+  // Pass B: receivers pay a per-message overhead and wait for arrivals —
+  // but only for the part of each flight their window did not cover. The
+  // counterfactual replay advances from the begin snapshot with the exact
+  // synchronous recurrence, so hidden time is sync wait minus real wait.
+  double hidden_total = 0.0;
+  for (const PendingMessage& pm : pe.messages) {
+    const auto dst = static_cast<std::size_t>(pm.dst);
+    double& sync_clock = sync_clock_scratch_[dst];
+    const double sync_wait = std::max(0.0, pm.arrival - sync_clock);
+    const double real_wait = std::max(0.0, pm.arrival - clocks_[dst]);
+    sync_clock = std::max(sync_clock, pm.arrival) + machine_.msg_overhead;
+    const double hidden = std::max(0.0, sync_wait - real_wait);
+    comm_hidden_[dst] += hidden;
+    hidden_total += hidden;
+
+    bump_to(pm.dst, pm.arrival, pe.region);
+    clocks_[dst] += machine_.msg_overhead;
+    profile_.add_comm(pm.dst, pe.region, machine_.msg_overhead);
+  }
+
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add(
+        "comm/overlap_window_ns",
+        static_cast<std::int64_t>(window_total * 1e9));
+    support::metrics::counter_add(
+        "comm/overlap_hidden_ns",
+        static_cast<std::int64_t>(hidden_total * 1e9));
+  }
+  pe.active = false;  // storage kept for reuse
+}
+
+void Cluster::send_overlapped(Rank src, Rank dst, std::size_t bytes,
+                              double recv_posted_clock, RegionId region) {
+  CPX_DCHECK(src >= 0 && src < num_ranks_);
+  CPX_DCHECK(dst >= 0 && dst < num_ranks_);
+  const bool same_node = node_of(src) == node_of(dst);
+  double& src_clock = clocks_[static_cast<std::size_t>(src)];
+  src_clock += machine_.msg_overhead;
+  profile_.add_comm(src, region, machine_.msg_overhead);
+  account_traffic(src, bytes);
+  const double arrival = src_clock + machine_.wire_time(bytes, same_node);
+
+  // Receiver credited with having posted at recv_posted_clock: compute
+  // charged since then (the overlap window) hides the flight; only the
+  // remaining wait is real, the rest is the hidden-time channel.
+  double& dst_clock = clocks_[static_cast<std::size_t>(dst)];
+  const double window = std::max(0.0, dst_clock - recv_posted_clock);
+  const double sync_wait = std::max(0.0, arrival - recv_posted_clock);
+  const double real_wait = std::max(0.0, arrival - dst_clock);
+  const double hidden = std::max(0.0, sync_wait - real_wait);
+  comm_hidden_[static_cast<std::size_t>(dst)] += hidden;
+
+  bump_to(dst, arrival, region);
+  dst_clock += machine_.msg_overhead;
+  profile_.add_comm(dst, region, machine_.msg_overhead);
+
+  if (support::metrics::enabled()) {
+    support::metrics::counter_add(
+        "comm/overlap_window_ns", static_cast<std::int64_t>(window * 1e9));
+    support::metrics::counter_add(
+        "comm/overlap_hidden_ns", static_cast<std::int64_t>(hidden * 1e9));
+  }
+}
+
+double Cluster::comm_hidden_seconds(Rank rank) const {
+  CPX_DCHECK(rank >= 0 && rank < num_ranks_);
+  return comm_hidden_[static_cast<std::size_t>(rank)];
+}
+
+double Cluster::comm_hidden_seconds(RankRange range) const {
+  CPX_REQUIRE(range.begin >= 0 && range.end <= num_ranks_ && range.size() > 0,
+              "Cluster: bad rank range");
+  double total = 0.0;
+  for (Rank r = range.begin; r < range.end; ++r) {
+    total += comm_hidden_[static_cast<std::size_t>(r)];
+  }
+  return total;
 }
 
 void Cluster::send(Rank src, Rank dst, std::size_t bytes, RegionId region) {
@@ -289,6 +420,10 @@ void Cluster::reset() {
   std::fill(clocks_.begin(), clocks_.end(), 0.0);
   std::fill(comm_bytes_.begin(), comm_bytes_.end(), 0);
   std::fill(comm_messages_.begin(), comm_messages_.end(), 0);
+  std::fill(comm_hidden_.begin(), comm_hidden_.end(), 0.0);
+  for (PendingExchange& pe : pending_exchanges_) {
+    pe.active = false;
+  }
   profile_.reset();
   if (trace_ != nullptr) {
     trace_->clear();

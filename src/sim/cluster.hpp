@@ -83,6 +83,34 @@ class Cluster {
   /// Single eager message (use for pipelines / coupler hand-offs).
   void send(Rank src, Rank dst, std::size_t bytes, RegionId region);
 
+  // --- Split-phase overlap (docs/communication.md) ---
+  /// Posts a bulk exchange without receiving it: senders pay their
+  /// per-message overheads and arrival times are fixed now (so compute
+  /// issued after begin cannot speed the wire up), but receivers keep
+  /// running. Returns a handle for exchange_finish(). Several exchanges
+  /// may be in flight; handles are reused after finish, so the warm path
+  /// allocates nothing.
+  int exchange_begin(std::span<const Message> messages, RegionId region);
+  /// Receives a posted exchange: each destination waits only for the
+  /// arrivals its concurrent compute did not already cover. The comm time
+  /// a synchronous exchange() would have charged but this one did not is
+  /// accumulated per destination rank in comm_hidden_seconds() (and, when
+  /// host metrics are enabled, the "comm/overlap_hidden_ns" /
+  /// "comm/overlap_window_ns" counters).
+  void exchange_finish(int exchange);
+  /// Overlapped eager message: like send(), but the receiver is credited
+  /// with having posted its receive at `recv_posted_clock` (its clock when
+  /// the overlap window opened); compute charged since then hides the
+  /// flight. Used by the pipelined Thomas carry.
+  void send_overlapped(Rank src, Rank dst, std::size_t bytes,
+                       double recv_posted_clock, RegionId region);
+
+  /// Virtual comm seconds hidden behind concurrent compute on `rank` —
+  /// the honesty channel of the overlap model: clock(r) + nothing, but
+  /// the synchronous counterfactual would have charged this much more.
+  double comm_hidden_seconds(Rank rank) const;
+  double comm_hidden_seconds(RankRange range) const;
+
   // --- Collectives over a contiguous range ---
   void allreduce(RankRange range, std::size_t bytes, RegionId region);
   void barrier(RankRange range, RegionId region);
@@ -139,12 +167,32 @@ class Cluster {
   std::vector<double> clocks_;
   std::vector<std::size_t> comm_bytes_;
   std::vector<std::int64_t> comm_messages_;
+  std::vector<double> comm_hidden_;
   Profile profile_;
   std::unique_ptr<Trace> trace_;
 
   // Scratch reused across exchange() calls to avoid reallocations.
   std::vector<int> senders_per_node_;
   std::vector<double> arrival_scratch_;
+
+  // In-flight split-phase exchanges. Slots (and their message storage) are
+  // reused after exchange_finish so the warm path allocates nothing.
+  struct PendingMessage {
+    Rank dst = 0;
+    double arrival = 0.0;
+  };
+  struct PendingExchange {
+    bool active = false;
+    RegionId region = -1;
+    std::vector<PendingMessage> messages;
+    std::vector<double> begin_clocks;  ///< dst clock snapshot, per message
+  };
+  std::vector<PendingExchange> pending_exchanges_;
+  // Epoch-marked per-rank scratch for the synchronous counterfactual
+  // replay inside exchange_finish (no per-call clearing).
+  std::vector<double> sync_clock_scratch_;
+  std::vector<std::int64_t> sync_epoch_;
+  std::int64_t finish_epoch_ = 0;
 };
 
 }  // namespace cpx::sim

@@ -23,6 +23,24 @@ void flush_exchange(comm::Communicator& comm, Cluster& cluster,
   comm.clear_transfers();
 }
 
+int begin_exchange(comm::Communicator& comm, Cluster& cluster,
+                   RegionId region, Rank base_rank,
+                   std::vector<Message>& scratch) {
+  const std::span<const comm::Transfer> transfers = comm.transfers();
+  scratch.clear();
+  scratch.reserve(transfers.size());
+  for (const comm::Transfer& t : transfers) {
+    const Rank src = base_rank + t.src;
+    const Rank dst = base_rank + t.dst;
+    CPX_DCHECK(src >= 0 && src < cluster.num_ranks());
+    CPX_DCHECK(dst >= 0 && dst < cluster.num_ranks());
+    scratch.push_back({src, dst, t.bytes});
+  }
+  const int handle = cluster.exchange_begin(scratch, region);
+  comm.clear_transfers();
+  return handle;
+}
+
 void flush_sends(comm::Communicator& comm, Cluster& cluster,
                  RegionId region, Rank base_rank) {
   for (const comm::Transfer& t : comm.transfers()) {

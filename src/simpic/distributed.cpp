@@ -58,6 +58,18 @@ DistributedPic::DistributedPic(const PicOptions& options, int parts)
   ghost_from_left_.assign(p, 0.0);
   ghost_from_right_.assign(p, 0.0);
   migr_pack_.resize(p);
+  // Per-rank right-hand-side staging for the Thomas solve (rho * h^2 per
+  // unknown), sized once so the overlapped prep is allocation-free.
+  rhs_scratch_.resize(p);
+  for (int r = 0; r < parts; ++r) {
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    const std::int64_t lo = std::max<std::int64_t>(rs.node_begin + 1, 1);
+    const std::int64_t hi =
+        std::min<std::int64_t>(rs.node_end, options.cells - 1);
+    rhs_scratch_[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(std::max<std::int64_t>(hi - lo + 1, 0)),
+        0.0);
+  }
 }
 
 int DistributedPic::owner_of(double x) const {
@@ -192,34 +204,72 @@ void DistributedPic::solve_field() {
   for (int r = 0; r < parts; ++r) {
     RankState& rs = ranks_[static_cast<std::size_t>(r)];
     Elim& el = elim[static_cast<std::size_t>(r)];
+    const std::int64_t lo = std::max<std::int64_t>(rs.node_begin + 1, 1);
+    const std::int64_t hi = std::min<std::int64_t>(rs.node_end, n_nodes - 1);
+    const std::int64_t unknowns = std::max<std::int64_t>(hi - lo + 1, 0);
+
+    // Right-hand-side prep (rho * h^2 per unknown) needs no carry — it is
+    // the local work a rank can do while its left neighbour's carry is in
+    // flight. Exact code motion: the recurrence below consumes the same
+    // products it used to compute inline, so phi is bitwise unchanged.
+    std::vector<double>& rhs = rhs_scratch_[static_cast<std::size_t>(r)];
+    for (std::int64_t i = lo; i <= hi; ++i) {
+      rhs[static_cast<std::size_t>(i - lo)] =
+          rs.rho[static_cast<std::size_t>(i - rs.node_begin)] * h2;
+    }
+    const double prep_clock =
+        cluster_ != nullptr ? cluster_->clock(r) : 0.0;
+    sim::Work prep;
+    prep.flops = 2.0 * static_cast<double>(unknowns);
+    prep.bytes = 16.0 * static_cast<double>(unknowns);
+    if (cluster_ != nullptr && overlap_) {
+      // Overlap mode: prep is charged inside the carry's flight window.
+      cluster_->compute(r, prep, region_field_);
+    }
     if (r > 0) {
       comm_.irecv_span(r, r - 1, kTagElim, std::span<double>(carry));
       comm_.wait_all();
+      if (cluster_ != nullptr) {
+        if (overlap_) {
+          cluster_->send_overlapped(r - 1, r, 2 * sizeof(double),
+                                    prep_clock, region_field_);
+        } else {
+          cluster_->send(r - 1, r, 2 * sizeof(double), region_field_);
+        }
+      }
+    }
+    if (cluster_ != nullptr && !overlap_) {
+      // Synchronous mode: the same prep cost lands after the carry wait —
+      // both modes charge identical totals, placed differently.
+      cluster_->compute(r, prep, region_field_);
     }
     double c_prev = carry[0];
     double d_prev = carry[1];
     bool have_prev = r > 0;
-    const std::int64_t lo = std::max<std::int64_t>(rs.node_begin + 1, 1);
-    const std::int64_t hi = std::min<std::int64_t>(rs.node_end, n_nodes - 1);
     el.first = lo;
     for (std::int64_t i = lo; i <= hi; ++i) {
-      const double rho_i =
-          rs.rho[static_cast<std::size_t>(i - rs.node_begin)];
+      const double rhs_i = rhs[static_cast<std::size_t>(i - lo)];
       double ci;
       double di;
       if (!have_prev) {
         ci = -1.0 / 2.0;
-        di = rho_i * h2 / 2.0;
+        di = rhs_i / 2.0;
         have_prev = true;
       } else {
         const double denom = 2.0 + c_prev;
         ci = -1.0 / denom;
-        di = (rho_i * h2 + d_prev) / denom;
+        di = (rhs_i + d_prev) / denom;
       }
       el.c.push_back(ci);
       el.d.push_back(di);
       c_prev = ci;
       d_prev = di;
+    }
+    if (cluster_ != nullptr) {
+      sim::Work elim_work;
+      elim_work.flops = 8.0 * static_cast<double>(unknowns);
+      elim_work.bytes = 48.0 * static_cast<double>(unknowns);
+      cluster_->compute(r, elim_work, region_field_);
     }
     if (r + 1 < parts) {
       carry[0] = c_prev;
@@ -237,6 +287,9 @@ void DistributedPic::solve_field() {
     if (r + 1 < parts) {
       comm_.irecv_value(r, r + 1, kTagPhiBack, &phi_next);
       comm_.wait_all();
+      if (cluster_ != nullptr) {
+        cluster_->send(r + 1, r, sizeof(double), region_field_);
+      }
     }
     for (std::int64_t k = static_cast<std::int64_t>(el.c.size()) - 1;
          k >= 0; --k) {
@@ -258,17 +311,21 @@ void DistributedPic::solve_field() {
     if (rs.node_end == n_nodes) {
       rs.phi.back() = 0.0;
     }
+    if (cluster_ != nullptr) {
+      sim::Work back;
+      back.flops =
+          4.0 * static_cast<double>(el.c.size());
+      back.bytes =
+          24.0 * static_cast<double>(el.c.size());
+      cluster_->compute(r, back, region_field_);
+    }
     if (r > 0) {
       comm_.isend_value(r, r - 1, kTagPhiBack, phi_next);
     }
   }
-  if (cluster_ != nullptr) {
-    // Both pipeline directions in hop order — the same send sequence the
-    // hand-rolled solve used to charge.
-    sim::flush_sends(comm_, *cluster_, region_field_, 0);
-  } else {
-    comm_.clear_transfers();
-  }
+  // Pipeline hops are charged inline above (send / send_overlapped at
+  // each receive), so the recorded transfers are accounting duplicates.
+  comm_.clear_transfers();
 
   // Shared node phi values: the *left* rank computes the shared node (its
   // unknown range is (node_begin, node_end]); send to the right

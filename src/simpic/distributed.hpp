@@ -65,6 +65,16 @@ class DistributedPic {
   /// Optional performance co-simulation on ranks [0, num_parts).
   void attach_cluster(sim::Cluster* cluster);
 
+  /// Split-phase overlap of the Thomas pipeline (docs/communication.md):
+  /// each rank precomputes its right-hand side (rho * h^2 per unknown)
+  /// while the elimination carry from its left neighbour is in flight, so
+  /// the co-simulated cluster hides that prep time behind the hop
+  /// (Cluster::send_overlapped). Pure code motion on the host: the same
+  /// products feed the same recurrence, so the fields are bitwise
+  /// identical in both modes.
+  void set_overlap(bool on) { overlap_ = on; }
+  bool overlap() const { return overlap_; }
+
  private:
   struct RankState {
     // Node slice [node_begin, node_end] inclusive; interior ranks share
@@ -101,8 +111,10 @@ class DistributedPic {
   std::vector<double> ghost_from_left_;
   std::vector<double> ghost_from_right_;
   std::vector<std::vector<double>> migr_pack_;  ///< outgoing, by destination
+  std::vector<std::vector<double>> rhs_scratch_;  ///< per rank, per unknown
   std::vector<sim::Message> message_scratch_;
   std::int64_t last_migrations_ = 0;
+  bool overlap_ = false;
   sim::Cluster* cluster_ = nullptr;
   sim::RegionId region_deposit_ = -1;
   sim::RegionId region_field_ = -1;

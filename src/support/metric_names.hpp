@@ -43,6 +43,8 @@ inline constexpr const char* kWorkflowPressurePhase =
 inline constexpr const char* kAmgPcgIterations = "amg/pcg_iterations";
 inline constexpr const char* kCommBytes = "comm/bytes";
 inline constexpr const char* kCommMessages = "comm/messages";
+inline constexpr const char* kCommOverlapHiddenNs = "comm/overlap_hidden_ns";
+inline constexpr const char* kCommOverlapWindowNs = "comm/overlap_window_ns";
 inline constexpr const char* kCommQueueWaitNs = "comm/queue_wait_ns";
 inline constexpr const char* kAmgResetupCount = "amg/resetup";
 inline constexpr const char* kAmgSolveCycles = "amg/solve_cycles";

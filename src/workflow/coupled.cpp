@@ -77,6 +77,15 @@ std::unique_ptr<sim::App> CoupledSimulation::make_app(
   CPX_CHECK_MSG(false, "make_app: unknown app kind");
 }
 
+void CoupledSimulation::set_overlap_enabled(bool enabled) {
+  for (const std::unique_ptr<sim::App>& app : apps_) {
+    app->set_overlap(enabled);
+  }
+  for (const std::unique_ptr<coupler::CouplerUnit>& cu : cus_) {
+    cu->set_overlap(enabled);
+  }
+}
+
 void CoupledSimulation::step_instance(int index) {
   const InstanceSpec& spec =
       case_.instances[static_cast<std::size_t>(index)];

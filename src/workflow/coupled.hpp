@@ -58,6 +58,12 @@ class CoupledSimulation {
   ///   overhead = (T_coupled - T_uncoupled) / T_coupled.
   void set_coupling_enabled(bool enabled) { coupling_enabled_ = enabled; }
 
+  /// Enables split-phase communication/computation overlap on every
+  /// instance and coupler unit that supports it (docs/communication.md).
+  /// The exchanged data is unchanged — only the cluster timing moves, so
+  /// on/off runs of the same case isolate the modelled overlap gain.
+  void set_overlap_enabled(bool enabled);
+
   /// Runtime of instance `index` run alone on a fresh cluster with the
   /// same rank count and the same number of density steps (the per-
   /// instance "actual" of Fig 8a / Fig 9a).

@@ -18,6 +18,8 @@
 #include "comm/exchange_plan.hpp"
 #include "mesh/mesh.hpp"
 #include "mgcfd/distributed.hpp"
+#include "sim/cluster.hpp"
+#include "sim/machine.hpp"
 #include "simpic/distributed.hpp"
 #include "support/check.hpp"
 #include "support/parallel.hpp"
@@ -287,6 +289,203 @@ TEST(ValidatePlan, AcceptsTheRingAndRejectsCorruptions) {
   }
 }
 
+TEST(SplitPhase, RoundTripMatchesExecuteAndCopiesSourcesEagerly) {
+  constexpr int kRanks = 4;
+  constexpr std::int64_t kSlots = 3;
+  auto make_data = [] {
+    std::vector<std::vector<double>> data(
+        kRanks, std::vector<double>(kSlots, 0.0));
+    for (int r = 0; r < kRanks; ++r) {
+      data[static_cast<std::size_t>(r)][0] = 100.0 + r;
+    }
+    return data;
+  };
+
+  auto sync_comm = comm::Communicator::world(kRanks);
+  auto sync_plan = ring_plan(kRanks, kSlots);
+  sync_plan.finalize(sizeof(double));
+  auto sync_data = make_data();
+  sync_plan.execute(sync_comm, [&](comm::Rank r) {
+    return std::as_writable_bytes(
+        std::span<double>(sync_data[static_cast<std::size_t>(r)]));
+  });
+
+  auto comm = comm::Communicator::world(kRanks);
+  auto plan = ring_plan(kRanks, kSlots);
+  plan.finalize(sizeof(double));
+  auto data = make_data();
+  const auto rank_data = [&](comm::Rank r) {
+    return std::as_writable_bytes(
+        std::span<double>(data[static_cast<std::size_t>(r)]));
+  };
+  EXPECT_FALSE(plan.in_flight());
+  plan.begin(comm, rank_data);
+  EXPECT_TRUE(plan.in_flight());
+  EXPECT_TRUE(plan.test());
+  // isend copied the payload at begin(): clobbering the source slots
+  // inside the window must not change what the neighbours receive.
+  for (int r = 0; r < kRanks; ++r) {
+    data[static_cast<std::size_t>(r)][0] = -1.0;
+  }
+  plan.finish(comm, rank_data);
+  EXPECT_FALSE(plan.in_flight());
+  for (int r = 0; r + 1 < kRanks; ++r) {
+    EXPECT_EQ(data[static_cast<std::size_t>(r + 1)][kSlots - 1],
+              sync_data[static_cast<std::size_t>(r + 1)][kSlots - 1]);
+    EXPECT_EQ(data[static_cast<std::size_t>(r + 1)][kSlots - 1], 100.0 + r);
+  }
+}
+
+TEST(SplitPhase, MisuseThrowsCheckError) {
+  auto comm = comm::Communicator::world(3);
+  auto plan = ring_plan(3, 2);
+  plan.finalize(sizeof(double));
+  std::vector<std::vector<double>> data(3, std::vector<double>(2, 0.0));
+  const auto rank_data = [&](comm::Rank r) {
+    return std::as_writable_bytes(
+        std::span<double>(data[static_cast<std::size_t>(r)]));
+  };
+  EXPECT_THROW(plan.finish(comm, rank_data), CheckError);  // idle finish
+  EXPECT_THROW(plan.test(), CheckError);                   // idle test
+  plan.begin(comm, rank_data);
+  EXPECT_THROW(plan.begin(comm, rank_data), CheckError);   // double begin
+  EXPECT_THROW(plan.execute(comm, rank_data), CheckError); // execute in window
+  plan.finish(comm, rank_data);
+  EXPECT_THROW(plan.finish(comm, rank_data), CheckError);  // double finish
+}
+
+TEST(SplitPhase, InterleavedPlansFinishInAnyOrder) {
+  // Two plans over one communicator with distinct tags, finished in the
+  // reverse order they were begun.
+  constexpr int kRanks = 3;
+  constexpr std::int64_t kSlots = 2;
+  auto comm = comm::Communicator::world(kRanks);
+  auto plan_a = ring_plan(kRanks, kSlots);
+  plan_a.finalize(sizeof(double));
+  auto plan_b = ring_plan(kRanks, kSlots);
+  plan_b.finalize(sizeof(double));
+
+  std::vector<std::vector<double>> data_a(kRanks,
+                                          std::vector<double>(kSlots, 0.0));
+  std::vector<std::vector<double>> data_b(kRanks,
+                                          std::vector<double>(kSlots, 0.0));
+  for (int r = 0; r < kRanks; ++r) {
+    data_a[static_cast<std::size_t>(r)][0] = 10.0 + r;
+    data_b[static_cast<std::size_t>(r)][0] = 20.0 + r;
+  }
+  const auto rank_a = [&](comm::Rank r) {
+    return std::as_writable_bytes(
+        std::span<double>(data_a[static_cast<std::size_t>(r)]));
+  };
+  const auto rank_b = [&](comm::Rank r) {
+    return std::as_writable_bytes(
+        std::span<double>(data_b[static_cast<std::size_t>(r)]));
+  };
+  plan_a.begin(comm, rank_a, /*tag=*/1);
+  plan_b.begin(comm, rank_b, /*tag=*/2);
+  plan_b.finish(comm, rank_b);
+  plan_a.finish(comm, rank_a);
+  for (int r = 0; r + 1 < kRanks; ++r) {
+    EXPECT_EQ(data_a[static_cast<std::size_t>(r + 1)][kSlots - 1], 10.0 + r);
+    EXPECT_EQ(data_b[static_cast<std::size_t>(r + 1)][kSlots - 1], 20.0 + r);
+  }
+}
+
+TEST(ValidateSplit, AcceptsCleanPartitionAndRejectsViolations) {
+  // Two ranks, 3 owned cells each plus one ghost slot (index 3) fed by the
+  // neighbour; cell 2 reads the ghost, cells 0-1 read owned neighbours.
+  comm::ExchangePlan plan;
+  plan.add_channel(0, 1, {0}, {3});
+  plan.add_channel(1, 0, {0}, {3});
+  plan.finalize(sizeof(double));
+  const std::vector<std::int32_t> interior = {0, 1};
+  const std::vector<std::int32_t> boundary = {2};
+  const std::vector<std::int32_t> offsets = {0, 1, 3, 5};
+  const std::vector<std::int32_t> stencil = {1, 0, 2, 1, 3};
+  EXPECT_NO_THROW(comm::validate_split(
+      plan, {0, 3, interior, boundary, offsets, stencil}));
+
+  {  // interior cell whose stencil reaches the ghost slot
+    const std::vector<std::int32_t> bad_interior = {0, 1, 2};
+    const std::vector<std::int32_t> none = {};
+    EXPECT_THROW(comm::validate_split(
+                     plan, {0, 3, bad_interior, none, offsets, stencil}),
+                 CheckError);
+  }
+  {  // a cell listed in both sets
+    const std::vector<std::int32_t> both = {1, 2};
+    EXPECT_THROW(comm::validate_split(
+                     plan, {0, 3, interior, both, offsets, stencil}),
+                 CheckError);
+  }
+  {  // a cell covered by neither set
+    const std::vector<std::int32_t> short_interior = {0};
+    EXPECT_THROW(comm::validate_split(
+                     plan, {0, 3, short_interior, boundary, offsets,
+                            stencil}),
+                 CheckError);
+  }
+  {  // boundary cell reading a ghost slot no channel fills
+    const std::vector<std::int32_t> far_stencil = {1, 0, 2, 1, 4};
+    EXPECT_THROW(comm::validate_split(
+                     plan, {0, 3, interior, boundary, offsets, far_stencil}),
+                 CheckError);
+  }
+}
+
+TEST(SplitPhase, ClusterFinishWithoutBeginThrows) {
+  sim::Cluster cluster(sim::MachineModel::archer2(), 4);
+  EXPECT_THROW(cluster.exchange_finish(0), CheckError);
+  const std::vector<sim::Message> msgs = {{0, 1, 1024}};
+  const int h = cluster.exchange_begin(msgs, cluster.region("t"));
+  cluster.exchange_finish(h);
+  EXPECT_THROW(cluster.exchange_finish(h), CheckError);
+}
+
+TEST(SplitPhase, ClusterBeginFinishWithEmptyWindowMatchesExchange) {
+  const auto machine = sim::MachineModel::archer2();
+  std::vector<sim::Message> msgs;
+  for (int r = 0; r < 8; ++r) {
+    msgs.push_back({r, (r + 1) % 8, 4096});
+  }
+  sim::Cluster sync(machine, 8);
+  sync.exchange(msgs, sync.region("x"));
+  sim::Cluster split(machine, 8);
+  const int h = split.exchange_begin(msgs, split.region("x"));
+  split.exchange_finish(h);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(split.clock(r), sync.clock(r));
+    EXPECT_EQ(split.comm_hidden_seconds(r), 0.0);
+    EXPECT_EQ(sync.comm_hidden_seconds(r), 0.0);
+  }
+}
+
+TEST(SplitPhase, ComputeInWindowHidesCommHonestly) {
+  // One message 0 -> 1; receiver computes inside the window. The hidden
+  // channel must equal the synchronous wait minus the real wait, and the
+  // receiver's clock must never beat the synchronous schedule by more
+  // than the compute it genuinely issued.
+  const auto machine = sim::MachineModel::archer2();
+  const std::vector<sim::Message> msgs = {{0, 1, 1 << 20}};
+
+  sim::Cluster sync(machine, 2);
+  const auto region_s = sync.region("x");
+  sync.exchange(msgs, region_s);
+  const double sync_clock = sync.clock(1);
+
+  sim::Cluster split(machine, 2);
+  const auto region_p = split.region("x");
+  const int h = split.exchange_begin(msgs, region_p);
+  split.compute_seconds(1, 1.0e-4, region_p);
+  split.exchange_finish(h);
+  const double hidden = split.comm_hidden_seconds(1);
+  EXPECT_GT(hidden, 0.0);
+  // Overlapped receiver time = sync time + compute - hidden.
+  EXPECT_NEAR(split.clock(1), sync_clock + 1.0e-4 - hidden, 1e-12);
+  // The model never credits more hiding than the window had compute.
+  EXPECT_LE(hidden, 1.0e-4 + 1e-12);
+}
+
 TEST(CommRegression, DistributedMgcfdBitwiseAcrossThreadCounts) {
   const mesh::UnstructuredMesh m = mesh::make_box_mesh(6, 6, 6);
   expect_bitwise_across_thread_counts([&m] {
@@ -317,6 +516,78 @@ TEST(CommRegression, DistributedPicBitwiseAcrossThreadCounts) {
     flat.insert(flat.end(), rho.begin(), rho.end());
     flat.insert(flat.end(), pos.begin(), pos.end());
     return flat;
+  });
+}
+
+TEST(CommRegression, OverlappedMgcfdBitwiseMatchesSynchronous) {
+  const mesh::UnstructuredMesh m = mesh::make_box_mesh(6, 6, 6);
+  const auto machine = sim::MachineModel::archer2();
+  // Overlapped solve, repeated at every thread count, must match the
+  // synchronous solve bitwise — the interior/boundary split changes only
+  // when work happens, never what it computes.
+  expect_bitwise_across_thread_counts([&] {
+    mgcfd::EulerOptions opt;
+
+    mgcfd::DistributedSolver sync(m, 4, opt);
+    sim::Cluster sync_cluster(machine, 4);
+    sync.attach_cluster(&sync_cluster);
+    sync.set_cell(0, {1.2, 0.1, 0.0, 0.0, 2.8});
+    sync.run(5);
+
+    mgcfd::DistributedSolver over(m, 4, opt);
+    sim::Cluster over_cluster(machine, 4);
+    over.attach_cluster(&over_cluster);
+    over.set_overlap(true);
+    over.set_cell(0, {1.2, 0.1, 0.0, 0.0, 2.8});
+    over.run(5);
+
+    std::vector<double> sync_flat;
+    for (const mgcfd::State& s : sync.gather_solution()) {
+      sync_flat.insert(sync_flat.end(), s.begin(), s.end());
+    }
+    std::vector<double> over_flat;
+    for (const mgcfd::State& s : over.gather_solution()) {
+      over_flat.insert(over_flat.end(), s.begin(), s.end());
+    }
+    EXPECT_TRUE(bitwise_equal(sync_flat, over_flat));
+
+    // The synchronous path hides nothing; the overlapped path only hides
+    // (never invents) time: hidden >= 0 and the overlapped schedule is
+    // never slower than the synchronous one.
+    const sim::RankRange ranks{0, 4};
+    EXPECT_EQ(sync_cluster.comm_hidden_seconds(ranks), 0.0);
+    EXPECT_GE(over_cluster.comm_hidden_seconds(ranks), 0.0);
+    EXPECT_LE(over_cluster.max_clock(), sync_cluster.max_clock() + 1e-12);
+    return over_flat;
+  });
+}
+
+TEST(CommRegression, OverlappedPicBitwiseMatchesSynchronous) {
+  const auto machine = sim::MachineModel::archer2();
+  expect_bitwise_across_thread_counts([&] {
+    simpic::PicOptions opt;
+    opt.cells = 64;
+    opt.boundary = simpic::Boundary::kAbsorbing;
+    opt.dt = 0.1;
+
+    auto run_one = [&](bool overlap) {
+      simpic::DistributedPic dist(opt, 4);
+      sim::Cluster cluster(machine, 4);
+      dist.attach_cluster(&cluster);
+      dist.set_overlap(overlap);
+      dist.load_uniform(10, 0.3, 0.05);
+      dist.run(10);
+      std::vector<double> flat = dist.gather_phi();
+      const std::vector<double> rho = dist.gather_rho();
+      const std::vector<double> pos = dist.gather_positions();
+      flat.insert(flat.end(), rho.begin(), rho.end());
+      flat.insert(flat.end(), pos.begin(), pos.end());
+      return flat;
+    };
+    const std::vector<double> sync_flat = run_one(false);
+    std::vector<double> over_flat = run_one(true);
+    EXPECT_TRUE(bitwise_equal(sync_flat, over_flat));
+    return over_flat;
   });
 }
 

@@ -19,6 +19,10 @@
 
 #include "amg/hierarchy.hpp"
 #include "amg/pcg.hpp"
+#include "comm/communicator.hpp"
+#include "comm/exchange_plan.hpp"
+#include "sim/cluster.hpp"
+#include "sim/machine.hpp"
 #include "sparse/generators.hpp"
 #include "support/rng.hpp"
 
@@ -165,6 +169,67 @@ TEST(SolverAllocations, WAndKCyclesAllocateNothingAfterSetup) {
                           << (kind == CycleKind::kW ? "W" : "K") << " made "
                           << allocs << " heap allocations";
   }
+}
+
+TEST(SolverAllocations, WarmSplitPhaseExchangeAllocatesNothing) {
+  constexpr int kRanks = 8;
+  constexpr std::int32_t kSlots = 6;
+  auto comm = cpx::comm::Communicator::world(kRanks);
+  cpx::comm::ExchangePlan plan;
+  for (int r = 0; r < kRanks; ++r) {
+    // Bidirectional ring: two channels per rank pair.
+    const int next = (r + 1) % kRanks;
+    plan.add_channel(r, next, {0, 1}, {kSlots - 2, kSlots - 1});
+    plan.add_channel(next, r, {2, 3}, {kSlots - 4, kSlots - 3});
+  }
+  plan.finalize(sizeof(double));
+  std::vector<std::vector<double>> data(
+      kRanks, std::vector<double>(kSlots, 1.0));
+  const auto rank_data = [&](cpx::comm::Rank r) {
+    return std::as_writable_bytes(
+        std::span<double>(data[static_cast<std::size_t>(r)]));
+  };
+
+  // Warm-up: sizes the plan staging buffers, the communicator's buffer
+  // pool, and the transfer log's capacity.
+  plan.execute(comm, rank_data);
+  comm.clear_transfers();
+  plan.begin(comm, rank_data);
+  plan.finish(comm, rank_data);
+  comm.clear_transfers();
+
+  const std::size_t allocs = allocations_during([&] {
+    for (int i = 0; i < 16; ++i) {
+      plan.begin(comm, rank_data);
+      plan.finish(comm, rank_data);
+      comm.clear_transfers();
+    }
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "warm split-phase exchange made " << allocs << " heap allocations";
+}
+
+TEST(SolverAllocations, WarmClusterOverlapWindowAllocatesNothing) {
+  cpx::sim::Cluster cluster(cpx::sim::MachineModel::archer2(), 16);
+  const auto region = cluster.region("overlap");
+  std::vector<cpx::sim::Message> msgs;
+  for (int r = 0; r < 16; ++r) {
+    msgs.push_back({r, (r + 5) % 16, 4096});
+  }
+
+  // Warm-up: sizes the pending-exchange slot and its message storage.
+  cluster.exchange_finish(cluster.exchange_begin(msgs, region));
+
+  const std::size_t allocs = allocations_during([&] {
+    for (int i = 0; i < 16; ++i) {
+      const int h = cluster.exchange_begin(msgs, region);
+      cluster.compute_seconds(0, 1e-6, region);
+      cluster.exchange_finish(h);
+      cluster.send_overlapped(0, 1, 64, cluster.clock(1), region);
+    }
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "warm overlap window made " << allocs << " heap allocations";
 }
 
 }  // namespace

@@ -38,6 +38,14 @@ raw-comm             No raw neighbour-copy loops outside src/comm/: indexing
                      between ranks by hand. Rank-to-rank data movement goes
                      through comm::Communicator / ExchangePlan
                      (docs/communication.md).
+split-phase          Every ExchangePlan::begin(...) call outside src/comm/
+                     must reach a matching finish() on all control paths in
+                     the same scope: no `return`/`throw` and no ghost-slot
+                     access (any `ghost*` identifier) between the two — the
+                     window is a data race on slots the plan fills. A call
+                     of the form `x.begin(args...)` (non-empty argument
+                     list, which container begin() never has) is treated as
+                     a split-phase begin.
 
 Suppression
 -----------
@@ -103,6 +111,11 @@ RAW_COMM_RE = re.compile(
     r"\b(?:ranks_|parts_)\s*\["
     r"[^\]]*(?:\+|-|\bneighbor\w*\b|\bpartner\b|\bto\b)[^\]]*\]"
 )
+SPLIT_BEGIN_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*begin\s*\(\s*[^\s)]")
+SPLIT_FINISH_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*finish\s*\(")
+SPLIT_LEAVE_RE = re.compile(r"^\s*(?:return\b|throw\b)", re.MULTILINE)
+SPLIT_SCOPE_END_RE = re.compile(r"^\}", re.MULTILINE)
+SPLIT_GHOST_RE = re.compile(r"\bghost\w*")
 METRIC_USE_RE = re.compile(
     r"(?:CPX_METRICS_SCOPE(?:_COMM)?|counter_add)\s*\(\s*\"([^\"]+)\"",
     re.DOTALL,
@@ -225,6 +238,62 @@ class Linter:
                             path, line_no, "deterministic-kernels",
                             f"iteration over unordered container `{var}`; "
                             "order is not deterministic")
+
+        self.lint_split_phase(path, rel, code, raw_lines)
+
+    def lint_split_phase(self, path: Path, rel: str, code: str,
+                         raw_lines: list[str]) -> None:
+        """Pairs ExchangePlan begin()/finish() and polices the window."""
+        if rel.startswith("src/comm/"):
+            return  # the implementation itself
+        events = [(m.start(), "begin", m.group(1))
+                  for m in SPLIT_BEGIN_RE.finditer(code)]
+        if not events:
+            return
+        events += [(m.start(), "finish", m.group(1))
+                   for m in SPLIT_FINISH_RE.finditer(code)]
+        events += [(m.start(), "leave", m.group(0).strip())
+                   for m in SPLIT_LEAVE_RE.finditer(code)]
+        events += [(m.start(), "scope_end", "")
+                   for m in SPLIT_SCOPE_END_RE.finditer(code)]
+        events += [(m.start(), "ghost", m.group(0))
+                   for m in SPLIT_GHOST_RE.finditer(code)]
+        events.sort()
+
+        open_plans: dict[str, int] = {}  # name -> begin line
+        for pos, kind, what in events:
+            line_no = code.count("\n", 0, pos) + 1
+            allowed = self.allows(raw_lines, line_no - 1)
+            if kind == "begin":
+                if "split-phase" not in allowed:
+                    open_plans[what] = line_no
+            elif kind == "finish":
+                open_plans.pop(what, None)
+            elif not open_plans:
+                continue
+            elif "split-phase" in allowed:
+                continue
+            elif kind == "leave":
+                names = ", ".join(sorted(open_plans))
+                self.report(
+                    path, line_no, "split-phase",
+                    f"`{what}` leaves the begin()/finish() window of "
+                    f"`{names}`; every control path must finish a begun "
+                    "exchange")
+            elif kind == "ghost":
+                names = ", ".join(sorted(open_plans))
+                self.report(
+                    path, line_no, "split-phase",
+                    f"`{what}` read inside the begin()/finish() window of "
+                    f"`{names}`; slots the plan fills are not valid until "
+                    "finish()")
+            else:  # scope_end
+                for name, begin_line in sorted(open_plans.items()):
+                    self.report(
+                        path, begin_line, "split-phase",
+                        f"`{name}.begin(...)` has no matching finish() "
+                        "before the end of its scope")
+                open_plans.clear()
 
     def lint_metrics_registry(self, files: list[Path]) -> None:
         if not REGISTRY.is_file():
