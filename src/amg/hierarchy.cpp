@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/snapshot.hpp"
 #include "support/blas1.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
@@ -296,6 +297,41 @@ void AmgHierarchy::reset_values(const sparse::CsrMatrix& a) {
   if (check::deep()) {
     validate();
   }
+}
+
+void AmgHierarchy::serialize(ckpt::Writer& w) const {
+  const sparse::CsrMatrix& fine = levels_.front().a;
+  w.begin_section("amg/hierarchy");
+  w.put_u32(static_cast<std::uint32_t>(num_levels()));
+  w.put_i64(fine.rows());
+  w.put_i64(fine.nnz());
+  w.put_f64_span(fine.values());
+  w.end_section();
+}
+
+void AmgHierarchy::restore(ckpt::Reader& r) {
+  r.open_section("amg/hierarchy");
+  const auto levels = static_cast<int>(r.get_u32());
+  const std::int64_t rows = r.get_i64();
+  const std::int64_t nnz = r.get_i64();
+  const sparse::CsrMatrix& fine = levels_.front().a;
+  CPX_CHECK_MSG(levels == num_levels() && rows == fine.rows() &&
+                    nnz == fine.nnz(),
+                "AmgHierarchy::restore: snapshot was taken from a different "
+                "hierarchy (" << levels << " levels, " << rows << "x" << nnz
+                              << " fine operator)");
+  std::vector<double> values;
+  r.get_f64_vec(values);
+  CPX_CHECK_MSG(static_cast<std::int64_t>(values.size()) == nnz,
+                "AmgHierarchy::restore: fine values truncated");
+  r.end_section();
+  // Replay the numeric-only re-setup: coarse operators, transfer values,
+  // and the coarse factor are deterministic functions of the fine values,
+  // so this reproduces the checkpointed hierarchy bitwise.
+  sparse::CsrMatrix a(fine.rows(), fine.cols(), fine.row_offsets(),
+                      fine.col_indices(), std::move(values),
+                      sparse::Trusted{});
+  reset_values(a);
 }
 
 const Level& AmgHierarchy::level(int l) const {

@@ -16,6 +16,11 @@
 #include "amg/smoothers.hpp"
 #include "sparse/csr.hpp"
 
+namespace cpx::ckpt {
+class Writer;
+class Reader;
+}  // namespace cpx::ckpt
+
 namespace cpx::amg {
 
 enum class CycleKind { kV, kW, kK };
@@ -90,12 +95,21 @@ class AmgHierarchy {
   /// reset_values when check::deep() is on.
   void validate() const;
 
+  /// Snapshot section "amg/hierarchy" (docs/checkpoint.md): the fine-level
+  /// operator values only. The sparsity, aggregation, transfer operators,
+  /// and coarse factor are deterministic functions of the fine matrix, so
+  /// restore validates the stored shape against this hierarchy and replays
+  /// the reset_values() numeric path — cheaper and smaller than persisting
+  /// every level, and bitwise identical by the reset_values contract.
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
  private:
   void cycle_at(int level, std::span<double> x, std::span<const double> b);
   void coarse_solve(std::span<double> x, std::span<const double> b);
   void factor_coarse();
 
-  AmgOptions options_;
+  AmgOptions options_;  ///< construction config // cpx-lint: allow(ckpt)
   std::vector<Level> levels_;
 
   // Cached setup state for reset_values: everything needed to re-run the
@@ -113,14 +127,15 @@ class AmgHierarchy {
     sparse::SpgemmPlan rap_plan;   ///< R × AP → coarse A
     bool p_frozen = false;  ///< truncation on: P/R/S values stay fixed
   };
-  std::vector<Resetup> resetup_;
+  // Refreshed by the reset_values() replay on restore.
+  std::vector<Resetup> resetup_;  // cpx-lint: allow(ckpt)
 
   // Dense Cholesky factor of the coarsest operator (row-major lower), plus
   // the dense staging/solve buffers kept across re-factorisations.
-  std::vector<double> coarse_factor_;
-  std::vector<double> coarse_dense_;
-  std::vector<double> coarse_y_;
-  std::int64_t coarse_n_ = 0;
+  std::vector<double> coarse_factor_;  // cpx-lint: allow(ckpt)
+  std::vector<double> coarse_dense_;   // cpx-lint: allow(ckpt)
+  std::vector<double> coarse_y_;       // cpx-lint: allow(ckpt)
+  std::int64_t coarse_n_ = 0;          // cpx-lint: allow(ckpt)
 
   // Per-level scratch vectors (residual, correction, smoother scratch, and
   // the coarse-sized W-/K-cycle work vectors), sized once at setup so the
@@ -135,7 +150,7 @@ class AmgHierarchy {
     std::vector<double> kp;
     std::vector<double> kap;
   };
-  std::vector<Scratch> scratch_;
+  std::vector<Scratch> scratch_;  // cpx-lint: allow(ckpt)
 };
 
 }  // namespace cpx::amg

@@ -1,10 +1,13 @@
 #include "cpx/field_coupler.hpp"
 
+#include <bit>
 #include <cmath>
 
+#include "ckpt/snapshot.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/rng.hpp"
 
 namespace cpx::coupler {
 namespace {
@@ -110,6 +113,66 @@ void FieldCoupler::transfer(std::span<const double> donor_field,
     remap();
   }
   apply_stencils(stencils_, donor_field, target_field);
+}
+
+std::uint64_t FieldCoupler::stencil_hash() const {
+  std::uint64_t h = 0x637068'636f7570ULL;  // arbitrary nonzero start
+  for (const Stencil& s : stencils_) {
+    for (std::size_t i = 0; i < s.donors.size(); ++i) {
+      h = hash_mix(h, static_cast<std::uint64_t>(s.donors[i]),
+                   std::bit_cast<std::uint64_t>(s.weights[i]));
+    }
+    h = hash_mix(h, s.donors.size());
+  }
+  return h;
+}
+
+void FieldCoupler::serialize(ckpt::Writer& w) const {
+  w.begin_section("coupler/field");
+  w.put_u64(donors_.size());
+  w.put_u64(targets_.size());
+  w.put_u8(kind_ == InterfaceKind::kSlidingPlane ? 1 : 0);
+  w.put_u32(static_cast<std::uint32_t>(stencil_size_));
+  w.put_f64(rotation_);
+  w.put_f64(mapped_rotation_);
+  w.put_u32(static_cast<std::uint32_t>(remap_count_));
+  w.put_u64(stencil_hash());
+  w.end_section();
+}
+
+void FieldCoupler::restore(ckpt::Reader& r) {
+  r.open_section("coupler/field");
+  const std::uint64_t donors = r.get_u64();
+  const std::uint64_t targets = r.get_u64();
+  const InterfaceKind kind = r.get_u8() != 0 ? InterfaceKind::kSlidingPlane
+                                             : InterfaceKind::kSteadyState;
+  const auto stencil_size = static_cast<int>(r.get_u32());
+  CPX_CHECK_MSG(donors == donors_.size() && targets == targets_.size() &&
+                    kind == kind_ && stencil_size == stencil_size_,
+                "FieldCoupler::restore: snapshot was taken from a different "
+                "interface");
+  const double rotation = r.get_f64();
+  const double mapped_rotation = r.get_f64();
+  const auto remaps = static_cast<int>(r.get_u32());
+  const std::uint64_t expected_hash = r.get_u64();
+  r.end_section();
+
+  // The stencils themselves are not in the snapshot: they are a pure
+  // function of the (fixed) geometry and the rotation at the last remap,
+  // so rebuild them at that rotation and check the digest — a cheap
+  // validation-on-load that the geometry this coupler was constructed
+  // with matches the checkpointed run.
+  stencils_.clear();
+  if (remaps > 0) {
+    rotation_ = mapped_rotation;
+    remap();
+  }
+  rotation_ = rotation;
+  mapped_rotation_ = mapped_rotation;
+  remap_count_ = remaps;
+  CPX_CHECK_MSG(stencil_hash() == expected_hash,
+                "FieldCoupler::restore: rebuilt stencils disagree with the "
+                "checkpointed mapping (geometry mismatch?)");
 }
 
 }  // namespace cpx::coupler

@@ -14,6 +14,11 @@
 #include "cpx/unit.hpp"
 #include "mesh/mesh.hpp"
 
+namespace cpx::ckpt {
+class Writer;
+class Reader;
+}  // namespace cpx::ckpt
+
 namespace cpx::coupler {
 
 /// Cells of `mesh` whose centroid lies within `tolerance` of the axial
@@ -51,16 +56,29 @@ class FieldCoupler {
   /// transfer for steady interfaces, once per moved transfer for sliding.
   int remap_count() const { return remap_count_; }
 
+  /// Order-sensitive 64-bit digest of the current stencils (donor ids and
+  /// weight bit patterns). The snapshot stores it instead of the stencils
+  /// themselves; restore rebuilds the mapping and validates against it.
+  std::uint64_t stencil_hash() const;
+
+  /// Snapshot section "coupler/field" (docs/checkpoint.md): rotation
+  /// state, remap counter, and the stencil digest. The stencils are a
+  /// deterministic function of the geometry and the last-mapped rotation,
+  /// so restore rebuilds them and throws CheckError if the digest of the
+  /// rebuilt mapping disagrees with the stored one.
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
  private:
   void remap();
 
-  std::vector<mesh::Vec3> donors_;
-  std::vector<mesh::Vec3> targets_;
+  std::vector<mesh::Vec3> donors_;       // geometry // cpx-lint: allow(ckpt)
+  std::vector<mesh::Vec3> targets_;      // geometry // cpx-lint: allow(ckpt)
   InterfaceKind kind_;
   int stencil_size_;
   double rotation_ = 0.0;
   double mapped_rotation_ = -1.0;  ///< rotation at last remap (-1 = never)
-  std::vector<Stencil> stencils_;
+  std::vector<Stencil> stencils_;  ///< rebuilt // cpx-lint: allow(ckpt)
   int remap_count_ = 0;
 };
 

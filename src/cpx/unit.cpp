@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/snapshot.hpp"
 #include "sim/comm_bridge.hpp"
 #include "support/check.hpp"
 
@@ -110,6 +111,25 @@ void CouplerUnit::exchange(sim::Cluster& cluster) {
   half_exchange(cluster, side_a_, side_b_, remap);
   half_exchange(cluster, side_b_, side_a_, /*remap=*/false);
   mapped_ = true;
+}
+
+void CouplerUnit::serialize(ckpt::Writer& w) const {
+  w.begin_section("coupler/unit/" + name_);
+  w.put_str(name_);
+  w.put_u8(mapped_ ? 1 : 0);
+  w.put_u8(overlap_ ? 1 : 0);
+  w.end_section();
+}
+
+void CouplerUnit::restore(ckpt::Reader& r) {
+  r.open_section("coupler/unit/" + name_);
+  const std::string name = r.get_str();
+  CPX_CHECK_MSG(name == name_,
+                "CouplerUnit::restore: section holds unit '"
+                    << name << "', expected '" << name_ << "'");
+  mapped_ = r.get_u8() != 0;
+  overlap_ = r.get_u8() != 0;
+  r.end_section();
 }
 
 }  // namespace cpx::coupler

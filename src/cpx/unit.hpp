@@ -25,6 +25,11 @@
 #include "comm/communicator.hpp"
 #include "sim/app.hpp"
 
+namespace cpx::ckpt {
+class Writer;
+class Reader;
+}  // namespace cpx::ckpt
+
 namespace cpx::coupler {
 
 enum class InterfaceKind {
@@ -76,6 +81,13 @@ class CouplerUnit {
   void set_overlap(bool on) { overlap_ = on; }
   bool overlap() const { return overlap_; }
 
+  /// Snapshot section "coupler/unit/<name>" (docs/checkpoint.md): the
+  /// steady-state mapped latch and the overlap flag — the only state a CU
+  /// carries between exchanges; communicator and regions are lazily
+  /// rebuilt. Restore validates the unit name and throws CheckError.
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
   /// Gather/scatter traffic this unit has posted (cluster-global rank
   /// space) — shared byte accounting with every other subsystem, see
   /// docs/communication.md. Zero until the first exchange().
@@ -89,18 +101,19 @@ class CouplerUnit {
                      bool remap);
 
   std::string name_;
-  UnitConfig config_;
-  sim::RankRange ranks_;
-  sim::App& side_a_;
-  sim::App& side_b_;
+  UnitConfig config_;   // construction config // cpx-lint: allow(ckpt)
+  sim::RankRange ranks_;  // from assignment // cpx-lint: allow(ckpt)
+  sim::App& side_a_;    // wiring // cpx-lint: allow(ckpt)
+  sim::App& side_b_;    // wiring // cpx-lint: allow(ckpt)
   bool mapped_ = false;
   bool overlap_ = false;
-  comm::Communicator comm_;  ///< cluster-global; sized on first exchange
+  // Lazily rebuilt on the first post-restore exchange.
+  comm::Communicator comm_;  // cpx-lint: allow(ckpt)
 
-  sim::RegionId region_gather_ = -1;
-  sim::RegionId region_map_ = -1;
-  sim::RegionId region_scatter_ = -1;
-  std::vector<sim::Message> message_scratch_;
+  sim::RegionId region_gather_ = -1;   // cpx-lint: allow(ckpt)
+  sim::RegionId region_map_ = -1;      // cpx-lint: allow(ckpt)
+  sim::RegionId region_scatter_ = -1;  // cpx-lint: allow(ckpt)
+  std::vector<sim::Message> message_scratch_;  // cpx-lint: allow(ckpt)
 };
 
 }  // namespace cpx::coupler

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <span>
 
+#include "ckpt/snapshot.hpp"
 #include "sim/comm_bridge.hpp"
 #include "support/check.hpp"
 
@@ -433,6 +434,49 @@ std::vector<State> DistributedSolver::gather_solution() const {
     }
   }
   return out;
+}
+
+void DistributedSolver::serialize(ckpt::Writer& w) const {
+  w.begin_section("mgcfd/distributed");
+  w.put_i64(global_cells_);
+  w.put_u32(static_cast<std::uint32_t>(num_parts()));
+  w.put_u8(overlap_ ? 1 : 0);
+  for (const PartState& ps : parts_) {
+    // Owned + ghost states, flattened: 5 doubles per cell slot. The ghost
+    // tail is included so a restored solver can step without a priming
+    // halo exchange, matching the in-memory state exactly.
+    w.put_u64(static_cast<std::uint64_t>(ps.u.size()));
+    for (const State& u : ps.u) {
+      for (const double c : u) {
+        w.put_f64(c);
+      }
+    }
+  }
+  w.end_section();
+}
+
+void DistributedSolver::restore(ckpt::Reader& r) {
+  r.open_section("mgcfd/distributed");
+  const std::int64_t cells = r.get_i64();
+  const auto parts = static_cast<int>(r.get_u32());
+  CPX_CHECK_MSG(cells == global_cells_ && parts == num_parts(),
+                "DistributedSolver::restore: snapshot was taken with a "
+                "different decomposition ("
+                    << cells << " cells / " << parts << " parts, expected "
+                    << global_cells_ << " / " << num_parts() << ")");
+  overlap_ = r.get_u8() != 0;
+  for (PartState& ps : parts_) {
+    const std::uint64_t slots = r.get_u64();
+    CPX_CHECK_MSG(slots == ps.u.size(),
+                  "DistributedSolver::restore: part state has "
+                      << slots << " cell slots, expected " << ps.u.size());
+    for (State& u : ps.u) {
+      for (double& c : u) {
+        c = r.get_f64();
+      }
+    }
+  }
+  r.end_section();
 }
 
 }  // namespace cpx::mgcfd

@@ -27,6 +27,11 @@
 #include "mgcfd/euler.hpp"
 #include "sim/cluster.hpp"
 
+namespace cpx::ckpt {
+class Writer;
+class Reader;
+}  // namespace cpx::ckpt
+
 namespace cpx::mgcfd {
 
 class DistributedSolver {
@@ -82,6 +87,14 @@ class DistributedSolver {
   void set_overlap(bool on) { overlap_ = on; }
   bool overlap() const { return overlap_; }
 
+  /// Snapshot section "mgcfd/distributed" (docs/checkpoint.md): per-part
+  /// solution states including the halo ghost slots, so a restored solver
+  /// can step without a priming exchange. Partitioning, exchange plan, and
+  /// kernel scratch are rebuilt by the constructor; restore validates the
+  /// decomposition shape and throws CheckError on mismatch or corruption.
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
  private:
   struct PartState {
     mesh::LocalMesh local;
@@ -108,21 +121,24 @@ class DistributedSolver {
                          std::span<const std::int32_t> cells) const;
   double finalize_part(PartState& ps);
 
-  EulerOptions options_;
+  // Everything below except parts_[].u and overlap_ is rebuilt by the
+  // constructor from (mesh, parts, options); the snapshot stores only the
+  // states plus enough shape to validate the decomposition matches.
+  EulerOptions options_;     // validated on restore // cpx-lint: allow(ckpt)
   std::int64_t global_cells_ = 0;
-  std::vector<int> part_of_;           ///< global cell -> part
-  std::vector<std::int32_t> local_of_;  ///< global cell -> owned local index
+  std::vector<int> part_of_;            // cpx-lint: allow(ckpt)
+  std::vector<std::int32_t> local_of_;  // cpx-lint: allow(ckpt)
   std::vector<PartState> parts_;
-  comm::Communicator comm_;
-  comm::ExchangePlan halo_plan_;
-  std::vector<double> norm_partials_;      ///< one residual partial per rank
-  std::vector<sim::Message> message_scratch_;
-  std::vector<sim::Message> halo_messages_;  ///< plan channels, for begin
-  sim::Cluster* cluster_ = nullptr;
+  comm::Communicator comm_;             // cpx-lint: allow(ckpt)
+  comm::ExchangePlan halo_plan_;        // cpx-lint: allow(ckpt)
+  std::vector<double> norm_partials_;   // cpx-lint: allow(ckpt)
+  std::vector<sim::Message> message_scratch_;  // cpx-lint: allow(ckpt)
+  std::vector<sim::Message> halo_messages_;    // cpx-lint: allow(ckpt)
+  sim::Cluster* cluster_ = nullptr;     // cpx-lint: allow(ckpt)
   bool overlap_ = false;
-  sim::RegionId region_flux_ = -1;
-  sim::RegionId region_halo_ = -1;
-  sim::RegionId region_reduce_ = -1;
+  sim::RegionId region_flux_ = -1;      // cpx-lint: allow(ckpt)
+  sim::RegionId region_halo_ = -1;      // cpx-lint: allow(ckpt)
+  sim::RegionId region_reduce_ = -1;    // cpx-lint: allow(ckpt)
 };
 
 }  // namespace cpx::mgcfd

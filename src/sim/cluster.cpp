@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/snapshot.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 
@@ -69,6 +70,7 @@ void Cluster::compute(Rank rank, const Work& work, RegionId region) {
 void Cluster::compute_seconds(Rank rank, double seconds, RegionId region) {
   CPX_DCHECK(rank >= 0 && rank < num_ranks_);
   CPX_DCHECK(seconds >= 0.0);
+  maybe_fail(rank);
   double& clock_ref = clocks_[static_cast<std::size_t>(rank)];
   record(rank, region, TraceKind::kCompute, clock_ref, clock_ref + seconds);
   clock_ref += seconds;
@@ -168,6 +170,7 @@ int Cluster::exchange_begin(std::span<const Message> messages,
   // and arrivals. Arrivals are fixed here — compute issued between begin
   // and finish cannot make the wire faster.
   for (const Message& m : messages) {
+    maybe_fail(m.src);
     const bool same_node = node_of(m.src) == node_of(m.dst);
     // Sender pays the per-message software overhead; multiple messages from
     // one rank serialise naturally because we advance its clock in place.
@@ -254,6 +257,7 @@ void Cluster::send_overlapped(Rank src, Rank dst, std::size_t bytes,
                               double recv_posted_clock, RegionId region) {
   CPX_DCHECK(src >= 0 && src < num_ranks_);
   CPX_DCHECK(dst >= 0 && dst < num_ranks_);
+  maybe_fail(src);
   const bool same_node = node_of(src) == node_of(dst);
   double& src_clock = clocks_[static_cast<std::size_t>(src)];
   src_clock += machine_.msg_overhead;
@@ -301,6 +305,7 @@ double Cluster::comm_hidden_seconds(RankRange range) const {
 void Cluster::send(Rank src, Rank dst, std::size_t bytes, RegionId region) {
   CPX_DCHECK(src >= 0 && src < num_ranks_);
   CPX_DCHECK(dst >= 0 && dst < num_ranks_);
+  maybe_fail(src);
   const bool same_node = node_of(src) == node_of(dst);
   double& src_clock = clocks_[static_cast<std::size_t>(src)];
   src_clock += machine_.msg_overhead;
@@ -417,6 +422,14 @@ void Cluster::comm_delay(Rank rank, double seconds, RegionId region) {
 }
 
 void Cluster::reset() {
+  reset_clocks();
+  profile_.reset();
+  if (trace_ != nullptr) {
+    trace_->clear();
+  }
+}
+
+void Cluster::reset_clocks() {
   std::fill(clocks_.begin(), clocks_.end(), 0.0);
   std::fill(comm_bytes_.begin(), comm_bytes_.end(), 0);
   std::fill(comm_messages_.begin(), comm_messages_.end(), 0);
@@ -424,9 +437,63 @@ void Cluster::reset() {
   for (PendingExchange& pe : pending_exchanges_) {
     pe.active = false;
   }
-  profile_.reset();
-  if (trace_ != nullptr) {
-    trace_->clear();
+  current_step_ = 0;
+}
+
+void Cluster::inject_failure(Rank rank, int step) {
+  CPX_REQUIRE(rank >= 0 && rank < num_ranks_,
+              "inject_failure: bad rank " << rank);
+  CPX_REQUIRE(step >= 0, "inject_failure: bad step " << step);
+  failed_rank_ = rank;
+  failure_step_ = step;
+}
+
+void Cluster::clear_failure() {
+  failed_rank_ = -1;
+  failure_step_ = 0;
+}
+
+void Cluster::serialize(ckpt::Writer& w) const {
+  for (const PendingExchange& pe : pending_exchanges_) {
+    CPX_REQUIRE(!pe.active,
+                "Cluster::serialize: split-phase exchange still in flight");
+  }
+  w.begin_section("sim/cluster");
+  w.put_u32(static_cast<std::uint32_t>(num_ranks_));
+  w.put_u32(static_cast<std::uint32_t>(current_step_));
+  w.put_f64_span(clocks_);
+  for (const std::size_t b : comm_bytes_) {
+    w.put_u64(static_cast<std::uint64_t>(b));
+  }
+  w.put_i64_span(comm_messages_);
+  w.put_f64_span(comm_hidden_);
+  w.end_section();
+  profile_.serialize(w);
+}
+
+void Cluster::restore(ckpt::Reader& r) {
+  r.open_section("sim/cluster");
+  const auto ranks = static_cast<int>(r.get_u32());
+  CPX_CHECK_MSG(ranks == num_ranks_,
+                "Cluster::restore: snapshot holds " << ranks
+                                                    << " ranks, expected "
+                                                    << num_ranks_);
+  current_step_ = static_cast<int>(r.get_u32());
+  r.get_f64_vec(clocks_);
+  CPX_CHECK_MSG(static_cast<int>(clocks_.size()) == num_ranks_,
+                "Cluster::restore: clock array truncated");
+  for (std::size_t& b : comm_bytes_) {
+    b = static_cast<std::size_t>(r.get_u64());
+  }
+  r.get_i64_vec(comm_messages_);
+  r.get_f64_vec(comm_hidden_);
+  CPX_CHECK_MSG(static_cast<int>(comm_messages_.size()) == num_ranks_ &&
+                    static_cast<int>(comm_hidden_.size()) == num_ranks_,
+                "Cluster::restore: traffic arrays truncated");
+  r.end_section();
+  profile_.restore(r);
+  for (PendingExchange& pe : pending_exchanges_) {
+    pe.active = false;
   }
 }
 

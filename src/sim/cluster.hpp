@@ -24,12 +24,19 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/machine.hpp"
 #include "sim/profile.hpp"
 #include "sim/trace.hpp"
+
+namespace cpx::ckpt {
+class Writer;
+class Reader;
+}  // namespace cpx::ckpt
 
 namespace cpx::sim {
 
@@ -48,6 +55,26 @@ struct Message {
   Rank src = 0;
   Rank dst = 0;
   std::size_t bytes = 0;
+};
+
+/// Thrown when a fault-injected rank reaches its failure step and then
+/// touches the cluster (compute or communication): the simulated process
+/// died, so the simulation object driving it must be discarded and rebuilt
+/// from the last snapshot (docs/checkpoint.md).
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(Rank rank, int step)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " failed at step " + std::to_string(step)),
+        rank_(rank),
+        step_(step) {}
+
+  Rank rank() const { return rank_; }
+  int step() const { return step_; }
+
+ private:
+  Rank rank_;
+  int step_;
 };
 
 class Cluster {
@@ -146,6 +173,36 @@ class Cluster {
   /// Zeroes every clock and the profile (region ids survive).
   void reset();
 
+  /// Zeroes the per-rank clocks, traffic counters, hidden-comm totals, and
+  /// any split-phase windows still open — but NOT the profile. This is the
+  /// between-scenario reset for benchmarks that warm up, reset, then
+  /// measure: reusing one cluster across scenarios without it used to
+  /// leak the warm-up clocks and comm_hidden_seconds into the measured
+  /// averages. Call profile().reset() as well when the measured quantity
+  /// is read from the profile.
+  void reset_clocks();
+
+  // --- Fault injection (docs/checkpoint.md) ---
+  /// Arms a failure: once begin_step() reaches `step`, any compute or
+  /// send issued by `rank` throws RankFailure. Models an MPI process
+  /// dying mid-step; the workflow catches it, discards the dead
+  /// simulation, and restores from the last snapshot.
+  void inject_failure(Rank rank, int step);
+  void clear_failure();
+  bool failure_armed() const { return failed_rank_ >= 0; }
+
+  /// Marks the start of workflow step `step` (drives the failure trigger).
+  void begin_step(int step) { current_step_ = step; }
+  int current_step() const { return current_step_; }
+
+  /// Snapshot section "sim/cluster" (docs/checkpoint.md): per-rank clocks,
+  /// traffic counters, hidden-comm totals, the step counter, and the
+  /// nested profile. Requires no split-phase exchange in flight (an open
+  /// window is mid-step state that cannot be resumed). Restore validates
+  /// the rank count and throws CheckError on mismatch or corruption.
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
   /// Enables timeline recording (see sim/trace.hpp). Call before running;
   /// reset() clears recorded events but keeps tracing enabled.
   void enable_tracing(std::size_t max_events = 1 << 20);
@@ -158,9 +215,17 @@ class Cluster {
   void record(Rank rank, RegionId region, TraceKind kind, double start,
               double end);
 
-  MachineModel machine_;
+  /// Throws RankFailure when `rank` is armed and past its failure step.
+  void maybe_fail(Rank rank) const {
+    if (failed_rank_ >= 0 && rank == failed_rank_ &&
+        current_step_ >= failure_step_) {
+      throw RankFailure(rank, current_step_);
+    }
+  }
+
+  MachineModel machine_;  ///< construction config // cpx-lint: allow(ckpt)
   int num_ranks_;
-  int num_nodes_;
+  int num_nodes_;  ///< derived from machine_ // cpx-lint: allow(ckpt)
   void account_traffic(Rank src, std::size_t bytes,
                        std::int64_t messages = 1);
 
@@ -169,11 +234,17 @@ class Cluster {
   std::vector<std::int64_t> comm_messages_;
   std::vector<double> comm_hidden_;
   Profile profile_;
-  std::unique_ptr<Trace> trace_;
+  std::unique_ptr<Trace> trace_;  ///< diagnostic // cpx-lint: allow(ckpt)
+
+  // Fault-injection trigger (not state of the simulated machine: a
+  // restored run re-arms explicitly if it wants another failure).
+  Rank failed_rank_ = -1;   // cpx-lint: allow(ckpt)
+  int failure_step_ = 0;    // cpx-lint: allow(ckpt)
+  int current_step_ = 0;
 
   // Scratch reused across exchange() calls to avoid reallocations.
-  std::vector<int> senders_per_node_;
-  std::vector<double> arrival_scratch_;
+  std::vector<int> senders_per_node_;    // cpx-lint: allow(ckpt)
+  std::vector<double> arrival_scratch_;  // cpx-lint: allow(ckpt)
 
   // In-flight split-phase exchanges. Slots (and their message storage) are
   // reused after exchange_finish so the warm path allocates nothing.
@@ -190,9 +261,9 @@ class Cluster {
   std::vector<PendingExchange> pending_exchanges_;
   // Epoch-marked per-rank scratch for the synchronous counterfactual
   // replay inside exchange_finish (no per-call clearing).
-  std::vector<double> sync_clock_scratch_;
-  std::vector<std::int64_t> sync_epoch_;
-  std::int64_t finish_epoch_ = 0;
+  std::vector<double> sync_clock_scratch_;  // cpx-lint: allow(ckpt)
+  std::vector<std::int64_t> sync_epoch_;    // cpx-lint: allow(ckpt)
+  std::int64_t finish_epoch_ = 0;           // cpx-lint: allow(ckpt)
 };
 
 }  // namespace cpx::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/snapshot.hpp"
 #include "support/check.hpp"
 
 namespace cpx::sim {
@@ -109,6 +110,54 @@ void Profile::reset() {
   for (auto& v : comm_) {
     std::fill(v.begin(), v.end(), 0.0);
   }
+}
+
+void Profile::serialize(ckpt::Writer& w) const {
+  w.begin_section("sim/profile");
+  w.put_u32(static_cast<std::uint32_t>(num_ranks_));
+  w.put_u32(static_cast<std::uint32_t>(names_.size()));
+  for (std::size_t g = 0; g < names_.size(); ++g) {
+    w.put_str(names_[g]);
+    w.put_f64_span(compute_[g]);
+    w.put_f64_span(comm_[g]);
+  }
+  w.end_section();
+}
+
+void Profile::restore(ckpt::Reader& r) {
+  r.open_section("sim/profile");
+  const auto ranks = static_cast<int>(r.get_u32());
+  CPX_CHECK_MSG(ranks == num_ranks_,
+                "Profile::restore: snapshot holds " << ranks
+                                                    << " ranks, expected "
+                                                    << num_ranks_);
+  const std::uint32_t regions = r.get_u32();
+  for (std::uint32_t g = 0; g < regions; ++g) {
+    const std::string name = r.get_str();
+    // Re-intern in stored (id) order: ids handed out before the snapshot
+    // stay valid. A clash means this profile interned regions in a
+    // different order than the checkpointed run — not resumable.
+    const RegionId id = region(name);
+    CPX_CHECK_MSG(static_cast<std::uint32_t>(id) == g,
+                  "Profile::restore: region '"
+                      << name << "' resolves to id " << id
+                      << ", snapshot expects " << g);
+    r.get_f64_vec(compute_[static_cast<std::size_t>(id)]);
+    r.get_f64_vec(comm_[static_cast<std::size_t>(id)]);
+    CPX_CHECK_MSG(
+        static_cast<int>(compute_[static_cast<std::size_t>(id)].size()) ==
+                num_ranks_ &&
+            static_cast<int>(comm_[static_cast<std::size_t>(id)].size()) ==
+                num_ranks_,
+        "Profile::restore: region '" << name << "' arrays truncated");
+  }
+  // Regions interned after the checkpoint (ids >= the stored count) keep
+  // their storage but are zeroed: the checkpointed run never saw them.
+  for (std::size_t g = regions; g < names_.size(); ++g) {
+    std::fill(compute_[g].begin(), compute_[g].end(), 0.0);
+    std::fill(comm_[g].begin(), comm_[g].end(), 0.0);
+  }
+  r.end_section();
 }
 
 }  // namespace cpx::sim

@@ -11,6 +11,11 @@
 #include <string_view>
 #include <vector>
 
+namespace cpx::ckpt {
+class Writer;
+class Reader;
+}  // namespace cpx::ckpt
+
 namespace cpx::sim {
 
 using Rank = int;
@@ -62,6 +67,15 @@ class Profile {
   /// Clears all accumulated time (region ids survive).
   void reset();
 
+  /// Snapshot section "sim/profile" (docs/checkpoint.md): region names in
+  /// id order plus the per-region per-rank compute/comm arrays. Restore
+  /// re-interns the stored names in that order, so region ids handed out
+  /// before the snapshot stay valid afterwards; a name that would land on
+  /// a different id (the restoring profile interned regions in another
+  /// order) throws CheckError.
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
  private:
   void ensure_region_storage(RegionId region);
 
@@ -70,7 +84,7 @@ class Profile {
   // Name -> id index (heterogeneous lookup, so region() takes no copy on
   // the hot hit path). Ids stay the order of first interning — names_ is
   // the id-ordered source of truth, the map only accelerates lookup.
-  std::map<std::string, RegionId, std::less<>> index_;
+  std::map<std::string, RegionId, std::less<>> index_;  // cpx-lint: allow(ckpt)
   // Indexed [region][rank]; grown lazily as regions are interned.
   std::vector<std::vector<double>> compute_;
   std::vector<std::vector<double>> comm_;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <span>
 
+#include "ckpt/snapshot.hpp"
 #include "sim/comm_bridge.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -27,7 +28,7 @@ enum Tag : int {
 }  // namespace
 
 DistributedPic::DistributedPic(const PicOptions& options, int parts)
-    : options_(options) {
+    : options_(options), rng_(options.seed) {
   CPX_REQUIRE(parts >= 1, "DistributedPic: bad part count");
   CPX_REQUIRE(options.cells >= parts,
               "DistributedPic: fewer cells than parts");
@@ -93,7 +94,6 @@ void DistributedPic::load_uniform(int per_cell, double v_thermal,
   // RNG stream and order), routing each particle to its owner, so the
   // distributed initial condition matches the sequential one bit-for-bit.
   const std::int64_t total = options_.cells * per_cell;
-  Rng rng(options_.seed);
   const double weight = -options_.length / static_cast<double>(total);
   constexpr double kTwoPi = 6.28318530717958647692;
   for (std::int64_t i = 0; i < total; ++i) {
@@ -102,7 +102,7 @@ void DistributedPic::load_uniform(int per_cell, double v_thermal,
     const double dx_pert = perturbation * options_.length / kTwoPi *
                            std::sin(kTwoPi * x0 / options_.length);
     const double x = std::clamp(x0 + dx_pert, 0.0, options_.length);
-    const double v = v_thermal > 0.0 ? rng.normal(0.0, v_thermal) : 0.0;
+    const double v = v_thermal > 0.0 ? rng_.normal(0.0, v_thermal) : 0.0;
     RankState& rs = ranks_[static_cast<std::size_t>(owner_of(x))];
     rs.x.push_back(x);
     rs.v.push_back(v);
@@ -569,6 +569,63 @@ void DistributedPic::attach_cluster(sim::Cluster* cluster) {
     region_push_ = cluster_->region("dist_simpic/push");
     region_migrate_ = cluster_->region("dist_simpic/migrate");
   }
+}
+
+void DistributedPic::serialize(ckpt::Writer& w) const {
+  w.begin_section("simpic/distributed");
+  w.put_i64(options_.cells);
+  w.put_f64(options_.length);
+  w.put_f64(options_.dt);
+  w.put_u64(options_.seed);
+  w.put_u32(static_cast<std::uint32_t>(num_parts()));
+  w.put_u64(rng_.counter());
+  w.put_f64(background_);
+  w.put_i64(last_migrations_);
+  w.put_u8(overlap_ ? 1 : 0);
+  for (const RankState& rs : ranks_) {
+    w.put_f64_span(rs.x);
+    w.put_f64_span(rs.v);
+    w.put_f64_span(rs.w);
+    w.put_f64_span(rs.rho);
+    w.put_f64_span(rs.phi);
+    w.put_f64_span(rs.e);
+  }
+  w.end_section();
+}
+
+void DistributedPic::restore(ckpt::Reader& r) {
+  r.open_section("simpic/distributed");
+  const std::int64_t cells = r.get_i64();
+  const double length = r.get_f64();
+  const double dt = r.get_f64();
+  const std::uint64_t seed = r.get_u64();
+  const auto parts = static_cast<int>(r.get_u32());
+  CPX_CHECK_MSG(cells == options_.cells && length == options_.length &&
+                    dt == options_.dt && seed == options_.seed &&
+                    parts == num_parts(),
+                "DistributedPic::restore: snapshot was taken with a "
+                "different decomposition");
+  rng_.restore_state(seed, r.get_u64());
+  background_ = r.get_f64();
+  last_migrations_ = r.get_i64();
+  overlap_ = r.get_u8() != 0;
+  for (RankState& rs : ranks_) {
+    r.get_f64_vec(rs.x);
+    r.get_f64_vec(rs.v);
+    r.get_f64_vec(rs.w);
+    CPX_CHECK_MSG(rs.v.size() == rs.x.size() && rs.w.size() == rs.x.size(),
+                  "DistributedPic::restore: particle arrays out of sync");
+    const auto nodes =
+        static_cast<std::size_t>(rs.node_end - rs.node_begin + 1);
+    r.get_f64_vec(rs.rho);
+    r.get_f64_vec(rs.phi);
+    r.get_f64_vec(rs.e);
+    CPX_CHECK_MSG(rs.rho.size() == nodes && rs.phi.size() == nodes &&
+                      rs.e.size() == nodes,
+                  "DistributedPic::restore: grid arrays not sized to the "
+                  "local node slice");
+  }
+  r.end_section();
 }
 
 }  // namespace cpx::simpic

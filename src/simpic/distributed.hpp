@@ -25,6 +25,11 @@
 #include "sim/cluster.hpp"
 #include "simpic/pic.hpp"
 
+namespace cpx::ckpt {
+class Writer;
+class Reader;
+}  // namespace cpx::ckpt
+
 namespace cpx::simpic {
 
 class DistributedPic {
@@ -75,6 +80,17 @@ class DistributedPic {
   void set_overlap(bool on) { overlap_ = on; }
   bool overlap() const { return overlap_; }
 
+  /// The persisted RNG stream position (mirrors Pic::rng_counter).
+  std::uint64_t rng_counter() const { return rng_.counter(); }
+
+  /// Snapshot section "simpic/distributed" (docs/checkpoint.md): per-rank
+  /// particle and field arrays, the ion background, the migration counter,
+  /// and the RNG stream position. The decomposition, communicator, and all
+  /// exchange scratch are rebuilt by the constructor, so restore only
+  /// validates them. Throws CheckError on option mismatch or corruption.
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
  private:
   struct RankState {
     // Node slice [node_begin, node_end] inclusive; interior ranks share
@@ -99,27 +115,29 @@ class DistributedPic {
   void push_and_migrate();
 
   PicOptions options_;
-  double dx_;
+  double dx_;  ///< derived from options, rebuilt // cpx-lint: allow(ckpt)
   double background_ = 0.0;
+  CounterRng rng_;
   std::vector<RankState> ranks_;
-  comm::Communicator comm_;
+  comm::Communicator comm_;  ///< rebuilt by ctor // cpx-lint: allow(ckpt)
   // Receive scratch, one slot per rank (sized once in the constructor so
-  // the steady-state exchange stays allocation-free).
-  std::vector<double> rho_from_left_;
-  std::vector<double> rho_from_right_;
-  std::vector<double> phi_shared_recv_;
-  std::vector<double> ghost_from_left_;
-  std::vector<double> ghost_from_right_;
-  std::vector<std::vector<double>> migr_pack_;  ///< outgoing, by destination
-  std::vector<std::vector<double>> rhs_scratch_;  ///< per rank, per unknown
-  std::vector<sim::Message> message_scratch_;
+  // the steady-state exchange stays allocation-free). Deliberately outside
+  // the snapshot: the constructor rebuilds it.
+  std::vector<double> rho_from_left_;    // cpx-lint: allow(ckpt)
+  std::vector<double> rho_from_right_;   // cpx-lint: allow(ckpt)
+  std::vector<double> phi_shared_recv_;  // cpx-lint: allow(ckpt)
+  std::vector<double> ghost_from_left_;  // cpx-lint: allow(ckpt)
+  std::vector<double> ghost_from_right_; // cpx-lint: allow(ckpt)
+  std::vector<std::vector<double>> migr_pack_;    // cpx-lint: allow(ckpt)
+  std::vector<std::vector<double>> rhs_scratch_;  // cpx-lint: allow(ckpt)
+  std::vector<sim::Message> message_scratch_;     // cpx-lint: allow(ckpt)
   std::int64_t last_migrations_ = 0;
   bool overlap_ = false;
-  sim::Cluster* cluster_ = nullptr;
-  sim::RegionId region_deposit_ = -1;
-  sim::RegionId region_field_ = -1;
-  sim::RegionId region_push_ = -1;
-  sim::RegionId region_migrate_ = -1;
+  sim::Cluster* cluster_ = nullptr;  // attached // cpx-lint: allow(ckpt)
+  sim::RegionId region_deposit_ = -1;  // cpx-lint: allow(ckpt)
+  sim::RegionId region_field_ = -1;    // cpx-lint: allow(ckpt)
+  sim::RegionId region_push_ = -1;     // cpx-lint: allow(ckpt)
+  sim::RegionId region_migrate_ = -1;  // cpx-lint: allow(ckpt)
 };
 
 }  // namespace cpx::simpic

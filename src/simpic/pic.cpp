@@ -4,6 +4,7 @@
 #include <cmath>
 #include <span>
 
+#include "ckpt/snapshot.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -16,7 +17,8 @@ constexpr std::int64_t kParticleGrain = 8192;  ///< particles per task
 
 }  // namespace
 
-Pic::Pic(const PicOptions& options) : options_(options) {
+Pic::Pic(const PicOptions& options)
+    : options_(options), rng_(options.seed) {
   CPX_REQUIRE(options.cells >= 2, "Pic: need at least 2 cells");
   CPX_REQUIRE(options.length > 0.0 && options.dt > 0.0, "Pic: bad geometry");
   dx_ = options.length / static_cast<double>(options.cells);
@@ -37,7 +39,6 @@ void Pic::load_uniform(int per_cell, double v_thermal, double perturbation) {
   v_.reserve(static_cast<std::size_t>(total));
   w_.reserve(static_cast<std::size_t>(total));
 
-  Rng rng(options_.seed);
   // Weight so that the mean electron density is 1 (omega_p = 1); electrons
   // carry negative charge, neutralised by a uniform ion background.
   const double weight =
@@ -54,7 +55,7 @@ void Pic::load_uniform(int per_cell, double v_thermal, double perturbation) {
     } else {
       x = std::clamp(x, 0.0, options_.length);
     }
-    const double v = v_thermal > 0.0 ? rng.normal(0.0, v_thermal) : 0.0;
+    const double v = v_thermal > 0.0 ? rng_.normal(0.0, v_thermal) : 0.0;
     add_particle(x, v, weight);
   }
   background_ = 1.0;  // uniform neutralising background of density 1
@@ -336,6 +337,57 @@ void validate_charge_conservation(std::span<const double> rho,
   CPX_CHECK_MSG(std::abs(grid_charge - total_weight) <= 1e-9 * scale,
                 "charge not conserved by deposit: grid holds "
                     << grid_charge << ", particles carry " << total_weight);
+}
+
+void Pic::serialize(ckpt::Writer& w) const {
+  w.begin_section("simpic/pic");
+  w.put_i64(options_.cells);
+  w.put_f64(options_.length);
+  w.put_f64(options_.dt);
+  w.put_u8(options_.boundary == Boundary::kPeriodic ? 0 : 1);
+  w.put_u64(options_.seed);
+  w.put_u64(rng_.counter());
+  w.put_f64(background_);
+  w.put_f64_span(x_);
+  w.put_f64_span(v_);
+  w.put_f64_span(w_);
+  w.put_f64_span(rho_);
+  w.put_f64_span(phi_);
+  w.put_f64_span(e_);
+  w.end_section();
+}
+
+void Pic::restore(ckpt::Reader& r) {
+  r.open_section("simpic/pic");
+  const std::int64_t cells = r.get_i64();
+  const double length = r.get_f64();
+  const double dt = r.get_f64();
+  const Boundary boundary =
+      r.get_u8() == 0 ? Boundary::kPeriodic : Boundary::kAbsorbing;
+  const std::uint64_t seed = r.get_u64();
+  CPX_CHECK_MSG(cells == options_.cells && length == options_.length &&
+                    dt == options_.dt && boundary == options_.boundary &&
+                    seed == options_.seed,
+                "Pic::restore: snapshot was taken with different options");
+  rng_.restore_state(seed, r.get_u64());
+  background_ = r.get_f64();
+  r.get_f64_vec(x_);
+  r.get_f64_vec(v_);
+  r.get_f64_vec(w_);
+  CPX_CHECK_MSG(v_.size() == x_.size() && w_.size() == x_.size(),
+                "Pic::restore: particle arrays out of sync in snapshot");
+  const auto nodes = static_cast<std::size_t>(num_nodes());
+  r.get_f64_vec(rho_);
+  r.get_f64_vec(phi_);
+  r.get_f64_vec(e_);
+  CPX_CHECK_MSG(rho_.size() == nodes && phi_.size() == nodes &&
+                    e_.size() == nodes,
+                "Pic::restore: grid arrays not sized to " << nodes
+                                                          << " nodes");
+  r.end_section();
+  if (check::deep()) {
+    validate();
+  }
 }
 
 void Pic::run(int steps) {

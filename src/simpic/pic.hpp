@@ -21,6 +21,13 @@
 #include <span>
 #include <vector>
 
+#include "support/rng.hpp"
+
+namespace cpx::ckpt {
+class Writer;
+class Reader;
+}  // namespace cpx::ckpt
+
 namespace cpx::simpic {
 
 enum class Boundary { kPeriodic, kAbsorbing };
@@ -86,6 +93,18 @@ class Pic {
   void solve_field();
   void push();
 
+  /// The persisted RNG stream position. The generator is counter-based
+  /// (support/rng.hpp): load_uniform draws advance it, and restoring the
+  /// (seed, counter) pair resumes the stream instead of replaying it.
+  std::uint64_t rng_counter() const { return rng_.counter(); }
+
+  /// Snapshot section "simpic/pic" (docs/checkpoint.md): particle arrays,
+  /// grid fields, ion background, and the RNG stream position. Restore
+  /// validates against this instance's options and throws CheckError on
+  /// mismatch or corruption.
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
   /// Solves -phi'' = rho with Dirichlet ends on an arbitrary rhs (used by
   /// the Poisson-accuracy tests). Grid spacing dx, n nodes.
   static std::vector<double> solve_poisson_dirichlet(
@@ -95,7 +114,8 @@ class Pic {
   double cell_of(double x) const;
 
   PicOptions options_;
-  double dx_;
+  double dx_;  ///< derived from options, rebuilt // cpx-lint: allow(ckpt)
+  CounterRng rng_;
 
   // Particle storage (structure-of-arrays, as in SIMPIC).
   std::vector<double> x_;
@@ -111,11 +131,12 @@ class Pic {
 
   // Scratch for the threaded deposit/push stages (docs/parallelism.md):
   // per-chunk charge partials combined in chunk order, and the pushed
-  // particle state before the order-preserving compaction.
-  std::vector<double> deposit_partials_;
-  std::vector<double> push_x_;
-  std::vector<double> push_v_;
-  std::vector<unsigned char> push_keep_;
+  // particle state before the order-preserving compaction. Resized per
+  // step, so the snapshot deliberately omits it.
+  std::vector<double> deposit_partials_;  // cpx-lint: allow(ckpt)
+  std::vector<double> push_x_;            // cpx-lint: allow(ckpt)
+  std::vector<double> push_v_;            // cpx-lint: allow(ckpt)
+  std::vector<unsigned char> push_keep_;  // cpx-lint: allow(ckpt)
 };
 
 /// Checks every position lies in [0, length] and is finite. Free function

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/snapshot.hpp"
 #include "support/check.hpp"
 
 namespace cpx::spray {
@@ -115,6 +116,32 @@ void Cloud::step() {
     last_migrations_ += std::abs(new_counts[r] - old_counts[r]);
   }
   last_migrations_ /= 2;
+}
+
+void Cloud::serialize(ckpt::Writer& w) const {
+  w.begin_section("spray/cloud");
+  w.put_u64(options_.seed);
+  w.put_i64(options_.num_particles);
+  w.put_i64(options_.num_ranks);
+  w.put_u64(rng_.counter());
+  w.put_i64(last_migrations_);
+  w.put_f64_span(x_);
+  w.end_section();
+}
+
+void Cloud::restore(ckpt::Reader& r) {
+  r.open_section("spray/cloud");
+  const std::uint64_t seed = r.get_u64();
+  const std::int64_t num_particles = r.get_i64();
+  const std::int64_t num_ranks = r.get_i64();
+  CPX_CHECK_MSG(seed == options_.seed &&
+                    num_particles == options_.num_particles &&
+                    num_ranks == options_.num_ranks,
+                "Cloud::restore: snapshot was taken with different options");
+  rng_.restore_state(seed, r.get_u64());
+  last_migrations_ = r.get_i64();
+  r.get_f64_vec(x_);
+  r.end_section();
 }
 
 double hot_block_fraction(double injector_length, int num_ranks) {

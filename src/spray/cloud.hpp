@@ -24,6 +24,11 @@
 
 #include "support/rng.hpp"
 
+namespace cpx::ckpt {
+class Writer;
+class Reader;
+}  // namespace cpx::ckpt
+
 namespace cpx::spray {
 
 enum class Strategy { kSpatial, kBalanced, kAsyncTask };
@@ -81,11 +86,22 @@ class Cloud {
   /// migration traffic of the spatial strategy).
   std::int64_t last_migrations() const { return last_migrations_; }
 
+  /// The persisted RNG stream position (checkpointed; a resumed cloud
+  /// continues the stream instead of replaying it).
+  std::uint64_t rng_counter() const { return rng_.counter(); }
+
+  /// Snapshot section "spray/cloud" (docs/checkpoint.md): particle
+  /// positions, the counter-based RNG stream position, and the migration
+  /// counter. Restore validates the section against this cloud's options
+  /// and throws CheckError on mismatch or corruption.
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
  private:
   void inject(std::int64_t count);
 
   CloudOptions options_;
-  Rng rng_;
+  CounterRng rng_;
   std::vector<double> x_;  ///< axial positions in [0, 1)
   std::int64_t last_migrations_ = 0;
 };

@@ -98,6 +98,78 @@ class Rng {
   std::uint64_t state_[4] = {};
 };
 
+/// Counter-based PRNG: every draw is a pure function of (seed, counter),
+/// and the counter is ordinary persistent state. This is the generator
+/// for anything that must survive checkpoint/restart (docs/checkpoint.md):
+/// serialising the (seed, counter) pair and restoring it resumes the
+/// stream at exactly the next draw, where a construction-time-seeded
+/// stateful generator would silently replay from the beginning. Each
+/// output is one splitmix64 step of seed ^ counter-increment, the same
+/// mixer xoshiro seeding trusts.
+class CounterRng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit CounterRng(std::uint64_t seed = 0x5eed5eed5eedULL)
+      : seed_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    std::uint64_t s = seed_ + counter_ * 0x9e3779b97f4a7c15ULL;
+    ++counter_;
+    return splitmix64(s);
+  }
+
+  std::uint64_t seed() const { return seed_; }
+  /// Draws made so far — the persisted stream position.
+  std::uint64_t counter() const { return counter_; }
+  void restore_state(std::uint64_t seed, std::uint64_t counter) {
+    seed_ = seed;
+    counter_ = counter;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  std::uint64_t uniform_index(std::uint64_t n) {
+    CPX_DCHECK(n > 0);
+    return (*this)() % n;
+  }
+
+  /// Standard normal via Box-Muller (two draws per call, so the stream
+  /// position stays a simple function of the call history).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) {
+      u1 = uniform();
+    }
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.28318530717958647692;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  double exponential(double rate) {
+    CPX_DCHECK(rate > 0.0);
+    double u = uniform();
+    while (u <= 0.0) {
+      u = uniform();
+    }
+    return -std::log(u) / rate;
+  }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
 /// Stateless 64-bit mix of (seed, a, b) — handy for per-entity deterministic
 /// randomness without carrying generator state (e.g. per-cell jitter).
 constexpr std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t a,

@@ -1,6 +1,7 @@
 #include "workflow/case_io.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <map>
 #include <span>
@@ -39,14 +40,18 @@ std::map<std::string, std::string> parse_kv(
 }
 
 std::int64_t to_int(const std::string& value, int line_no) {
-  try {
-    return std::stoll(value);
-  } catch (const std::exception&) {
-    CPX_REQUIRE(false, "case file line " << line_no
-                                         << ": expected an integer, got '"
-                                         << value << "'");
-  }
-  return 0;
+  // Strict full-token parse. stoll() accepted any numeric prefix, so a
+  // record truncated mid-field ("cells=24" cut from "cells=2400000") or a
+  // malformed value ("2400x") silently parsed as a smaller case instead of
+  // failing — from_chars must consume the whole token.
+  std::int64_t out = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  CPX_REQUIRE(ec == std::errc() && ptr == end && begin != end,
+              "case file line " << line_no << ": expected an integer, got '"
+                                << value << "'");
+  return out;
 }
 
 simpic::StcConfig stc_by_name(const std::string& name, int line_no) {

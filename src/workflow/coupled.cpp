@@ -1,15 +1,33 @@
 #include "workflow/coupled.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
 #include <numeric>
+#include <string_view>
 
 #include "mgcfd/instance.hpp"
 #include "thermal/instance.hpp"
 #include "simpic/instance.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
+#include "support/rng.hpp"
 
 namespace cpx::workflow {
+namespace {
+
+std::uint64_t fold_str(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h = hash_mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return hash_mix(h, s.size());
+}
+
+std::uint64_t fold_f64(std::uint64_t h, double v) {
+  return hash_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
 
 int RankAssignment::total() const {
   return std::accumulate(app_ranks.begin(), app_ranks.end(), 0) +
@@ -55,6 +73,17 @@ CoupledSimulation::CoupledSimulation(const EngineCase& engine_case,
         spec.name, config, range,
         *apps_[static_cast<std::size_t>(spec.instance_a)],
         *apps_[static_cast<std::size_t>(spec.instance_b)]));
+  }
+
+  // Snapshot cadence from the environment (docs/checkpoint.md):
+  // CPX_CKPT_EVERY=<n> writes CPX_CKPT_PATH (default "cpx.ckpt") every n
+  // density steps. set_checkpoint_cadence() overrides programmatically.
+  if (const char* every = std::getenv("CPX_CKPT_EVERY")) {
+    const int n = std::atoi(every);
+    if (n > 0) {
+      const char* path = std::getenv("CPX_CKPT_PATH");
+      set_checkpoint_cadence(n, path != nullptr ? path : "cpx.ckpt");
+    }
   }
 }
 
@@ -103,8 +132,13 @@ void CoupledSimulation::step_instance(int index) {
 
 void CoupledSimulation::run(int density_steps) {
   CPX_REQUIRE(density_steps >= 1, "run: bad step count");
-  for (int d = 0; d < density_steps; ++d) {
-    const int step_index = density_steps_run_ + d;
+  // The step counter advances per completed step (not in bulk at the end)
+  // so a RankFailure thrown mid-schedule leaves it truthful and a cadence
+  // snapshot taken mid-run records the right resume point.
+  const int target = density_steps_run_ + density_steps;
+  while (density_steps_run_ < target) {
+    const int step_index = density_steps_run_;
+    cluster_->begin_step(step_index);  // drives the fault-injection trigger
     // Density (and other non-pressure) instances advance first...
     {
       CPX_METRICS_SCOPE("workflow/density_phase");
@@ -133,8 +167,11 @@ void CoupledSimulation::run(int density_steps) {
         }
       }
     }
+    ++density_steps_run_;
+    if (ckpt_every_ > 0 && density_steps_run_ % ckpt_every_ == 0) {
+      checkpoint(ckpt_path_);
+    }
   }
-  density_steps_run_ += density_steps;
 }
 
 double CoupledSimulation::runtime() const { return cluster_->max_clock(); }
@@ -185,6 +222,131 @@ sim::App& CoupledSimulation::app(int index) {
   CPX_REQUIRE(index >= 0 && static_cast<std::size_t>(index) < apps_.size(),
               "app: bad index " << index);
   return *apps_[static_cast<std::size_t>(index)];
+}
+
+std::uint64_t CoupledSimulation::case_digest() const {
+  std::uint64_t h = 0x6370'78636b7074ULL;
+  h = fold_str(h, case_.name);
+  h = hash_mix(h, case_.instances.size(), case_.couplers.size());
+  for (const InstanceSpec& spec : case_.instances) {
+    h = fold_str(h, spec.name);
+    h = hash_mix(h, static_cast<std::uint64_t>(spec.kind),
+                 static_cast<std::uint64_t>(spec.mesh_cells));
+    h = hash_mix(h, static_cast<std::uint64_t>(
+                        spec.iterations_per_density_step));
+    h = fold_str(h, spec.stc.name);
+    h = hash_mix(h, static_cast<std::uint64_t>(spec.stc.cells),
+                 static_cast<std::uint64_t>(spec.stc.timesteps));
+    h = fold_f64(h, spec.stc.particles_per_cell);
+  }
+  for (const CouplerSpec& spec : case_.couplers) {
+    h = fold_str(h, spec.name);
+    h = hash_mix(h, static_cast<std::uint64_t>(spec.instance_a),
+                 static_cast<std::uint64_t>(spec.instance_b));
+    h = hash_mix(h, static_cast<std::uint64_t>(spec.kind),
+                 static_cast<std::uint64_t>(spec.interface_cells));
+    h = hash_mix(h, static_cast<std::uint64_t>(spec.exchange_every),
+                 spec.tree_search ? 1 : 0);
+  }
+  h = hash_mix(h,
+               static_cast<std::uint64_t>(
+                   case_.pressure_steps_per_density_step));
+  h = fold_f64(h, case_.coupled_pressure_steps_per_run);
+  for (const int p : assignment_.app_ranks) {
+    h = hash_mix(h, static_cast<std::uint64_t>(p), 1);
+  }
+  for (const int p : assignment_.cu_ranks) {
+    h = hash_mix(h, static_cast<std::uint64_t>(p), 2);
+  }
+  return h;
+}
+
+void CoupledSimulation::set_checkpoint_cadence(int every, std::string path) {
+  CPX_REQUIRE(every >= 0, "set_checkpoint_cadence: bad cadence " << every);
+  CPX_REQUIRE(every == 0 || !path.empty(),
+              "set_checkpoint_cadence: empty path");
+  ckpt_every_ = every;
+  ckpt_path_ = std::move(path);
+}
+
+void CoupledSimulation::serialize(ckpt::Writer& w) const {
+  w.begin_section("workflow/coupled");
+  w.put_u64(case_digest());
+  w.put_u32(static_cast<std::uint32_t>(density_steps_run_));
+  w.put_u8(coupling_enabled_ ? 1 : 0);
+  w.end_section();
+  cluster_->serialize(w);
+  for (const std::unique_ptr<coupler::CouplerUnit>& cu : cus_) {
+    cu->serialize(w);
+  }
+  // Host metrics counters, so a resumed run's cumulative counters match an
+  // uninterrupted one. Regions (wall-clock timings) are not carried over:
+  // they measure the host, not the simulated state.
+  w.begin_section("support/metrics");
+  if (support::metrics::enabled()) {
+    const support::metrics::Snapshot snap = support::metrics::snapshot();
+    w.put_u32(static_cast<std::uint32_t>(snap.counters.size()));
+    for (const support::metrics::CounterSnapshot& c : snap.counters) {
+      w.put_str(c.name);
+      w.put_i64(c.value);
+    }
+  } else {
+    w.put_u32(0);
+  }
+  w.end_section();
+}
+
+void CoupledSimulation::restore(ckpt::Reader& r) {
+  r.open_section("workflow/coupled");
+  const std::uint64_t digest = r.get_u64();
+  CPX_CHECK_MSG(digest == case_digest(),
+                "CoupledSimulation::restore: snapshot was taken from a "
+                "different case or rank assignment");
+  density_steps_run_ = static_cast<int>(r.get_u32());
+  coupling_enabled_ = r.get_u8() != 0;
+  r.end_section();
+  cluster_->restore(r);
+  for (const std::unique_ptr<coupler::CouplerUnit>& cu : cus_) {
+    cu->restore(r);
+  }
+  r.open_section("support/metrics");
+  const std::uint32_t counters = r.get_u32();
+  if (support::metrics::enabled()) {
+    support::metrics::reset();
+    for (std::uint32_t i = 0; i < counters; ++i) {
+      const std::string name = r.get_str();
+      support::metrics::counter_add(name, r.get_i64());
+    }
+  } else {
+    for (std::uint32_t i = 0; i < counters; ++i) {
+      (void)r.get_str();
+      (void)r.get_i64();
+    }
+  }
+  r.end_section();
+}
+
+std::span<const std::byte> CoupledSimulation::checkpoint_bytes() {
+  writer_.begin();
+  serialize(writer_);
+  writer_.finish();
+  return writer_.bytes();
+}
+
+void CoupledSimulation::checkpoint(const std::string& path) {
+  checkpoint_bytes();
+  writer_.write_file(path);
+}
+
+void CoupledSimulation::restore(std::span<const std::byte> bytes) {
+  ckpt::Reader r(bytes);
+  restore(r);
+}
+
+void CoupledSimulation::restore(const std::string& path) {
+  std::vector<std::byte> bytes;
+  ckpt::read_file(path, bytes);
+  restore(std::span<const std::byte>(bytes));
 }
 
 }  // namespace cpx::workflow

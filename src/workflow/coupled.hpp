@@ -12,9 +12,13 @@
 // slowest component — the load-balancing problem the performance model
 // solves.
 
+#include <cstddef>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "cpx/unit.hpp"
 #include "sim/cluster.hpp"
 #include "workflow/engine_case.hpp"
@@ -74,21 +78,60 @@ class CoupledSimulation {
   sim::Cluster& cluster() { return *cluster_; }
   sim::App& app(int index);
 
+  // --- Checkpoint/restart (docs/checkpoint.md) ---
+  /// Serialises the coupled-run state (case/assignment digest, step
+  /// counter, cluster clocks + profile + traffic, CU latches, metrics
+  /// counters) into this simulation's persistent snapshot writer and
+  /// returns the bytes. The staging buffer is reused, so warm calls
+  /// allocate nothing beyond the first snapshot's capacity.
+  std::span<const std::byte> checkpoint_bytes();
+  /// checkpoint_bytes() + atomic write to `path`.
+  void checkpoint(const std::string& path);
+  /// Restores a snapshot taken by a simulation constructed from the SAME
+  /// case, machine, and assignment (validated via a structural digest —
+  /// CheckError on mismatch or corruption). After restore, run() continues
+  /// exactly where the checkpointed run left off.
+  void restore(std::span<const std::byte> bytes);
+  void restore(const std::string& path);
+
+  /// Core section writers/readers used by the wrappers above (and by the
+  /// fused snapshots the tests build).
+  void serialize(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
+  /// Writes a snapshot to `path` every `every` density steps during run()
+  /// (0 disables). Also configurable via the environment: CPX_CKPT_EVERY
+  /// (cadence) and CPX_CKPT_PATH (default "cpx.ckpt") are read at
+  /// construction.
+  void set_checkpoint_cadence(int every, std::string path);
+  int checkpoint_cadence() const { return ckpt_every_; }
+
+  /// Structural digest of the engine case and rank assignment, stored in
+  /// every snapshot: restore refuses state from a different setup.
+  std::uint64_t case_digest() const;
+
  private:
   std::unique_ptr<sim::App> make_app(const InstanceSpec& spec,
                                      sim::RankRange ranks) const;
   void step_instance(int index);
 
-  EngineCase case_;
-  sim::MachineModel machine_;
-  RankAssignment assignment_;
+  EngineCase case_;       // digest-validated // cpx-lint: allow(ckpt)
+  sim::MachineModel machine_;  // construction config // cpx-lint: allow(ckpt)
+  RankAssignment assignment_;  // digest-validated // cpx-lint: allow(ckpt)
   std::unique_ptr<sim::Cluster> cluster_;
-  std::vector<std::unique_ptr<sim::App>> apps_;
-  std::vector<sim::RankRange> app_ranges_;
+  // Performance-model instances are stateless between steps (all carried
+  // state lives in the cluster clocks), so they are not serialized.
+  std::vector<std::unique_ptr<sim::App>> apps_;  // cpx-lint: allow(ckpt)
+  std::vector<sim::RankRange> app_ranges_;       // cpx-lint: allow(ckpt)
   std::vector<std::unique_ptr<coupler::CouplerUnit>> cus_;
-  std::vector<sim::RankRange> cu_ranges_;
+  std::vector<sim::RankRange> cu_ranges_;        // cpx-lint: allow(ckpt)
   int density_steps_run_ = 0;
   bool coupling_enabled_ = true;
+
+  // Snapshot plumbing (not simulated state).
+  ckpt::Writer writer_;    // cpx-lint: allow(ckpt)
+  int ckpt_every_ = 0;     // cpx-lint: allow(ckpt)
+  std::string ckpt_path_;  // cpx-lint: allow(ckpt)
 };
 
 }  // namespace cpx::workflow

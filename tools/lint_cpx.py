@@ -38,6 +38,16 @@ raw-comm             No raw neighbour-copy loops outside src/comm/: indexing
                      between ranks by hand. Rank-to-rank data movement goes
                      through comm::Communicator / ExchangePlan
                      (docs/communication.md).
+ckpt                 Every class listed in src/ckpt/registry.hpp
+                     (kCheckpointedClasses) must define a
+                     serialize(ckpt::Writer&) / restore(ckpt::Reader&) pair,
+                     every class defining such a pair must be registered, and
+                     every `name_` data member of a registered class must be
+                     mentioned in BOTH bodies — or carry an explicit
+                     `allow(ckpt)` marking it as rebuilt-not-saved (scratch,
+                     cached plans, derived structure). Catches fields added
+                     to checkpointed state without being threaded through
+                     the snapshot (docs/checkpoint.md).
 split-phase          Every ExchangePlan::begin(...) call outside src/comm/
                      must reach a matching finish() on all control paths in
                      the same scope: no `return`/`throw` and no ghost-slot
@@ -64,6 +74,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 REGISTRY = SRC / "support" / "metric_names.hpp"
+CKPT_REGISTRY = SRC / "ckpt" / "registry.hpp"
 
 # Solve-path kernels that must not grow containers (rule `alloc`).
 ALLOC_FREE_FILES = {
@@ -116,6 +127,14 @@ SPLIT_FINISH_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*finish\s*\(")
 SPLIT_LEAVE_RE = re.compile(r"^\s*(?:return\b|throw\b)", re.MULTILINE)
 SPLIT_SCOPE_END_RE = re.compile(r"^\}", re.MULTILINE)
 SPLIT_GHOST_RE = re.compile(r"\bghost\w*")
+CKPT_ENTRY_RE = re.compile(r'"((?:\w+::)*\w+)"')
+CKPT_SER_DEF_RE = re.compile(r"\b(\w+)::serialize\s*\(\s*ckpt::Writer\b")
+CKPT_RES_DEF_RE = re.compile(r"\b(\w+)::restore\s*\(\s*ckpt::Reader\b")
+# A member-variable declaration line: lower-case identifier with the
+# trailing-underscore convention, optionally default-initialised, ending
+# the declaration. Lines containing '(' (function decls, inline bodies)
+# are excluded before this is applied.
+CKPT_MEMBER_RE = re.compile(r"\b([a-z]\w*_)\s*(?:=[^;{]*)?[;{]")
 METRIC_USE_RE = re.compile(
     r"(?:CPX_METRICS_SCOPE(?:_COMM)?|counter_add)\s*\(\s*\"([^\"]+)\"",
     re.DOTALL,
@@ -139,12 +158,19 @@ def strip_comments_and_strings(text: str) -> str:
                 out.append("\n" if text[i] == "\n" else " ")
                 i += 1
             i += 2
+        elif c == "'" and out and (out[-1].isalnum() or out[-1] == "_"):
+            # Digit separator (10'000) or the tail of a char literal already
+            # consumed — not a quote opener.
+            out.append(c)
+            i += 1
         elif c in "\"'":
             quote = c
             i += 1
             while i < n and text[i] != quote:
                 if text[i] == "\\":
                     i += 1
+                if i < n and text[i] == "\n":
+                    out.append("\n")  # keep line numbers aligned
                 i += 1
             i += 1
             out.append("  ")  # keep offsets roughly stable, drop content
@@ -295,6 +321,123 @@ class Linter:
                         "before the end of its scope")
                 open_plans.clear()
 
+    def lint_ckpt_registry(self, files: list[Path]) -> None:
+        """Cross-checks src/ckpt/registry.hpp against the code.
+
+        Three obligations: registered classes implement the snapshot pair,
+        implementers are registered, and every `name_` member of a
+        registered class is threaded through BOTH serialize and restore
+        (or carries `allow(ckpt)` as deliberately rebuilt).
+        """
+        if not CKPT_REGISTRY.is_file():
+            self.findings.append(
+                "src/ckpt/registry.hpp: [ckpt] registry header missing")
+            return
+        reg_match = re.search(
+            r"kCheckpointedClasses\[\]\s*=\s*\{(.*?)\}",
+            CKPT_REGISTRY.read_text(encoding="utf-8"), re.DOTALL)
+        entries = CKPT_ENTRY_RE.findall(reg_match.group(1)) if reg_match else []
+        registered = {e.split("::")[-1]: e for e in entries}
+
+        # Index serialize/restore bodies by class name (all overloads of a
+        # class concatenated: a member may be handled by any of them).
+        ser_bodies: dict[str, str] = {}
+        res_bodies: dict[str, str] = {}
+        def_sites: dict[str, Path] = {}
+        stripped: dict[Path, str] = {}
+        for path in files:
+            code = strip_comments_and_strings(
+                path.read_text(encoding="utf-8"))
+            stripped[path] = code
+            for pattern, bodies in ((CKPT_SER_DEF_RE, ser_bodies),
+                                    (CKPT_RES_DEF_RE, res_bodies)):
+                for m in pattern.finditer(code):
+                    open_idx = code.find("{", m.end())
+                    semi = code.find(";", m.end())
+                    if open_idx == -1 or (0 <= semi < open_idx):
+                        continue  # declaration, not a definition
+                    body = self.braced_body(code, open_idx)
+                    cls = m.group(1)
+                    bodies[cls] = bodies.get(cls, "") + "\n" + body
+                    def_sites.setdefault(cls, path)
+
+        for cls, path in sorted(def_sites.items()):
+            if cls not in registered:
+                self.report(
+                    path, 1, "ckpt",
+                    f"{cls} implements serialize(ckpt::Writer&)/"
+                    "restore(ckpt::Reader&) but is not listed in "
+                    "src/ckpt/registry.hpp")
+
+        for cls_short in sorted(registered):
+            cls_full = registered[cls_short]
+            if cls_short not in ser_bodies or cls_short not in res_bodies:
+                self.findings.append(
+                    f"src/ckpt/registry.hpp: [ckpt] registered class "
+                    f"{cls_full} defines no serialize/restore pair in src/")
+                continue
+            located = self.locate_class(files, stripped, cls_short)
+            if located is None:
+                self.findings.append(
+                    f"src/ckpt/registry.hpp: [ckpt] cannot find the class "
+                    f"definition of registered class {cls_full}")
+                continue
+            header, body_start_line, body = located
+            raw_lines = header.read_text(encoding="utf-8").splitlines()
+            depth = 1
+            for offset, line in enumerate(body.splitlines()):
+                line_no = body_start_line + offset
+                if depth == 1 and "(" not in line:
+                    m = CKPT_MEMBER_RE.search(line)
+                    if m and "ckpt" not in self.allows(raw_lines,
+                                                       line_no - 1):
+                        member = m.group(1)
+                        word = re.compile(r"\b" + re.escape(member) + r"\b")
+                        missing = [
+                            what for what, bodies in
+                            (("serialize", ser_bodies),
+                             ("restore", res_bodies))
+                            if not word.search(bodies[cls_short])
+                        ]
+                        if missing:
+                            self.report(
+                                header, line_no, "ckpt",
+                                f"member `{member}` of checkpointed class "
+                                f"{cls_full} is not handled in its "
+                                f"{' or '.join(missing)} body; snapshot it "
+                                "or mark it `allow(ckpt)` as rebuilt state")
+                depth += line.count("{") - line.count("}")
+
+    @staticmethod
+    def braced_body(code: str, open_idx: int) -> str:
+        """The text between code[open_idx] == '{' and its matching '}'."""
+        depth = 0
+        for i in range(open_idx, len(code)):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    return code[open_idx + 1:i]
+        return code[open_idx + 1:]
+
+    def locate_class(self, files: list[Path], stripped: dict[Path, str],
+                     cls: str):
+        """Finds `class <cls> { ... }`; returns (path, first body line, body)."""
+        decl = re.compile(r"\bclass\s+" + re.escape(cls) + r"\b[^;{]*\{")
+        for path in files:
+            if path.suffix != ".hpp":
+                continue
+            code = stripped[path]
+            m = decl.search(code)
+            if not m:
+                continue
+            open_idx = m.end() - 1
+            body = self.braced_body(code, open_idx)
+            body_start_line = code.count("\n", 0, open_idx) + 2
+            return path, body_start_line, body
+        return None
+
     def lint_metrics_registry(self, files: list[Path]) -> None:
         if not REGISTRY.is_file():
             self.findings.append(
@@ -354,6 +497,7 @@ def main() -> int:
     src_files = [f for f in sorted(set(files)) if SRC in f.parents
                  or f.parent == SRC]
     linter.lint_metrics_registry(src_files)
+    linter.lint_ckpt_registry(src_files)
 
     if linter.findings:
         for f in linter.findings:
