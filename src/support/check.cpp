@@ -61,8 +61,12 @@ Level parse_level(const char* text, Level fallback) {
 Level level() {
   int v = g_level.load(std::memory_order_relaxed);
   if (v < 0) {
-    // cpx-lint: allow(mt-unsafe) — one-time init read, racing first calls
-    // parse the same environment and store the same value.
+    // One-time init read: racing first calls parse the same environment
+    // and store the same value, so the benign write race is sound. (This
+    // used to carry `cpx-lint: allow(mt-unsafe)` — a rule name that never
+    // existed; the regex linter ignored unknown names silently, so the
+    // suppression was dead text. cpxcheck's `allow-audit` rule now rejects
+    // allows naming unknown rules.)
     v = static_cast<int>(
         parse_level(std::getenv("CPX_CHECK_LEVEL"), default_level()));
     g_level.store(v, std::memory_order_relaxed);

@@ -6,13 +6,14 @@
 #include <fstream>
 #include <iomanip>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <tuple>
 #include <utility>
 
 #include "support/check.hpp"
+#include "support/mutex.hpp"
 #include "support/options.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/table.hpp"
 
 namespace cpx::support::metrics {
@@ -52,12 +53,14 @@ struct EventRec {
 /// event buffer are guarded by `mutex` so snapshot()/reset() can read them
 /// while the thread is alive.
 struct ThreadState {
-  std::mutex mutex;
-  std::map<std::string, RegionStat, std::less<>> regions;
-  std::map<std::string, std::int64_t, std::less<>> counters;
-  std::vector<EventRec> events;
-  std::int64_t events_dropped = 0;
-  int tid = 0;
+  Mutex mutex;
+  std::map<std::string, RegionStat, std::less<>> regions
+      CPX_GUARDED_BY(mutex);
+  std::map<std::string, std::int64_t, std::less<>> counters
+      CPX_GUARDED_BY(mutex);
+  std::vector<EventRec> events CPX_GUARDED_BY(mutex);
+  std::int64_t events_dropped CPX_GUARDED_BY(mutex) = 0;
+  int tid = 0;  ///< write-once at registration, read-only afterwards
 
   // Owning-thread-only nesting state.
   std::string path;
@@ -74,14 +77,17 @@ namespace {
 /// threads that have exited (pool workers die on every resize; their
 /// samples must survive them).
 struct Registry {
-  std::mutex mutex;
-  std::vector<ThreadState*> live;
-  std::map<std::string, RegionStat> retired_regions;
-  std::map<std::string, std::int64_t> retired_counters;
-  std::vector<EventRec> retired_events;
-  std::int64_t retired_dropped = 0;
-  int next_tid = 0;
-  Clock::time_point epoch = Clock::now();
+  /// Acquired before any ThreadState::mutex (snapshot/reset/thread-exit
+  /// all lock registry -> state; region_exit takes only the state lock).
+  Mutex mutex;
+  std::vector<ThreadState*> live CPX_GUARDED_BY(mutex);
+  std::map<std::string, RegionStat> retired_regions CPX_GUARDED_BY(mutex);
+  std::map<std::string, std::int64_t> retired_counters
+      CPX_GUARDED_BY(mutex);
+  std::vector<EventRec> retired_events CPX_GUARDED_BY(mutex);
+  std::int64_t retired_dropped CPX_GUARDED_BY(mutex) = 0;
+  int next_tid CPX_GUARDED_BY(mutex) = 0;
+  const Clock::time_point epoch = Clock::now();  ///< immutable after init
 
   static Registry& instance() {
     static Registry registry;
@@ -89,7 +95,8 @@ struct Registry {
   }
 };
 
-void merge_state_locked(Registry& reg, ThreadState& ts) {
+void merge_state_locked(Registry& reg, ThreadState& ts)
+    CPX_REQUIRES(reg.mutex, ts.mutex) {
   for (const auto& [path, stat] : ts.regions) {
     RegionStat& dst = reg.retired_regions[path];
     dst.kind = stat.kind;
@@ -112,15 +119,15 @@ struct ThreadStateOwner {
 
   ThreadStateOwner() {
     Registry& reg = Registry::instance();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     state.tid = reg.next_tid++;
     reg.live.push_back(&state);
   }
 
   ~ThreadStateOwner() {
     Registry& reg = Registry::instance();
-    std::lock_guard<std::mutex> reg_lock(reg.mutex);
-    std::lock_guard<std::mutex> state_lock(state.mutex);
+    MutexLock reg_lock(reg.mutex);
+    MutexLock state_lock(state.mutex);
     merge_state_locked(reg, state);
     reg.live.erase(std::find(reg.live.begin(), reg.live.end(), &state));
   }
@@ -172,7 +179,7 @@ void region_exit(ThreadState& ts, Clock::time_point start) {
   CPX_DCHECK(!ts.stack.empty());
   const ThreadState::Frame frame = ts.stack.back();
   {
-    std::lock_guard<std::mutex> lock(ts.mutex);
+    MutexLock lock(ts.mutex);
     auto it = ts.regions.find(ts.path);
     if (it == ts.regions.end()) {
       it = ts.regions.emplace(ts.path, RegionStat{frame.kind, 0, 0}).first;
@@ -195,7 +202,7 @@ void region_exit(ThreadState& ts, Clock::time_point start) {
 
 void counter_add_slow(std::string_view name, std::int64_t delta) {
   ThreadState& ts = thread_state();
-  std::lock_guard<std::mutex> lock(ts.mutex);
+  MutexLock lock(ts.mutex);
   const auto it = ts.counters.find(name);
   if (it == ts.counters.end()) {
     ts.counters.emplace(std::string(name), delta);
@@ -224,14 +231,14 @@ struct MergedState {
 
 MergedState merge_all() {
   Registry& reg = Registry::instance();
-  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  MutexLock reg_lock(reg.mutex);
   MergedState merged;
   merged.regions = reg.retired_regions;
   merged.counters = reg.retired_counters;
   merged.events = reg.retired_events;
   merged.dropped = reg.retired_dropped;
   for (detail::ThreadState* ts : reg.live) {
-    std::lock_guard<std::mutex> state_lock(ts->mutex);
+    MutexLock state_lock(ts->mutex);
     for (const auto& [path, stat] : ts->regions) {
       detail::RegionStat& dst = merged.regions[path];
       dst.kind = stat.kind;
@@ -312,13 +319,13 @@ Snapshot snapshot() {
 
 void reset() {
   Registry& reg = Registry::instance();
-  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  MutexLock reg_lock(reg.mutex);
   reg.retired_regions.clear();
   reg.retired_counters.clear();
   reg.retired_events.clear();
   reg.retired_dropped = 0;
   for (detail::ThreadState* ts : reg.live) {
-    std::lock_guard<std::mutex> state_lock(ts->mutex);
+    MutexLock state_lock(ts->mutex);
     ts->regions.clear();
     ts->counters.clear();
     ts->events.clear();

@@ -1,0 +1,69 @@
+#pragma once
+// Annotated mutex and lock wrappers (docs/static_analysis.md).
+//
+// libstdc++'s std::mutex and std::lock_guard carry no thread-safety
+// attributes, so clang's capability analysis cannot see them acquire or
+// release anything: a CPX_GUARDED_BY member locked through a bare
+// std::lock_guard would warn on every access. These wrappers are the
+// repo's lockable vocabulary instead — zero-cost shims over std::mutex /
+// std::unique_lock that carry the capability attributes, plus a native()
+// escape for std::condition_variable (which requires a real
+// std::unique_lock<std::mutex>).
+//
+// Condition-variable predicates should be written as explicit
+//     while (!ready_locked_state) cv.wait(lock.native());
+// loops rather than the wait(lock, pred) overload: the predicate lambda
+// is analysed as a separate function that holds nothing, while the loop
+// body sits in the enclosing scope where the capability is held.
+
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace cpx::support {
+
+/// std::mutex with the capability attribute. Same size, same cost.
+class CPX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CPX_ACQUIRE() { m_.lock(); }
+  void unlock() CPX_RELEASE() { m_.unlock(); }
+  bool try_lock() CPX_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped mutex, for std:: APIs that need the real type. Locking
+  /// through it bypasses the analysis; only MutexLock should call this.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock over Mutex (std::unique_lock underneath, so it supports
+/// early release and condition-variable waits).
+class CPX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) CPX_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexLock() CPX_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Early release (the analysis tracks that the capability is gone; the
+  /// destructor then releases nothing).
+  void unlock() CPX_RELEASE() { lock_.unlock(); }
+
+  /// The underlying std::unique_lock, for std::condition_variable::wait.
+  /// wait() releases and reacquires the mutex internally, which the
+  /// analysis cannot see — sound here because it is restored before
+  /// control returns to annotated code.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace cpx::support

@@ -6,14 +6,15 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "support/check.hpp"
 #include "support/metrics.hpp"
+#include "support/mutex.hpp"
 #include "support/options.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace cpx::support {
 namespace {
@@ -51,7 +52,7 @@ class ThreadPool {
     CPX_REQUIRE(n >= 1, "set_max_threads: need >= 1 thread, got " << n);
     CPX_REQUIRE(!tl_in_region,
                 "set_max_threads: cannot resize inside a parallel region");
-    std::lock_guard<std::mutex> lock(config_mutex_);
+    MutexLock lock(config_mutex_);
     if (n == width_.load(std::memory_order_relaxed)) {
       return;
     }
@@ -78,7 +79,7 @@ class ThreadPool {
       }
       return;
     }
-    std::unique_lock<std::mutex> config(config_mutex_);
+    MutexLock config(config_mutex_);
     if (workers_.empty() || nchunks == 1) {
       config.unlock();
       tl_in_region = true;
@@ -113,7 +114,7 @@ class ThreadPool {
     };
     const JobFn run_fn = timed_run ? JobFn(timed) : fn;
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      MutexLock lock(job_mutex_);
       job_fn_ = run_fn;
       job_chunks_ = nchunks;
       job_pending_.store(nchunks, std::memory_order_relaxed);
@@ -129,10 +130,10 @@ class ThreadPool {
     tl_in_region = false;
     std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock(job_mutex_);
-      done_cv_.wait(lock, [&] {
-        return job_pending_.load(std::memory_order_acquire) == 0;
-      });
+      MutexLock lock(job_mutex_);
+      while (job_pending_.load(std::memory_order_acquire) != 0) {
+        done_cv_.wait(lock.native());
+      }
       error = job_error_;
       job_error_ = nullptr;
     }
@@ -148,12 +149,16 @@ class ThreadPool {
       n = static_cast<int>(std::thread::hardware_concurrency());
     }
     width_.store(std::max(n, 1), std::memory_order_relaxed);
+    MutexLock lock(config_mutex_);
     start_workers();
   }
 
-  ~ThreadPool() { stop_workers(); }
+  ~ThreadPool() {
+    MutexLock lock(config_mutex_);
+    stop_workers();
+  }
 
-  void start_workers() {
+  void start_workers() CPX_REQUIRES(config_mutex_) {
     const int n = width_.load(std::memory_order_relaxed);
     workers_.reserve(static_cast<std::size_t>(n > 1 ? n - 1 : 0));
     for (int lane = 1; lane < n; ++lane) {
@@ -161,9 +166,9 @@ class ThreadPool {
     }
   }
 
-  void stop_workers() {
+  void stop_workers() CPX_REQUIRES(config_mutex_) {
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      MutexLock lock(job_mutex_);
       stop_ = true;
       ++generation_;
     }
@@ -172,7 +177,7 @@ class ThreadPool {
       t.join();
     }
     workers_.clear();
-    std::lock_guard<std::mutex> lock(job_mutex_);
+    MutexLock lock(job_mutex_);
     stop_ = false;
   }
 
@@ -182,8 +187,10 @@ class ThreadPool {
     std::uint64_t seen = 0;
     while (true) {
       {
-        std::unique_lock<std::mutex> lock(job_mutex_);
-        job_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        MutexLock lock(job_mutex_);
+        while (!stop_ && generation_ == seen) {
+          job_cv_.wait(lock.native());
+        }
         if (stop_) {
           return;
         }
@@ -193,7 +200,12 @@ class ThreadPool {
     }
   }
 
-  void work() {
+  // The chunk loop reads job_fn_/job_chunks_ without job_mutex_: run()
+  // publishes them with job_next_.store(release) and every claim is a
+  // fetch_add(acquire) on job_next_, so the fields are visible before any
+  // chunk executes — a release/acquire handoff the capability analysis
+  // cannot express (TSan-validated instead; docs/parallelism.md).
+  void work() CPX_NO_THREAD_SAFETY_ANALYSIS {
     while (true) {
       const std::int64_t c = job_next_.fetch_add(1, std::memory_order_acq_rel);
       if (c >= job_chunks_) {
@@ -202,32 +214,37 @@ class ThreadPool {
       try {
         job_fn_(c, tl_lane);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(job_mutex_);
+        MutexLock lock(job_mutex_);
         if (!job_error_) {
           job_error_ = std::current_exception();
         }
       }
       if (job_pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(job_mutex_);
+        MutexLock lock(job_mutex_);
         done_cv_.notify_all();
       }
     }
   }
 
-  std::mutex config_mutex_;  ///< serialises resize against regions
+  Mutex config_mutex_;  ///< serialises resize against regions
   std::atomic<int> width_{1};
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ CPX_GUARDED_BY(config_mutex_);
 
-  std::mutex job_mutex_;
+  /// Job handoff lock. run() holds config_mutex_ for the whole region, so
+  /// the order is always config -> job; declaring it makes a reversed
+  /// acquisition a -Wthread-safety build failure.
+  Mutex job_mutex_ CPX_ACQUIRED_AFTER(config_mutex_);
   std::condition_variable job_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  JobFn job_fn_;
-  std::int64_t job_chunks_ = 0;
+  std::uint64_t generation_ CPX_GUARDED_BY(job_mutex_) = 0;
+  bool stop_ CPX_GUARDED_BY(job_mutex_) = false;
+  // job_fn_/job_chunks_ are written under job_mutex_ but read lock-free in
+  // work() under the job_next_ release/acquire protocol documented there.
+  JobFn job_fn_ CPX_GUARDED_BY(job_mutex_);
+  std::int64_t job_chunks_ CPX_GUARDED_BY(job_mutex_) = 0;
   std::atomic<std::int64_t> job_next_{0};
   std::atomic<std::int64_t> job_pending_{0};
-  std::exception_ptr job_error_;
+  std::exception_ptr job_error_ CPX_GUARDED_BY(job_mutex_);
 };
 
 }  // namespace
@@ -300,13 +317,45 @@ double parallel_reduce(std::int64_t begin, std::int64_t end,
   // Partials stay on this frame for the common case so steady-state
   // reductions (the BLAS-1 layer) allocate nothing. Chunks write disjoint
   // slots and the pool joins before the combine, so this is race-free.
+  //
+  // Ranges wider than kStackChunks used to heap-allocate a fresh partial
+  // vector on EVERY call — an allocation on the solve path for any vector
+  // longer than 512 * grain, hidden from the old per-file lint because it
+  // lived here and not in a listed solve-path kernel (cpxcheck rule
+  // `solve-alloc` walks the call graph instead and flagged it). The
+  // buffer is now a persistent per-thread scratch: it grows to the
+  // largest chunk count seen, then every later call is allocation-free.
+  // A same-thread re-entrant reduce (an inner reduce issued from inside
+  // an outer chunk body) would alias the scratch, so that rare cold path
+  // falls back to a local heap buffer.
   constexpr std::int64_t kStackChunks = 512;
   double stack_partial[kStackChunks];
-  std::vector<double> heap_partial;
+  std::vector<double> local_partial;
   double* partial = stack_partial;
+  thread_local std::vector<double> tl_partial;
+  thread_local bool tl_partial_busy = false;
+  struct ScratchGuard {
+    bool owned = false;
+    ~ScratchGuard() {
+      if (owned) {
+        tl_partial_busy = false;
+      }
+    }
+  } guard;
   if (n > kStackChunks) {
-    heap_partial.assign(static_cast<std::size_t>(n), 0.0);
-    partial = heap_partial.data();
+    if (!tl_partial_busy) {
+      tl_partial_busy = true;
+      guard.owned = true;
+      if (tl_partial.size() < static_cast<std::size_t>(n)) {
+        // Amortised growth; steady-state calls never reach here.
+        tl_partial.resize(static_cast<std::size_t>(n));  // cpx-lint: allow(alloc)
+      }
+      partial = tl_partial.data();
+    } else {
+      // cpx-lint: allow(alloc) — re-entrant cold path, see above.
+      local_partial.assign(static_cast<std::size_t>(n), 0.0);
+      partial = local_partial.data();
+    }
   }
   parallel_chunks(begin, end, grain,
                   [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi,

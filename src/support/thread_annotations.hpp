@@ -1,0 +1,84 @@
+#pragma once
+// Clang thread-safety annotation macros (docs/static_analysis.md).
+//
+// Thin spellings over clang's capability analysis attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under clang
+// with -Wthread-safety the compiler proves, at build time, that every
+// access to a CPX_GUARDED_BY member happens with its capability held and
+// that lock/unlock pairs balance on all control paths — the static
+// complement of the TSan job, which can only observe the interleavings a
+// given run happens to produce. Under every other compiler the macros
+// expand to nothing, so annotating costs nothing off clang.
+//
+// The annotated mutex/lock wrapper types the analysis needs (libstdc++'s
+// std::mutex carries no capability attributes) live in
+// support/mutex.hpp; this header is attribute spellings only so that
+// interface headers can annotate without pulling in <mutex>.
+//
+// CI builds the tree with clang and -Werror=thread-safety (the
+// `thread-safety` job), so a guarded member written without its lock, a
+// missing CPX_REQUIRES on a *_locked helper, or an out-of-order
+// acquisition against CPX_ACQUIRED_AFTER is a build failure, not a
+// review comment.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CPX_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CPX_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability (a mutex-like object the analysis tracks).
+#define CPX_CAPABILITY(x) CPX_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define CPX_SCOPED_CAPABILITY CPX_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only with capability `x` held.
+#define CPX_GUARDED_BY(x) CPX_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by capability `x`.
+#define CPX_PT_GUARDED_BY(x) CPX_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function that must be called with the listed capabilities held.
+#define CPX_REQUIRES(...) \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities (held on return).
+#define CPX_ACQUIRE(...) \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (no longer held on
+/// return).
+#define CPX_RELEASE(...) \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns `res`.
+#define CPX_TRY_ACQUIRE(res, ...) \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(res, __VA_ARGS__))
+
+/// Function that must be called with the listed capabilities NOT held
+/// (deadlock guard for re-entrant call paths).
+#define CPX_EXCLUDES(...) \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares a global lock order: this capability is acquired after the
+/// listed ones. Locking against the declared order is a build failure.
+#define CPX_ACQUIRED_AFTER(...) \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define CPX_ACQUIRED_BEFORE(...) \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define CPX_RETURN_CAPABILITY(x) \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch for protocols the analysis cannot express (e.g. a
+/// release/acquire handoff through an atomic). Every use must carry a
+/// comment naming the protocol that makes it sound.
+#define CPX_NO_THREAD_SAFETY_ANALYSIS \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Assertion that the capability is already held (runtime-established
+/// facts the analysis cannot see, e.g. "single-threaded startup").
+#define CPX_ASSERT_CAPABILITY(x) \
+  CPX_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))

@@ -1,0 +1,12 @@
+// cpxcheck fixture — allow-audit rule, CLEAN case: allows naming real
+// rules (from either tool) pass the audit.
+
+#include <vector>
+
+namespace fix {
+
+void warm(std::vector<double>& v, int n) {
+  v.reserve(static_cast<std::size_t>(n));  // cpx-lint: allow(alloc)
+}
+
+}  // namespace fix

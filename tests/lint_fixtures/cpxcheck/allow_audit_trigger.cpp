@@ -1,0 +1,11 @@
+// cpxcheck fixture — allow-audit rule, TRIGGER case. A suppression that
+// names a rule which does not exist enforces nothing, silently.
+
+namespace fix {
+
+int racy_read(const int* p) {
+  // cpx-lint: allow(mt-unsafe)
+  return *p;  // the allow above names an unknown rule: EXPECT allow-audit
+}
+
+}  // namespace fix

@@ -1,0 +1,36 @@
+// cpxcheck fixture — deterministic-kernels rule, CLEAN cases.
+
+#include <map>
+#include <unordered_map>
+
+#include "support/rng.hpp"
+
+namespace fix {
+
+struct Table {
+  std::map<int, double> weights;                  // ordered: fine
+  std::unordered_map<int, double> lookup_cache;   // lookups only: fine
+};
+
+// Iterating an ordered map is deterministic.
+double sum_weights(const Table& t) {
+  double s = 0.0;
+  for (const auto& kv : t.weights) {
+    s += kv.second;
+  }
+  return s;
+}
+
+// Point lookups into an unordered container never observe its order.
+double lookup(const Table& t, int key) {
+  const auto it = t.lookup_cache.find(key);
+  return it == t.lookup_cache.end() ? 0.0 : it->second;
+}
+
+// Seeded repo Rng is the sanctioned randomness source.
+double jitter() {
+  cpx::Rng rng(42);
+  return rng.uniform(0.0, 1.0);
+}
+
+}  // namespace fix

@@ -1,0 +1,42 @@
+// cpxcheck fixture — deterministic-kernels rule, TRIGGER cases.
+
+#include <random>
+#include <unordered_map>
+
+namespace fix {
+
+struct Table {
+  std::unordered_map<int, double> weights;
+};
+
+// Range-for over an unordered member: iteration order is not stable.
+double sum_weights(const Table& t) {
+  double s = 0.0;
+  for (const auto& kv : t.weights) {  // EXPECT deterministic-kernels
+    s += kv.second;
+  }
+  return s;
+}
+
+// Manual iterator walk over an unordered local.
+double sum_local() {
+  std::unordered_map<int, double> m;
+  double s = 0.0;
+  for (auto it = m.begin(); it != m.end(); ++it) {  // EXPECT (begin call)
+    s += it->second;
+  }
+  return s;
+}
+
+// Ambient randomness outside support/rng.hpp.
+double jitter() {
+  std::mt19937 gen(42);  // EXPECT deterministic-kernels
+  return 0.0;
+}
+
+// Wall-clock read.
+long stamp() {
+  return time(nullptr);  // EXPECT deterministic-kernels
+}
+
+}  // namespace fix

@@ -1,0 +1,29 @@
+// cpxcheck fixture — solve-alloc rule, TRIGGER cases. The rule follows
+// the call graph out of the solve entry points, so the allocation below
+// is flagged even though it sits two calls away from pcg() in a function
+// a per-file rule would never look at.
+
+#include <vector>
+
+namespace fix::amg {
+
+struct Scratch {
+  std::vector<double> buf;
+};
+
+void deep_helper(Scratch& s) {
+  s.buf.push_back(0.0);  // EXPECT solve-alloc (reachable from pcg)
+}
+
+void helper(Scratch& s) {
+  deep_helper(s);
+}
+
+double pcg(Scratch& s) {
+  helper(s);
+  double* raw = new double[4];  // EXPECT solve-alloc (`new` in entry)
+  delete[] raw;
+  return 0.0;
+}
+
+}  // namespace fix::amg

@@ -1,0 +1,28 @@
+// lint_cpx fixture — raw-string literal handling in the comment/string
+// stripper. The literal below contains an unbalanced quote, a fake plan
+// window, ghost reads, rand( and a naked new: with the pre-fix stripper
+// the quote flipped string/code sense for the rest of the file, so the
+// literal's contents leaked into the lint and the REAL findings after it
+// landed on wrong lines (or vanished). The expected findings assert both
+// that nothing inside the literal is reported and that the two genuine
+// naked-new findings carry exact line numbers.
+
+namespace fix {
+
+const char* kTemplate = R"tmpl(
+  An "unbalanced quote, then: plan.begin(x); return;
+  ghost_cells[i] = rand();
+  auto* leak = new double[10];
+)tmpl";
+
+const char* kPlain = u8R"(second raw string, "another quote)";
+
+int* make() {
+  return new int(7);  // EXPECT naked-new (line 21)
+}
+
+void unmake(int* p) {
+  delete p;  // EXPECT naked-new (line 25)
+}
+
+}  // namespace fix

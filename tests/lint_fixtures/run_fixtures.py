@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Fixture tests for the static-analysis tools (docs/static_analysis.md).
+
+Runs cpxcheck (lite engine, no baseline) over tests/lint_fixtures/cpxcheck
+and tools/lint_cpx.py over tests/lint_fixtures/lint_cpx, and asserts the
+EXACT `path:line:rule` finding set recorded in expected_cpxcheck.txt /
+expected_lint_cpx.txt: trigger fixtures must fire on their marked lines,
+clean fixtures must stay silent. Also unit-tests the raw-string handling
+in both tools' lexing layers and the `--list --json` rule inventories.
+
+Registered as a ctest (label `lint`); runs standalone too:
+
+    python3 tests/lint_fixtures/run_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+
+FINDING_RE = re.compile(r"^(.+?):(\d+): \[([a-z-]+)\]")
+
+failures: list[str] = []
+
+
+def fail(msg: str) -> None:
+    failures.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg: str) -> None:
+    print(f"  ok: {msg}")
+
+
+def run(cmd: list[str]) -> tuple[int, str]:
+    proc = subprocess.run(cmd, cwd=REPO, capture_output=True, text=True)
+    return proc.returncode, proc.stdout
+
+
+def findings_of(output: str) -> set[str]:
+    out = set()
+    for line in output.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            path = Path(m.group(1)).as_posix()
+            out.add(f"{path}:{m.group(2)}:{m.group(3)}")
+    return out
+
+
+def check_findings(name: str, cmd: list[str], expected_file: Path) -> None:
+    code, output = run(cmd)
+    got = findings_of(output)
+    expected = {line.strip()
+                for line in expected_file.read_text().splitlines()
+                if line.strip()}
+    missing = expected - got
+    extra = got - expected
+    for f in sorted(missing):
+        fail(f"{name}: expected finding not reported: {f}")
+    for f in sorted(extra):
+        fail(f"{name}: unexpected finding: {f}")
+    if expected and code == 0:
+        fail(f"{name}: exit code 0 despite expected findings")
+    if not missing and not extra:
+        ok(f"{name}: {len(expected)} finding(s) match exactly")
+
+
+def check_raw_strings_lint_cpx() -> None:
+    sys.path.insert(0, str(REPO / "tools"))
+    import lint_cpx
+    src = ('auto s = R"(line one "quote\n'
+           'ghost_x plan.begin(a); new int;)" ; x.begin(y);\n'
+           'auto t = u8R"d(second "raw)d"; int n = 10\'000;\n'
+           "char c = 'x'; auto u = LR\"(third)\";\n")
+    out = lint_cpx.strip_comments_and_strings(src)
+    if out.count("\n") != src.count("\n"):
+        fail("lint_cpx stripper: raw string broke line structure")
+    elif any(s in out for s in ("ghost_x", "plan.begin", "new int",
+                                "quote", "second", "third")):
+        fail("lint_cpx stripper: raw-string contents leaked into code")
+    elif "x.begin(y)" not in out:
+        fail("lint_cpx stripper: code after a raw string was eaten")
+    elif "10'000" not in out:
+        fail("lint_cpx stripper: digit separator mangled")
+    else:
+        ok("lint_cpx stripper handles raw strings")
+    # Identifier tails must not be misread as encoding prefixes.
+    out2 = lint_cpx.strip_comments_and_strings('f(FACTOR"(not raw)");\n')
+    if "not raw" in out2:
+        fail("lint_cpx stripper: FACTOR\"...\" misread as raw string")
+    else:
+        ok("lint_cpx stripper: no false raw-string prefixes")
+
+
+def check_raw_strings_cpxcheck() -> None:
+    sys.path.insert(0, str(REPO / "tools" / "cpxcheck"))
+    import lex
+    toks = lex.tokenize('auto s = R"d(a )nope" b\nc)d"; int z = 1;\n')
+    strs = [t for t in toks if t.kind == lex.STR]
+    ids = [t.text for t in toks if t.kind == lex.ID]
+    if len(strs) != 1 or ')nope" b\nc' not in strs[0].text:
+        fail("cpxcheck lexer: raw-string contents wrong")
+    elif "z" not in ids or "b" in ids:
+        fail("cpxcheck lexer: raw string desynchronised the token stream")
+    elif toks[-2].text != "1":
+        fail("cpxcheck lexer: trailing tokens wrong after raw string")
+    else:
+        z = next(t for t in toks if t.text == "z")
+        if z.line != 2:
+            fail("cpxcheck lexer: line numbers wrong after raw string")
+        else:
+            ok("cpxcheck lexer handles raw strings")
+
+
+def check_inventories() -> None:
+    for name, cmd in (
+            ("lint_cpx", [sys.executable, "tools/lint_cpx.py",
+                          "--list", "--json"]),
+            ("cpxcheck", [sys.executable, "tools/cpxcheck",
+                          "--list", "--json"])):
+        code, output = run(cmd)
+        try:
+            rules = json.loads(output)
+        except json.JSONDecodeError:
+            fail(f"{name} --list --json: not valid JSON")
+            continue
+        if code != 0 or not rules or not all(
+                r.get("name") and r.get("summary") for r in rules):
+            fail(f"{name} --list --json: empty or incomplete inventory")
+        else:
+            ok(f"{name} --list --json: {len(rules)} rules")
+
+
+def main() -> int:
+    check_findings(
+        "cpxcheck fixtures",
+        [sys.executable, "tools/cpxcheck", "tests/lint_fixtures/cpxcheck",
+         "--engine", "lite", "--baseline", "none"],
+        HERE / "expected_cpxcheck.txt")
+    check_findings(
+        "lint_cpx fixtures",
+        [sys.executable, "tools/lint_cpx.py", "tests/lint_fixtures/lint_cpx"],
+        HERE / "expected_lint_cpx.txt")
+    check_raw_strings_lint_cpx()
+    check_raw_strings_cpxcheck()
+    check_inventories()
+    if failures:
+        print(f"\nrun_fixtures: {len(failures)} failure(s)")
+        return 1
+    print("\nrun_fixtures: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

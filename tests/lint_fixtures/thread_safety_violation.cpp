@@ -1,0 +1,40 @@
+// Negative control for the clang -Wthread-safety CI job
+// (docs/static_analysis.md). This file is NEVER part of the build: CI
+// compiles it with `clang++ -fsyntax-only -Wthread-safety
+// -Werror=thread-safety` and REQUIRES the compile to fail. If it ever
+// compiles cleanly, the annotation layer has gone inert (macros compiled
+// away under clang, wrapper types losing their capability attributes, the
+// warning flag dropped) and every CPX_GUARDED_BY in src/ is decoration.
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace cpx::fixture {
+
+class Account {
+ public:
+  // VIOLATION 1: writes a guarded field without holding its mutex.
+  void deposit_unlocked(int amount) { balance_ += amount; }
+
+  // VIOLATION 2: acquires the two mutexes against the declared
+  // CPX_ACQUIRED_AFTER order.
+  void audit_wrong_order() {
+    support::MutexLock audit(audit_mutex_);
+    support::MutexLock state(state_mutex_);
+    balance_ = checked_;
+  }
+
+  // VIOLATION 3: requires-clause ignored by a caller holding nothing.
+  void adjust_locked(int amount) CPX_REQUIRES(state_mutex_) {
+    balance_ += amount;
+  }
+  void adjust_without_lock(int amount) { adjust_locked(amount); }
+
+ private:
+  support::Mutex state_mutex_;
+  support::Mutex audit_mutex_ CPX_ACQUIRED_AFTER(state_mutex_);
+  int balance_ CPX_GUARDED_BY(state_mutex_) = 0;
+  int checked_ CPX_GUARDED_BY(audit_mutex_) = 0;
+};
+
+}  // namespace cpx::fixture

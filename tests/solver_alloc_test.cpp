@@ -24,6 +24,7 @@
 #include "sim/cluster.hpp"
 #include "sim/machine.hpp"
 #include "sparse/generators.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -230,6 +231,42 @@ TEST(SolverAllocations, WarmClusterOverlapWindowAllocatesNothing) {
   });
   EXPECT_EQ(allocs, 0u)
       << "warm overlap window made " << allocs << " heap allocations";
+}
+
+// Regression for a gap the call-graph-aware analyzer (tools/cpxcheck rule
+// `solve-alloc`) found and the per-file lint could not: parallel_reduce
+// heap-allocated a fresh partials vector on every call once a range
+// exceeded its 512-chunk stack buffer, i.e. every BLAS-1 reduction on a
+// long-enough vector allocated on the solve path. The partials buffer is
+// now persistent per-thread scratch: after one warm call, wide reductions
+// are allocation-free.
+TEST(SolverAllocations, WideParallelReduceAllocatesNothingWhenWarm) {
+  constexpr std::int64_t kN = 1 << 20;
+  constexpr std::int64_t kGrain = 256;  // ~4096 chunks >> 512 stack slots
+  std::vector<double> v(static_cast<std::size_t>(kN), 0.5);
+
+  const auto sum_chunks = [&](std::int64_t lo, std::int64_t hi) {
+    double s = 0.0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      s += v[static_cast<std::size_t>(i)];
+    }
+    return s;
+  };
+
+  // Warm-up sizes the thread-local partials scratch.
+  const double warm =
+      support::parallel_reduce(0, kN, kGrain, 0.0, sum_chunks);
+  EXPECT_DOUBLE_EQ(warm, 0.5 * static_cast<double>(kN));
+
+  double total = 0.0;
+  const std::size_t allocs = allocations_during([&] {
+    for (int rep = 0; rep < 4; ++rep) {
+      total = support::parallel_reduce(0, kN, kGrain, 0.0, sum_chunks);
+    }
+  });
+  EXPECT_DOUBLE_EQ(total, 0.5 * static_cast<double>(kN));
+  EXPECT_EQ(allocs, 0u)
+      << "warm wide parallel_reduce made " << allocs << " heap allocations";
 }
 
 }  // namespace

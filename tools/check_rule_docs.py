@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Doc-drift gate for the static-analysis rule inventories
+(docs/static_analysis.md).
+
+Collects the machine-readable rule lists from both tools
+(`lint_cpx.py --list --json`, `cpxcheck --list --json`) and cross-checks
+them against docs/static_analysis.md in both directions:
+
+  * every rule a tool enforces must be documented (as `` `name` `` inside
+    a rule-table row or heading), and
+  * every rule name the doc claims must exist in a tool.
+
+Rule names are recognised in the doc as backticked tokens following the
+`rule:` marker, i.e. lines containing `rule:` followed by `` `name` ``.
+Run from anywhere; exits non-zero on drift. Registered as a ctest (label
+`lint`) and run in the lint CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC = REPO / "docs" / "static_analysis.md"
+
+DOC_RULE_RE = re.compile(r"rule:\s*`([a-z][a-z0-9-]*)`")
+
+
+def tool_rules() -> dict[str, str]:
+    rules: dict[str, str] = {}
+    for cmd in ([sys.executable, str(REPO / "tools" / "lint_cpx.py"),
+                 "--list", "--json"],
+                [sys.executable, str(REPO / "tools" / "cpxcheck"),
+                 "--list", "--json"]):
+        proc = subprocess.run(cmd, cwd=REPO, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"check_rule_docs: {' '.join(cmd)} failed:\n{proc.stderr}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        for entry in json.loads(proc.stdout):
+            rules[entry["name"]] = entry["tool"]
+    return rules
+
+
+def main() -> int:
+    if not DOC.is_file():
+        print(f"check_rule_docs: {DOC} missing", file=sys.stderr)
+        return 1
+    documented = set(DOC_RULE_RE.findall(DOC.read_text(encoding="utf-8")))
+    enforced = tool_rules()
+
+    errors = []
+    for name in sorted(set(enforced) - documented):
+        errors.append(
+            f"rule `{name}` ({enforced[name]}) is enforced but not "
+            f"documented in docs/static_analysis.md — add a `rule: "
+            f"\\`{name}\\`` entry")
+    for name in sorted(documented - set(enforced)):
+        errors.append(
+            f"rule `{name}` is documented in docs/static_analysis.md but "
+            f"no tool enforces it — stale doc entry")
+
+    if errors:
+        for e in errors:
+            print(f"check_rule_docs: {e}")
+        return 1
+    print(f"check_rule_docs: {len(enforced)} rules documented and "
+          f"enforced, no drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

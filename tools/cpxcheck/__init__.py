@@ -1,0 +1,6 @@
+"""cpxcheck: AST-grounded static analysis for the CPX repo.
+
+See docs/static_analysis.md. Run as `python3 tools/cpxcheck`.
+"""
+
+__version__ = "1.0"

@@ -1,0 +1,16 @@
+"""Entry point: `python3 tools/cpxcheck [args]`.
+
+Running the directory puts it on sys.path[0], so the sibling modules
+import as top-level names; make that robust when invoked oddly."""
+
+import sys
+from pathlib import Path
+
+_HERE = str(Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

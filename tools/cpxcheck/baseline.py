@@ -1,0 +1,73 @@
+"""Baseline / suppression file for cpxcheck (docs/static_analysis.md).
+
+Format — one entry per line, pipe-separated, `#` comments allowed:
+
+    rule|path|key|justification
+
+An entry suppresses findings of `rule` in `path` whose message contains
+`key` (use a distinctive fragment: a member name, a callee). The
+justification is mandatory — an entry without one is itself an error, and
+so is an entry that no longer matches anything (stale baselines are how
+suppressed bug classes creep back in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from model import Finding
+
+
+@dataclass
+class Entry:
+    rule: str
+    path: str
+    key: str
+    justification: str
+    line_no: int
+    hits: int = 0
+
+    def matches(self, f: Finding) -> bool:
+        return (f.rule == self.rule and f.path == self.path
+                and (self.key == "*" or self.key in f.message))
+
+
+def load(path: Path) -> tuple[list[Entry], list[Finding]]:
+    entries: list[Entry] = []
+    errors: list[Finding] = []
+    rel = str(path)
+    for idx, raw in enumerate(path.read_text(encoding="utf-8").splitlines()):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|")]
+        if len(parts) != 4 or not all(parts):
+            errors.append(Finding(
+                "baseline", rel, idx + 1,
+                "malformed baseline entry; expected "
+                "`rule|path|key|justification` with all fields non-empty"))
+            continue
+        entries.append(Entry(parts[0], parts[1], parts[2], parts[3],
+                             idx + 1))
+    return entries, errors
+
+
+def apply(findings: list[Finding], entries: list[Entry],
+          baseline_path: Path) -> list[Finding]:
+    """Filters baselined findings; appends errors for unused entries."""
+    kept: list[Finding] = []
+    for f in findings:
+        entry = next((e for e in entries if e.matches(f)), None)
+        if entry is None:
+            kept.append(f)
+        else:
+            entry.hits += 1
+    rel = str(baseline_path)
+    for e in entries:
+        if e.hits == 0:
+            kept.append(Finding(
+                "baseline", rel, e.line_no,
+                f"unused baseline entry `{e.rule}|{e.path}|{e.key}`; the "
+                f"finding it suppressed is gone — delete the entry"))
+    return kept

@@ -1,0 +1,665 @@
+"""cpxcheck rules (docs/static_analysis.md).
+
+Each rule consumes the model.py facts produced by either frontend. These
+are the semantic upgrades of the tools/lint_cpx.py regex rules: members
+come from real class definitions instead of a `name_` naming convention,
+split-phase windows are tracked path-sensitively through the statement
+tree, deterministic-kernel checks resolve receiver types, and solve-alloc
+follows the call graph out of the solve entry points instead of stopping
+at a fixed file list.
+
+Suppression: the same `// cpx-lint: allow(<rule>)` markers as lint_cpx.py
+(same line or the line above). Each cpxcheck rule also honours the legacy
+lint rule name it subsumes (e.g. `allow(alloc)` silences `solve-alloc`),
+so existing annotated code keeps its meaning. Project-wide exceptions go
+in tools/cpxcheck/baseline.txt with a justification.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import lex
+from model import (CallSite, ClassInfo, FileFacts, Finding, FunctionInfo,
+                   S_BLOCK, S_IF, S_LOOP, S_RETURN, S_SIMPLE, S_SWITCH,
+                   S_THROW, S_TRY, Stmt, walk_stmts)
+
+ALLOW_RE = re.compile(
+    r"//\s*cpx-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Rule names the allow() marker may legally reference: the regex linter's
+# rules plus cpxcheck's. `allow-audit` rejects anything else.
+LINT_CPX_RULES = frozenset({
+    "naked-new", "alloc", "reduce", "deterministic-kernels",
+    "metrics-registry", "raw-comm", "ckpt", "split-phase",
+})
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    name: str
+    summary: str
+    aliases: frozenset  # allow() names that silence this rule
+
+
+RULES = (
+    RuleInfo(
+        "ckpt-registry",
+        "Registered checkpoint classes define serialize/restore, "
+        "implementers are registered, and every non-static data member "
+        "(enumerated from the class definition, not a naming convention) "
+        "is threaded through BOTH bodies or carries allow(ckpt).",
+        frozenset({"ckpt-registry", "ckpt"})),
+    RuleInfo(
+        "split-phase",
+        "Every exchange window — ExchangePlan begin()/finish() and "
+        "Cluster exchange_begin()/exchange_finish() — must close on every "
+        "control path (early returns, throws, diverging branches, loop "
+        "bodies), with no ghost-slot reads inside the window.",
+        frozenset({"split-phase"})),
+    RuleInfo(
+        "deterministic-kernels",
+        "No ambient randomness or wall-clock reads outside their sanctioned "
+        "homes, and no iteration over unordered containers — resolved "
+        "through declared types, not identifier spelling.",
+        frozenset({"deterministic-kernels"})),
+    RuleInfo(
+        "solve-alloc",
+        "No allocating expressions (container growth, new, make_unique, "
+        "malloc) in any function reachable from the solve-path entry "
+        "points (amg::pcg, AmgHierarchy::solve/cycle) via the call graph.",
+        frozenset({"solve-alloc", "alloc", "naked-new"})),
+    RuleInfo(
+        "allow-audit",
+        "Every `cpx-lint: allow(<rule>)` marker names a rule that exists "
+        "(in lint_cpx.py or cpxcheck); unknown names are dead suppressions "
+        "that silently enforce nothing.",
+        frozenset({"allow-audit"})),
+)
+
+KNOWN_ALLOW_NAMES = LINT_CPX_RULES | {r.name for r in RULES} \
+    | frozenset().union(*(r.aliases for r in RULES))
+
+GROWTH_CALLS = frozenset({
+    "push_back", "emplace_back", "emplace", "resize", "reserve",
+    "assign", "insert", "append",
+})
+ALLOC_CALLS = frozenset({"make_unique", "make_shared", "malloc", "calloc",
+                         "realloc"})
+
+RANDOM_IDENTS = frozenset({
+    "random_device", "mt19937", "mt19937_64", "minstd_rand",
+    "minstd_rand0", "default_random_engine", "knuth_b", "ranlux24",
+    "ranlux48",
+})
+CLOCK_IDENTS = frozenset({"system_clock", "high_resolution_clock"})
+
+SOLVE_ENTRY_SUFFIXES = ("amg::pcg", "AmgHierarchy::solve",
+                        "AmgHierarchy::cycle")
+RNG_HOME = "src/support/rng.hpp"
+
+
+@dataclass
+class Project:
+    files: list[FileFacts] = field(default_factory=list)
+
+    def allows(self, facts: FileFacts, line: int) -> set:
+        out: set = set()
+        for j in (line, line - 1):
+            m = ALLOW_RE.search(facts.line_text(j))
+            if m:
+                out.update(s.strip() for s in m.group(1).split(","))
+        return out
+
+    def allowed(self, facts: FileFacts, line: int, rule: RuleInfo) -> bool:
+        return bool(self.allows(facts, line) & rule.aliases)
+
+
+def rule_by_name(name: str) -> RuleInfo:
+    for r in RULES:
+        if r.name == name:
+            return r
+    raise KeyError(name)
+
+
+def run_rules(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    findings += check_ckpt_registry(project)
+    findings += check_split_phase(project)
+    findings += check_deterministic(project)
+    findings += check_solve_alloc(project)
+    findings += check_allow_audit(project)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# ckpt-registry
+# ---------------------------------------------------------------------------
+
+_CKPT_ENTRY_RE = re.compile(r'"((?:\w+::)*\w+)"')
+
+
+def check_ckpt_registry(project: Project) -> list[Finding]:
+    rule = rule_by_name("ckpt-registry")
+    registry = next((f for f in project.files
+                     if f.path.endswith("ckpt/registry.hpp")
+                     or f.path.endswith("registry.hpp")
+                     and "kCheckpointedClasses" in "\n".join(f.lines)), None)
+    if registry is None:
+        return []
+    text = "\n".join(registry.lines)
+    m = re.search(r"kCheckpointedClasses\[\]\s*=\s*\{(.*?)\}", text,
+                  re.DOTALL)
+    entries = _CKPT_ENTRY_RE.findall(m.group(1)) if m else []
+    registered = {e.split("::")[-1]: e for e in entries}
+
+    findings: list[Finding] = []
+
+    # Index: short class name -> [(facts, ClassInfo)], and the
+    # serialize/restore definitions per short class name.
+    classes: dict = {}
+    ser: dict = {}
+    res: dict = {}
+    impl_site: dict = {}
+    for facts in project.files:
+        for cls in facts.classes:
+            classes.setdefault(cls.name, []).append((facts, cls))
+        for fn in facts.functions:
+            if fn.name == "serialize" and "ckpt::Writer" in fn.param_text:
+                ser.setdefault(fn.class_name, []).append(fn)
+                impl_site.setdefault(fn.class_name, (facts, fn.line))
+            if fn.name == "restore" and "ckpt::Reader" in fn.param_text:
+                res.setdefault(fn.class_name, []).append(fn)
+                impl_site.setdefault(fn.class_name, (facts, fn.line))
+
+    for short, (facts, line) in sorted(impl_site.items()):
+        if short and short not in registered:
+            findings.append(Finding(
+                rule.name, facts.path, line,
+                f"{short} implements a serialize(ckpt::Writer&)/"
+                f"restore(ckpt::Reader&) pair but is not listed in "
+                f"{registry.path}"))
+
+    for short in sorted(registered):
+        full = registered[short]
+        if short not in ser or short not in res:
+            findings.append(Finding(
+                rule.name, registry.path, 1,
+                f"registered class {full} defines no "
+                f"serialize/restore pair"))
+            continue
+        located = _locate_class(classes.get(short, []), full)
+        if located is None:
+            findings.append(Finding(
+                rule.name, registry.path, 1,
+                f"cannot find the class definition of registered class "
+                f"{full}"))
+            continue
+        facts, cls = located
+        handled_ser = set().union(*(fn.body_idents for fn in ser[short]))
+        handled_res = set().union(*(fn.body_idents for fn in res[short]))
+        for fld in cls.fields:
+            if fld.is_static:
+                continue
+            if project.allowed(facts, fld.line, rule):
+                continue
+            missing = [what for what, idents in
+                       (("serialize", handled_ser), ("restore", handled_res))
+                       if fld.name not in idents]
+            if missing:
+                findings.append(Finding(
+                    rule.name, facts.path, fld.line,
+                    f"member `{fld.name}` of checkpointed class {full} is "
+                    f"not handled in its {' or '.join(missing)} body; "
+                    f"snapshot it or mark it `allow(ckpt)` as rebuilt "
+                    f"state"))
+    return findings
+
+
+def _locate_class(candidates, full_qualname):
+    """Prefers the candidate whose qualname matches the registry entry."""
+    best = None
+    for facts, cls in candidates:
+        if cls.qualname.endswith(full_qualname):
+            return facts, cls
+        if best is None and cls.fields:
+            best = (facts, cls)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# split-phase
+# ---------------------------------------------------------------------------
+
+def check_split_phase(project: Project) -> list[Finding]:
+    rule = rule_by_name("split-phase")
+    findings: list[Finding] = []
+    for facts in project.files:
+        plan_rules = not facts.path.startswith("src/comm/")
+        cluster_rules = facts.path != "src/sim/cluster.cpp" \
+            and not facts.path.endswith("/cluster.cpp")
+        if not plan_rules and not cluster_rules:
+            continue
+        for fn in facts.functions:
+            ctx = _SplitPhaseCtx(project, facts, fn, rule,
+                                 plan_rules, cluster_rules, findings)
+            out = ctx.eval_stmts(fn.body, {})
+            for key, line in sorted(out.items()):
+                findings.append(Finding(
+                    rule.name, facts.path, line,
+                    f"`{_window_label(key)}` has no matching "
+                    f"{_closer_label(key)} before the end of "
+                    f"`{fn.qualname}`"))
+    return findings
+
+
+def _window_label(key: str) -> str:
+    kind, name = key.split(":", 1)
+    if kind == "plan":
+        return f"{name}.begin(...)"
+    return f"{name} = ...exchange_begin(...)"
+
+
+def _closer_label(key: str) -> str:
+    return "finish()" if key.startswith("plan:") else "exchange_finish()"
+
+
+class _SplitPhaseCtx:
+    def __init__(self, project, facts, fn, rule, plan_rules, cluster_rules,
+                 findings) -> None:
+        self.project = project
+        self.facts = facts
+        self.fn = fn
+        self.rule = rule
+        self.plan_rules = plan_rules
+        self.cluster_rules = cluster_rules
+        self.findings = findings
+
+    def _allowed(self, line: int) -> bool:
+        return self.project.allowed(self.facts, line, self.rule)
+
+    def _receiver_is_plan(self, name: str):
+        """True / False / None(unknown) for `name` being an ExchangePlan."""
+        ty = _receiver_type(self.project, self.facts, self.fn, name)
+        if ty is None:
+            return None
+        return "ExchangePlan" in ty
+
+    def eval_stmts(self, stmts: list[Stmt], state: dict) -> dict:
+        for s in stmts:
+            state = self.eval_stmt(s, state)
+        return state
+
+    def eval_stmt(self, s: Stmt, state: dict) -> dict:
+        if s.kind == S_SIMPLE:
+            return self._scan_tokens(s.tokens, dict(state))
+        if s.kind in (S_RETURN, S_THROW):
+            state = self._scan_tokens(s.tokens, dict(state))
+            if s.kind == S_RETURN:
+                # Returning an exchange handle transfers window ownership
+                # to the caller (the sim::begin_exchange wrapper pattern):
+                # the window is the return value, not a leak.
+                returned = {t.text for t in s.tokens if t.kind == lex.ID}
+                for key in [k for k in state if k.startswith("win:")
+                            and k[4:] in returned]:
+                    state.pop(key)
+            if state and not self._allowed(s.line):
+                names = ", ".join(_window_label(k) for k in sorted(state))
+                what = "return" if s.kind == S_RETURN else "throw"
+                self.findings.append(Finding(
+                    self.rule.name, self.facts.path, s.line,
+                    f"`{what}` leaves the open exchange window of "
+                    f"{names}; every control path must close a begun "
+                    f"exchange"))
+            return state
+        if s.kind == S_BLOCK:
+            return self.eval_stmts(s.children, state)
+        if s.kind == S_IF:
+            entry = self._scan_tokens(s.tokens, dict(state))
+            then_out = self.eval_stmts(s.children, dict(entry))
+            else_out = self.eval_stmts(s.else_children, dict(entry))
+            if set(then_out) != set(else_out) and not self._allowed(s.line):
+                diverged = sorted(set(then_out) ^ set(else_out))
+                names = ", ".join(_window_label(k) for k in diverged)
+                self.findings.append(Finding(
+                    self.rule.name, self.facts.path, s.line,
+                    f"exchange window of {names} is open on one branch of "
+                    f"this `if` but not the other; both paths must leave "
+                    f"the window in the same state"))
+            return {k: v for k, v in then_out.items() if k in else_out}
+        if s.kind in (S_LOOP, S_SWITCH):
+            entry = self._scan_tokens(
+                list(s.tokens) + list(s.range_tokens), dict(state))
+            self._check_ghost(s.range_tokens, entry)
+            body_out = self.eval_stmts(s.children, dict(entry))
+            if set(body_out) != set(entry) and not self._allowed(s.line):
+                diverged = sorted(set(body_out) ^ set(entry))
+                names = ", ".join(_window_label(k) for k in diverged)
+                kind = "loop" if s.kind == S_LOOP else "switch"
+                self.findings.append(Finding(
+                    self.rule.name, self.facts.path, s.line,
+                    f"exchange window of {names} is opened or closed "
+                    f"inside this `{kind}` body without balancing; the "
+                    f"window state must match at entry and exit"))
+            return entry
+        if s.kind == S_TRY:
+            body_out = self.eval_stmts(s.children, dict(state))
+            for handler in s.else_children:
+                self.eval_stmt(handler, dict(state))
+            return body_out
+        return state
+
+    def _scan_tokens(self, toks, state: dict) -> dict:
+        n = len(toks)
+        # A window both opened and closed inside one statement (e.g.
+        # `finish(begin(...))`) is balanced: scan sequentially.
+        for k, t in enumerate(toks):
+            if t.kind != lex.ID:
+                continue
+            nxt = toks[k + 1].text if k + 1 < n else ""
+            prev = toks[k - 1].text if k > 0 else ""
+            if self.plan_rules and nxt == "(" and prev in (".", "->"):
+                recv = toks[k - 2].text if k >= 2 \
+                    and toks[k - 2].kind == lex.ID else ""
+                if t.text == "begin" and recv:
+                    has_args = k + 2 < n and toks[k + 2].text != ")"
+                    is_plan = self._receiver_is_plan(recv)
+                    if is_plan or (is_plan is None and has_args):
+                        if not self._allowed(t.line):
+                            state["plan:" + recv] = t.line
+                elif t.text == "finish" and recv:
+                    state.pop("plan:" + recv, None)
+            if self.cluster_rules and nxt == "(" \
+                    and t.text == "exchange_begin":
+                if any(x.text == "exchange_finish" for x in toks[:k]):
+                    continue  # closed earlier in this statement? unusual
+                if any(x.text == "exchange_finish" for x in toks[k:]):
+                    continue  # balanced within the statement
+                var = ""
+                for m in range(k - 1, 0, -1):
+                    if toks[m].text == "=" and toks[m - 1].kind == lex.ID:
+                        var = toks[m - 1].text
+                        break
+                if not self._allowed(t.line):
+                    state["win:" + (var or "?")] = t.line
+            if self.cluster_rules and nxt == "(" \
+                    and t.text == "exchange_finish":
+                args = _call_arg_idents(toks, k + 1)
+                closed = [key for key in state
+                          if key.startswith("win:") and key[4:] in args]
+                if closed:
+                    for key in closed:
+                        state.pop(key)
+                else:
+                    wins = [key for key in state if key.startswith("win:")]
+                    if len(wins) == 1:
+                        state.pop(wins[0])
+            if t.text.startswith("ghost") and not self._allowed(t.line):
+                plans = sorted(k for k in state if k.startswith("plan:"))
+                if plans:
+                    names = ", ".join(_window_label(k) for k in plans)
+                    self.findings.append(Finding(
+                        self.rule.name, self.facts.path, t.line,
+                        f"`{t.text}` read inside the begin()/finish() "
+                        f"window of {names}; slots the plan fills are not "
+                        f"valid until finish()"))
+        return state
+
+    def _check_ghost(self, toks, state: dict) -> None:
+        self._scan_tokens([t for t in toks if t.kind == lex.ID
+                           and t.text.startswith("ghost")], state)
+
+
+def _call_arg_idents(toks, open_idx: int) -> set:
+    """Identifier tokens inside the () group opening at open_idx."""
+    out = set()
+    depth = 0
+    for t in toks[open_idx:]:
+        if t.text in "([{":
+            depth += 1
+        elif t.text in ")]}":
+            depth -= 1
+            if depth == 0:
+                break
+        elif t.kind == lex.ID:
+            out.add(t.text)
+    return out
+
+
+def _receiver_type(project: Project, facts: FileFacts, fn: FunctionInfo,
+                   name: str):
+    """Declared type text for `name` in fn's scope, or None if unknown."""
+    for v in fn.local_vars:
+        if v.name == name:
+            return v.type_text
+    cls_name = fn.class_name
+    if cls_name:
+        for f in project.files:
+            for cls in f.classes:
+                if cls.name == cls_name:
+                    for fld in cls.fields:
+                        if fld.name == name:
+                            return fld.type_text
+    m = re.search(r"([\w:<>,&*\s]+?)[&*\s]+" + re.escape(name) + r"\b",
+                  fn.param_text)
+    if m:
+        return m.group(1)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# deterministic-kernels
+# ---------------------------------------------------------------------------
+
+def check_deterministic(project: Project) -> list[Finding]:
+    rule = rule_by_name("deterministic-kernels")
+    findings: list[Finding] = []
+    for facts in project.files:
+        if facts.path == RNG_HOME or facts.path.endswith("support/rng.hpp"):
+            continue
+        unordered = _unordered_names(project, facts)
+        for fn in facts.functions:
+            local_unordered = unordered | {
+                v.name for v in fn.local_vars if "unordered_" in v.type_text}
+            for s in walk_stmts(fn.body):
+                _det_scan(project, facts, rule, s, local_unordered,
+                          findings)
+    return findings
+
+
+def _unordered_names(project: Project, facts: FileFacts) -> set:
+    names = set()
+    for cls in facts.classes:
+        for fld in cls.fields:
+            if "unordered_" in fld.type_text:
+                names.add(fld.name)
+    # Fields of classes defined in headers this file includes (same repo):
+    # resolved coarsely by short include suffix match.
+    for inc in facts.includes:
+        for other in project.files:
+            if other.path.endswith(inc):
+                for cls in other.classes:
+                    for fld in cls.fields:
+                        if "unordered_" in fld.type_text:
+                            names.add(fld.name)
+    return names
+
+
+def _det_scan(project, facts, rule, s: Stmt, unordered: set,
+              findings: list) -> None:
+    toks = list(s.tokens) + list(s.range_tokens)
+    n = len(toks)
+    for k, t in enumerate(toks):
+        if t.kind != lex.ID:
+            continue
+        if project.allowed(facts, t.line, rule):
+            continue
+        nxt = toks[k + 1].text if k + 1 < n else ""
+        prev = toks[k - 1].text if k > 0 else ""
+        if t.text in ("rand", "srand") and nxt == "(" \
+                and prev not in (".", "->"):
+            findings.append(Finding(
+                rule.name, facts.path, t.line,
+                f"{t.text}(); kernels must be reproducible — seed through "
+                f"support/rng.hpp"))
+        elif t.text in RANDOM_IDENTS:
+            findings.append(Finding(
+                rule.name, facts.path, t.line,
+                f"std::{t.text}; kernels must be reproducible — seed "
+                f"through support/rng.hpp"))
+        elif t.text in CLOCK_IDENTS:
+            findings.append(Finding(
+                rule.name, facts.path, t.line,
+                f"{t.text}; wall-clock reads are nondeterministic — use "
+                f"steady_clock inside support/ or pass time in"))
+        elif t.text == "time" and nxt == "(" and k + 2 < n \
+                and toks[k + 2].text in ("NULL", "nullptr", "0"):
+            findings.append(Finding(
+                rule.name, facts.path, t.line,
+                "time(NULL); kernels must be reproducible"))
+        elif t.text in ("begin", "cbegin") and nxt == "(" \
+                and prev in (".", "->") and k >= 2 \
+                and toks[k - 2].kind == lex.ID \
+                and toks[k - 2].text in unordered \
+                and (k + 2 >= n or toks[k + 2].text == ")"):
+            findings.append(Finding(
+                rule.name, facts.path, t.line,
+                f"iteration over unordered container `{toks[k - 2].text}`; "
+                f"order is not deterministic"))
+    # Range-for over an unordered container.
+    if s.range_tokens:
+        for t in s.range_tokens:
+            if t.kind == lex.ID and t.text in unordered \
+                    and not project.allowed(facts, t.line, rule):
+                findings.append(Finding(
+                    rule.name, facts.path, t.line,
+                    f"iteration over unordered container `{t.text}`; "
+                    f"order is not deterministic"))
+
+
+# ---------------------------------------------------------------------------
+# solve-alloc
+# ---------------------------------------------------------------------------
+
+def check_solve_alloc(project: Project) -> list[Finding]:
+    rule = rule_by_name("solve-alloc")
+    by_name: dict = {}
+    by_qual: dict = {}
+    fn_facts: dict = {}
+    for facts in project.files:
+        for fn in facts.functions:
+            by_name.setdefault(fn.name, []).append(fn)
+            by_qual[fn.qualname] = fn
+            fn_facts[id(fn)] = facts
+
+    entries = [fn for fn in by_qual.values()
+               if any(fn.qualname.endswith(sfx)
+                      for sfx in SOLVE_ENTRY_SUFFIXES)]
+    findings: list[Finding] = []
+    visited: dict = {}  # qualname -> entry description (for messages)
+
+    stack = [(fn, fn.qualname.split("::")[-1]) for fn in entries]
+    for fn, _ in stack:
+        visited[fn.qualname] = fn.qualname.split("::")[-1]
+    while stack:
+        fn, entry = stack.pop()
+        for call in fn.calls:
+            if call.in_debug_gate:
+                continue
+            callee = _resolve_call(project, fn_facts[id(fn)], fn, call,
+                                   by_name)
+            if callee is None or callee.qualname in visited:
+                continue
+            visited[callee.qualname] = entry
+            stack.append((callee, entry))
+
+    for qual, entry in visited.items():
+        fn = by_qual[qual]
+        facts = fn_facts[id(fn)]
+        for call in fn.calls:
+            if call.in_debug_gate:
+                continue
+            flagged = (call.name in GROWTH_CALLS and call.receiver) \
+                or call.name in ALLOC_CALLS
+            if not flagged:
+                continue
+            if project.allowed(facts, call.line, rule):
+                continue
+            findings.append(Finding(
+                rule.name, facts.path, call.line,
+                f"allocating call `{call.name}` in `{fn.qualname}`, which "
+                f"is reachable from solve entry `{entry}`; the solve path "
+                f"is allocation-free by contract "
+                f"(tests/solver_alloc_test.cpp)"))
+        for s in walk_stmts(fn.body):
+            for k, t in enumerate(s.tokens):
+                if t.kind == lex.ID and t.text == "new" \
+                        and (k == 0 or s.tokens[k - 1].text
+                             not in (".", "->", "::")) \
+                        and not project.allowed(facts, t.line, rule):
+                    findings.append(Finding(
+                        rule.name, facts.path, t.line,
+                        f"`new` expression in `{fn.qualname}`, which is "
+                        f"reachable from solve entry `{entry}`; the solve "
+                        f"path is allocation-free by contract"))
+    return findings
+
+
+def _resolve_call(project, facts, fn, call: CallSite, by_name):
+    """The unique FunctionInfo a call resolves to, or None. Conservative:
+    unresolvable or ambiguous calls are not traversed (flagging inside the
+    caller still happens regardless)."""
+    candidates = by_name.get(call.name, [])
+    if not candidates:
+        return None
+    if call.receiver and call.receiver != "<expr>":
+        ty = _receiver_type(project, facts, fn, call.receiver)
+        if ty is not None:
+            typed = [c for c in candidates
+                     if c.class_name and c.class_name in ty]
+            if len(typed) == 1:
+                return typed[0]
+            return None
+        # Unknown receiver type: traverse only an unambiguous method.
+        methods = [c for c in candidates if c.class_name]
+        return methods[0] if len(methods) == 1 else None
+    if call.qualifier:
+        qualed = [c for c in candidates if call.qualifier in c.qualname]
+        return qualed[0] if len(qualed) == 1 else None
+    # Free call: prefer free functions; also allow a unique same-class
+    # method (implicit this).
+    free = [c for c in candidates if not c.class_name]
+    if len(free) == 1:
+        return free[0]
+    same_cls = [c for c in candidates
+                if c.class_name and c.class_name == fn.class_name]
+    if len(same_cls) == 1:
+        return same_cls[0]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# allow-audit
+# ---------------------------------------------------------------------------
+
+def check_allow_audit(project: Project) -> list[Finding]:
+    rule = rule_by_name("allow-audit")
+    findings: list[Finding] = []
+    for facts in project.files:
+        for idx, line in enumerate(facts.lines):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            line_no = idx + 1
+            if project.allowed(facts, line_no, rule):
+                continue
+            for name in (s.strip() for s in m.group(1).split(",")):
+                if name not in KNOWN_ALLOW_NAMES:
+                    findings.append(Finding(
+                        rule.name, facts.path, line_no,
+                        f"`allow({name})` names an unknown rule; known "
+                        f"rules: "
+                        f"{', '.join(sorted(KNOWN_ALLOW_NAMES))}"))
+    return findings

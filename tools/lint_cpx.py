@@ -67,9 +67,27 @@ sound. Allows are per-line, never per-file.
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
+
+# Machine-readable rule inventory (`--list --json`). tools/check_rule_docs.py
+# cross-checks these names against docs/static_analysis.md, so renaming a
+# rule without updating the docs fails CI.
+RULES_INFO = (
+    ("naked-new", "no naked new/delete in src/"),
+    ("alloc", "no allocating container growth in the solve-path kernels"),
+    ("reduce", "parallel reductions route through support/blas1"),
+    ("deterministic-kernels",
+     "no ambient randomness/wall-clock or unordered iteration"),
+    ("metrics-registry",
+     "metric names cross-checked against src/support/metric_names.hpp"),
+    ("raw-comm", "no raw neighbour-copy loops outside src/comm/"),
+    ("ckpt", "checkpoint registry cross-checked against serialize/restore"),
+    ("split-phase", "ExchangePlan begin()/finish() windows close on every "
+                    "path, no ghost reads inside"),
+)
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
@@ -142,8 +160,30 @@ METRIC_USE_RE = re.compile(
 METRIC_DEF_RE = re.compile(r"=\s*\"([^\"]+)\"\s*;")
 
 
+_RAW_PREFIX_RE = re.compile(r"(?:u8|[uUL])?R$")
+
+
+def _raw_string_prefix(text: str, i: int) -> int:
+    """If text[i] == '\"' opens a raw string literal, returns the index of
+    its encoding prefix (`R`, `u8R`, `LR`, ...); otherwise -1. The prefix
+    must not be the tail of a longer identifier (`FACTOR"..."`)."""
+    m = _RAW_PREFIX_RE.search(text, max(0, i - 3), i)
+    if not m:
+        return -1
+    j = m.start()
+    if j > 0 and (text[j - 1].isalnum() or text[j - 1] == "_"):
+        return -1
+    return j
+
+
 def strip_comments_and_strings(text: str) -> str:
-    """Blanks comments and string/char literals, preserving line structure."""
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Raw strings (`R"delim( ... )delim"`, with any encoding prefix) are
+    blanked as a unit: no escape processing applies inside them, and their
+    contents may span lines and contain unbalanced quotes — the naive
+    quote scanner would desynchronize on them and misread the rest of the
+    file as string/code inverted."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -152,6 +192,24 @@ def strip_comments_and_strings(text: str) -> str:
         if c == "/" and nxt == "/":
             while i < n and text[i] != "\n":
                 i += 1
+        elif c == '"' and _raw_string_prefix(text, i) >= 0:
+            # out already holds the prefix characters; drop them so the
+            # blanked literal leaves no identifier fragment behind.
+            prefix_len = i - _raw_string_prefix(text, i)
+            del out[len(out) - prefix_len:]
+            j = i + 1
+            while j < n and text[j] not in "(\n":
+                j += 1
+            if j >= n or text[j] != "(":
+                i = j  # malformed raw literal; skip the opener
+                continue
+            closer = ")" + text[i + 1:j] + '"'
+            end = text.find(closer, j + 1)
+            if end == -1:
+                end = n
+            out.append("\n" * text.count("\n", i, end))
+            out.append("  ")
+            i = min(end + len(closer), n)
         elif c == "/" and nxt == "*":
             i += 2
             while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
@@ -471,10 +529,17 @@ def main() -> int:
                         help="files or directories to lint (default: src/)")
     parser.add_argument("--list", action="store_true",
                         help="print the rule list and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="with --list: machine-readable rule inventory")
     args = parser.parse_args()
 
     if args.list:
-        print(__doc__)
+        if args.json:
+            print(json.dumps(
+                [{"name": name, "summary": summary, "tool": "lint_cpx"}
+                 for name, summary in RULES_INFO], indent=2))
+        else:
+            print(__doc__)
         return 0
 
     roots = args.paths or [SRC]
@@ -493,11 +558,14 @@ def main() -> int:
     linter = Linter()
     for path in sorted(set(files)):
         linter.lint_file(path)
-    # The registry cross-reference is defined over src/ as a whole.
+    # The registry cross-references are defined over src/ as a whole; they
+    # only make sense when src files are in scope (linting a fixture or a
+    # lone file elsewhere should not drag in repo-wide obligations).
     src_files = [f for f in sorted(set(files)) if SRC in f.parents
                  or f.parent == SRC]
-    linter.lint_metrics_registry(src_files)
-    linter.lint_ckpt_registry(src_files)
+    if src_files:
+        linter.lint_metrics_registry(src_files)
+        linter.lint_ckpt_registry(src_files)
 
     if linter.findings:
         for f in linter.findings:
