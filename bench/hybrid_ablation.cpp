@@ -14,9 +14,11 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "sim/cluster.hpp"
 #include "simpic/instance.hpp"
 #include "simpic/stc.hpp"
+#include "support/options.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -40,7 +42,15 @@ sim::MachineModel hybrid_machine(int threads, double thread_efficiency) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cpx::Options opts = cpx::Options::parse(argc, argv);
+  opts.describe("metrics", "write host-metrics JSON to this path");
+  if (opts.get_bool("help", false)) {
+    std::cout << opts.help_text("hybrid_ablation");
+    return 0;
+  }
+  cpx::bench::MetricsGuard metrics_guard(opts);
+
   const int total_cores = 8192;
   const double thread_efficiency = 0.95;  // per-doubling OpenMP efficiency
 

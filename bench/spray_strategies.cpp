@@ -6,14 +6,24 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "sim/cluster.hpp"
 #include "spray/cloud.hpp"
 #include "spray/instance.hpp"
+#include "support/options.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cpx;
   using spray::Strategy;
+
+  Options opts = Options::parse(argc, argv);
+  opts.describe("metrics", "write host-metrics JSON to this path");
+  if (opts.get_bool("help", false)) {
+    std::cout << opts.help_text("spray_strategies");
+    return 0;
+  }
+  bench::MetricsGuard metrics_guard(opts);
 
   print_banner(std::cout,
                "Spray strategy ablation — particle imbalance (max/mean) "

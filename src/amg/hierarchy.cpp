@@ -320,7 +320,7 @@ void AmgHierarchy::restore(ckpt::Reader& r) {
                 "AmgHierarchy::restore: snapshot was taken from a different "
                 "hierarchy (" << levels << " levels, " << rows << "x" << nnz
                               << " fine operator)");
-  std::vector<double> values;
+  support::aligned_vector<double> values;
   r.get_f64_vec(values);
   CPX_CHECK_MSG(static_cast<std::int64_t>(values.size()) == nnz,
                 "AmgHierarchy::restore: fine values truncated");

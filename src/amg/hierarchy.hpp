@@ -139,16 +139,17 @@ class AmgHierarchy {
 
   // Per-level scratch vectors (residual, correction, smoother scratch, and
   // the coarse-sized W-/K-cycle work vectors), sized once at setup so the
-  // cycles allocate nothing in steady state.
+  // cycles allocate nothing in steady state. 64-byte-aligned for the SIMD
+  // smoother/blas1 kernels they feed.
   struct Scratch {
-    std::vector<double> r;
-    std::vector<double> bc;
-    std::vector<double> xc;
-    std::vector<double> tmp;
-    std::vector<double> kres;  ///< K-cycle residual / W-cycle coarse residual
-    std::vector<double> kz;    ///< K-cycle z / W-cycle correction
-    std::vector<double> kp;
-    std::vector<double> kap;
+    support::aligned_vector<double> r;
+    support::aligned_vector<double> bc;
+    support::aligned_vector<double> xc;
+    support::aligned_vector<double> tmp;
+    support::aligned_vector<double> kres;  ///< K-cycle / W-cycle residual
+    support::aligned_vector<double> kz;    ///< K-cycle z / W-cycle correction
+    support::aligned_vector<double> kp;
+    support::aligned_vector<double> kap;
   };
   std::vector<Scratch> scratch_;  // cpx-lint: allow(ckpt)
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sparse/csr.hpp"
+#include "support/aligned.hpp"
 
 namespace cpx::amg {
 
@@ -27,12 +28,13 @@ struct PcgResult {
 /// Persistent CG work vectors. Pass the same workspace to repeated pcg
 /// calls of the same size (a timestep loop) and the iteration allocates
 /// nothing after the first call; resize() is a no-op when already sized.
+/// 64-byte-aligned so the blas1 simd::pack loops start on cache lines.
 struct PcgWorkspace {
-  std::vector<double> r;
-  std::vector<double> z;
-  std::vector<double> p;
-  std::vector<double> ap;
-  std::vector<double> r_old;
+  support::aligned_vector<double> r;
+  support::aligned_vector<double> z;
+  support::aligned_vector<double> p;
+  support::aligned_vector<double> ap;
+  support::aligned_vector<double> r_old;
 
   void resize(std::size_t n);
 };

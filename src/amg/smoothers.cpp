@@ -6,40 +6,78 @@
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/simd.hpp"
 
 namespace cpx::amg {
 namespace {
 
 constexpr std::int64_t kSmootherGrain = 2048;  ///< rows per task
 
+template <int W>
 void jacobi_sweep(const sparse::CsrMatrix& a, std::span<double> x,
                   std::span<const double> b, double omega, bool l1,
                   std::span<double> scratch) {
   const std::int64_t n = a.rows();
+  const std::int64_t* offsets = a.row_offsets().data();
+  const std::int32_t* colidx = a.col_indices().data();
+  const double* vals = a.values().data();
+  const double* px = x.data();
+  const double* pb = b.data();
+  double* ps = scratch.data();
   // Row-parallel: every row reads the frozen x and writes scratch[r] only,
-  // so the sweep is bitwise identical at any thread count.
+  // so the sweep is bitwise identical at any thread count. Short rows keep
+  // the historical branchy loop (identical at every pack width because it
+  // is scalar); long rows vectorize the row dot and the l1 |a_ij| sum with
+  // the fixed-lane tree and recover the off-diagonal parts by subtracting
+  // the diagonal term. The short/long branch depends on the row length
+  // alone, never on the active width, so bits are width-invariant.
   support::parallel_for(0, n, kSmootherGrain, [&](std::int64_t r0,
                                                   std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
-      const auto cols = a.row_cols(r);
-      const auto vals = a.row_values(r);
+      const std::int64_t k0 = offsets[r];
+      const std::int64_t k1 = offsets[r + 1];
       double diag = 0.0;
       double off_abs = 0.0;
       double sum = 0.0;
-      for (std::size_t i = 0; i < cols.size(); ++i) {
-        if (cols[i] == r) {
-          diag = vals[i];
-        } else {
-          sum += vals[i] * x[static_cast<std::size_t>(cols[i])];
-          off_abs += std::abs(vals[i]);
+      if (k1 - k0 < support::simd::kReduceLanes) {
+        for (std::int64_t k = k0; k < k1; ++k) {
+          if (colidx[k] == r) {
+            diag = vals[k];
+          } else {
+            sum += vals[k] * px[colidx[k]];
+            off_abs += std::abs(vals[k]);
+          }
+        }
+      } else {
+        for (std::int64_t k = k0; k < k1; ++k) {
+          if (colidx[k] == r) {
+            diag = vals[k];
+            break;
+          }
+        }
+        const double rowdot = support::simd::tree_reduce<W>(
+            k0, k1,
+            [&](std::int64_t k) {
+              return support::simd::pack<W>::load(vals + k) *
+                     support::simd::pack<W>::gather(px, colidx + k);
+            },
+            [&](std::int64_t k) { return vals[k] * px[colidx[k]]; });
+        sum = rowdot - diag * px[r];
+        if (l1) {
+          const double abs_all = support::simd::tree_reduce<W>(
+              k0, k1,
+              [&](std::int64_t k) {
+                return support::simd::abs(
+                    support::simd::pack<W>::load(vals + k));
+              },
+              [&](std::int64_t k) { return std::abs(vals[k]); });
+          off_abs = abs_all - std::abs(diag);
         }
       }
       const double d = l1 ? diag + off_abs : diag;
       CPX_CHECK_MSG(d != 0.0, "jacobi: zero (l1-)diagonal at row " << r);
-      const double x_new = (b[static_cast<std::size_t>(r)] - sum) / d;
-      scratch[static_cast<std::size_t>(r)] =
-          x[static_cast<std::size_t>(r)] +
-          omega * (x_new - x[static_cast<std::size_t>(r)]);
+      const double x_new = (pb[r] - sum) / d;
+      ps[r] = px[r] + omega * (x_new - px[r]);
     }
   });
   support::parallel_for(0, n, kSmootherGrain, [&](std::int64_t r0,
@@ -86,12 +124,30 @@ void smooth(const sparse::CsrMatrix& a, std::span<double> x,
   CPX_REQUIRE(scratch.size() >= static_cast<std::size_t>(n),
               "smooth: scratch too small");
   CPX_METRICS_SCOPE("amg/smooth");
+  if (support::metrics::enabled()) {
+    // Roofline accounting (docs/observability.md): one multiply-add per
+    // nonzero plus the per-row relaxation update; streamed bytes cover
+    // values + column indices + x gathers + b reads + scratch/x writes.
+    support::metrics::counter_add("amg/smooth_flops", 2 * a.nnz() + 5 * n);
+    support::metrics::counter_add(
+        "amg/smooth_bytes",
+        a.nnz() * static_cast<std::int64_t>(sizeof(double) +
+                                            sizeof(std::int32_t) +
+                                            sizeof(double)) +
+            4 * n * static_cast<std::int64_t>(sizeof(double)));
+  }
   switch (options.kind) {
     case SmootherKind::kJacobi:
-      jacobi_sweep(a, x, b, options.jacobi_omega, /*l1=*/false, scratch);
+      support::simd::dispatch([&](auto width) {
+        jacobi_sweep<decltype(width)::value>(a, x, b, options.jacobi_omega,
+                                             /*l1=*/false, scratch);
+      });
       return;
     case SmootherKind::kL1Jacobi:
-      jacobi_sweep(a, x, b, options.jacobi_omega, /*l1=*/true, scratch);
+      support::simd::dispatch([&](auto width) {
+        jacobi_sweep<decltype(width)::value>(a, x, b, options.jacobi_omega,
+                                             /*l1=*/true, scratch);
+      });
       return;
     case SmootherKind::kGaussSeidel:
       gs_block(a, x, b, 0, n, {});

@@ -115,6 +115,18 @@ class Reader {
   void get_f64_vec(std::vector<double>& out);
   void get_i64_vec(std::vector<std::int64_t>& out);
   void get_u64_vec(std::vector<std::uint64_t>& out);
+  /// Allocator-generic variant: the aligned SoA arrays
+  /// (support/aligned.hpp) restore through the same length-prefixed
+  /// layout, so checkpoints are byte-identical either way.
+  template <typename Alloc>
+  void get_f64_vec(std::vector<double, Alloc>& out) {
+    const std::uint64_t n = get_u64();
+    need(static_cast<std::size_t>(n) * 8);
+    out.resize(static_cast<std::size_t>(n));
+    for (double& x : out) {
+      x = get_f64();
+    }
+  }
 
  private:
   struct Section {

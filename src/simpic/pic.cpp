@@ -9,6 +9,7 @@
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 
 namespace cpx::simpic {
 namespace {
@@ -82,52 +83,78 @@ void Pic::deposit() {
   CPX_METRICS_SCOPE("simpic/deposit");
   const auto nodes = static_cast<std::size_t>(num_nodes());
   const auto np = static_cast<std::int64_t>(x_.size());
+  if (support::metrics::enabled()) {
+    // Roofline accounting: cell/fraction/charge arithmetic plus the
+    // two-node CIC scatter; streamed bytes = x/w reads + scatter r-m-w.
+    support::metrics::counter_add("simpic/deposit_flops", 8 * np);
+    support::metrics::counter_add("simpic/deposit_bytes", 48 * np);
+  }
 
-  // Linear (CIC) weighting; divide by dx to convert charge to density.
-  const auto scatter_range = [&](std::int64_t i0, std::int64_t i1,
-                                 std::span<double> rho) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const double c = cell_of(x_[static_cast<std::size_t>(i)]);
-      auto left = static_cast<std::int64_t>(c);
-      left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
-      const double frac = c - static_cast<double>(left);
-      const double q = w_[static_cast<std::size_t>(i)] / dx_;
-      rho[static_cast<std::size_t>(left)] += q * (1.0 - frac);
-      rho[static_cast<std::size_t>(left) + 1] += q * frac;
-    }
-  };
+  support::simd::dispatch([&](auto width) {
+    constexpr int W = decltype(width)::value;
+    // Linear (CIC) weighting; divide by dx to convert charge to density.
+    // The cell/fraction/charge arithmetic runs on packs; the scatter
+    // itself stays serial IN ELEMENT ORDER inside the block, so the grid
+    // accumulation order — and every bit of rho — is identical to the
+    // scalar kernel at every pack width.
+    const auto scatter_range = [&](std::int64_t i0, std::int64_t i1,
+                                   std::span<double> rho) {
+      const double* px = x_.data();
+      const double* pw = w_.data();
+      double* prho = rho.data();
+      const auto vdx = support::simd::pack<W>::broadcast(dx_);
+      const auto deposit_one = [&](double c, double q) {
+        auto left = static_cast<std::int64_t>(c);
+        left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
+        const double frac = c - static_cast<double>(left);
+        prho[left] += q * (1.0 - frac);
+        prho[left + 1] += q * frac;
+      };
+      std::int64_t i = i0;
+      for (; i + W <= i1; i += W) {
+        const auto cv = support::simd::pack<W>::load(px + i) / vdx;
+        const auto qv = support::simd::pack<W>::load(pw + i) / vdx;
+        for (int j = 0; j < W; ++j) {
+          deposit_one(cv[j], qv[j]);
+        }
+      }
+      for (; i < i1; ++i) {
+        deposit_one(cell_of(px[i]), pw[i] / dx_);
+      }
+    };
 
-  const std::int64_t nchunks = support::num_chunks(0, np, kParticleGrain);
-  if (nchunks <= 1) {
-    // Single chunk: the plain serial scatter (bitwise identical to the
-    // pre-threaded implementation).
-    std::fill(rho_.begin(), rho_.end(), background_);
-    scatter_range(0, np, rho_);
-  } else {
-    // Scatter-reduction: each chunk deposits into its own partial grid,
-    // partials are combined in chunk order. The chunk decomposition is
-    // fixed by the grain, so the summation order — and the result — is
-    // independent of the thread count.
-    deposit_partials_.assign(static_cast<std::size_t>(nchunks) * nodes, 0.0);
-    support::parallel_chunks(0, np, kParticleGrain, [&](std::int64_t chunk,
-                                                        std::int64_t i0,
-                                                        std::int64_t i1,
-                                                        int) {
-      scatter_range(i0, i1,
-                    std::span<double>(deposit_partials_.data() +
-                                          static_cast<std::size_t>(chunk) *
-                                              nodes,
-                                      nodes));
-    });
-    std::fill(rho_.begin(), rho_.end(), background_);
-    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
-      const double* partial =
-          deposit_partials_.data() + static_cast<std::size_t>(chunk) * nodes;
-      for (std::size_t nidx = 0; nidx < nodes; ++nidx) {
-        rho_[nidx] += partial[nidx];
+    const std::int64_t nchunks = support::num_chunks(0, np, kParticleGrain);
+    if (nchunks <= 1) {
+      // Single chunk: the plain serial scatter (bitwise identical to the
+      // pre-threaded implementation).
+      std::fill(rho_.begin(), rho_.end(), background_);
+      scatter_range(0, np, rho_);
+    } else {
+      // Scatter-reduction: each chunk deposits into its own partial grid,
+      // partials are combined in chunk order. The chunk decomposition is
+      // fixed by the grain, so the summation order — and the result — is
+      // independent of the thread count.
+      deposit_partials_.assign(static_cast<std::size_t>(nchunks) * nodes,
+                               0.0);
+      support::parallel_chunks(
+          0, np, kParticleGrain,
+          [&](std::int64_t chunk, std::int64_t i0, std::int64_t i1, int) {
+            scatter_range(
+                i0, i1,
+                std::span<double>(deposit_partials_.data() +
+                                      static_cast<std::size_t>(chunk) * nodes,
+                                  nodes));
+          });
+      std::fill(rho_.begin(), rho_.end(), background_);
+      for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+        const double* partial =
+            deposit_partials_.data() + static_cast<std::size_t>(chunk) * nodes;
+        for (std::size_t nidx = 0; nidx < nodes; ++nidx) {
+          rho_[nidx] += partial[nidx];
+        }
       }
     }
-  }
+  });
 
   if (options_.boundary == Boundary::kPeriodic) {
     // Wrap the two wall nodes onto each other.
@@ -147,7 +174,7 @@ void Pic::deposit() {
 }
 
 std::vector<double> Pic::solve_poisson_dirichlet(
-    const std::vector<double>& rho, double dx) {
+    std::span<const double> rho, double dx) {
   const std::size_t n = rho.size();
   CPX_REQUIRE(n >= 3, "solve_poisson_dirichlet: need >= 3 nodes");
   std::vector<double> phi(n, 0.0);
@@ -202,7 +229,7 @@ void Pic::solve_field() {
     for (double& v : e) {
       v -= e_mean;
     }
-    e_ = e;
+    e_.assign(e.begin(), e.end());
     // phi from E (for diagnostics only): phi' = -E.
     phi_.assign(n, 0.0);
     for (std::size_t i = 1; i < n; ++i) {
@@ -211,7 +238,8 @@ void Pic::solve_field() {
     return;
   }
 
-  phi_ = solve_poisson_dirichlet(rho_, dx_);
+  const std::vector<double> phi = solve_poisson_dirichlet(rho_, dx_);
+  phi_.assign(phi.begin(), phi.end());
   // E = -dphi/dx, one-sided at the walls.
   const std::size_t n = phi_.size();
   e_[0] = -(phi_[1] - phi_[0]) / dx_;
@@ -227,6 +255,10 @@ void Pic::push() {
   const auto np = static_cast<std::int64_t>(x_.size());
   if (support::metrics::enabled()) {
     support::metrics::counter_add("simpic/particles_pushed", np);
+    // Roofline accounting: cell/fraction + E interpolation + leapfrog
+    // update; streamed bytes = x/v reads, E gathers, x/v/keep writes.
+    support::metrics::counter_add("simpic/push_flops", 10 * np);
+    support::metrics::counter_add("simpic/push_bytes", 49 * np);
   }
   push_x_.resize(static_cast<std::size_t>(np));
   push_v_.resize(static_cast<std::size_t>(np));
@@ -234,34 +266,75 @@ void Pic::push() {
 
   // Gather + leapfrog advance, parallel over particles: each particle
   // writes its own slot, so the push is bitwise identical at any thread
-  // count.
-  support::parallel_for(0, np, kParticleGrain, [&](std::int64_t i0,
-                                                   std::int64_t i1) {
-    for (std::int64_t ii = i0; ii < i1; ++ii) {
-      const auto i = static_cast<std::size_t>(ii);
-      const double c = cell_of(x_[i]);
-      auto left = static_cast<std::int64_t>(c);
-      left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
-      const double frac = c - static_cast<double>(left);
-      const double e_here =
-          e_[static_cast<std::size_t>(left)] * (1.0 - frac) +
-          e_[static_cast<std::size_t>(left) + 1] * frac;
-      const double v = v_[i] + options_.dt * qm * e_here;
-      double x = x_[i] + options_.dt * v;
-
-      bool keep = true;
-      if (options_.boundary == Boundary::kPeriodic) {
-        x = std::fmod(x, options_.length);
-        if (x < 0.0) {
-          x += options_.length;
+  // count. The cell/interpolation/leapfrog arithmetic runs on packs with
+  // the same per-element expressions as the scalar tail, so it is also
+  // bitwise identical at every pack width; the clamp/gather and the
+  // boundary fix-up are per-lane scalar.
+  const double* pxv = x_.data();
+  const double* pvv = v_.data();
+  const double* pe = e_.data();
+  double* pox = push_x_.data();
+  double* pov = push_v_.data();
+  unsigned char* pok = push_keep_.data();
+  support::simd::dispatch([&](auto width) {
+    constexpr int W = decltype(width)::value;
+    support::parallel_for(0, np, kParticleGrain, [&](std::int64_t i0,
+                                                     std::int64_t i1) {
+      const auto vdx = support::simd::pack<W>::broadcast(dx_);
+      const auto vone = support::simd::pack<W>::broadcast(1.0);
+      const auto vdtqm =
+          support::simd::pack<W>::broadcast(options_.dt * qm);
+      const auto vdt = support::simd::pack<W>::broadcast(options_.dt);
+      const auto settle = [&](std::int64_t i, double v, double x) {
+        bool keep = true;
+        if (options_.boundary == Boundary::kPeriodic) {
+          x = std::fmod(x, options_.length);
+          if (x < 0.0) {
+            x += options_.length;
+          }
+        } else if (x < 0.0 || x > options_.length) {
+          keep = false;  // absorbed at the wall
         }
-      } else if (x < 0.0 || x > options_.length) {
-        keep = false;  // absorbed at the wall
+        pox[i] = x;
+        pov[i] = v;
+        pok[i] = keep ? 1 : 0;
+      };
+      std::int64_t ii = i0;
+      for (; ii + W <= i1; ii += W) {
+        const auto xv = support::simd::pack<W>::load(pxv + ii);
+        const auto cv = xv / vdx;
+        std::int64_t left[W];
+        std::int64_t right[W];
+        support::simd::pack<W> fracp;
+        for (int j = 0; j < W; ++j) {
+          auto l = static_cast<std::int64_t>(cv[j]);
+          l = std::clamp<std::int64_t>(l, 0, options_.cells - 1);
+          left[j] = l;
+          right[j] = l + 1;
+          fracp.v[j] = cv[j] - static_cast<double>(l);
+        }
+        const auto ehere =
+            support::simd::pack<W>::gather(pe, left) * (vone - fracp) +
+            support::simd::pack<W>::gather(pe, right) * fracp;
+        const auto vnew =
+            support::simd::pack<W>::load(pvv + ii) + vdtqm * ehere;
+        const auto xnew = xv + vdt * vnew;
+        for (int j = 0; j < W; ++j) {
+          settle(ii + j, vnew[j], xnew[j]);
+        }
       }
-      push_x_[i] = x;
-      push_v_[i] = v;
-      push_keep_[i] = keep ? 1 : 0;
-    }
+      for (; ii < i1; ++ii) {
+        const double c = cell_of(pxv[ii]);
+        auto left = static_cast<std::int64_t>(c);
+        left = std::clamp<std::int64_t>(left, 0, options_.cells - 1);
+        const double frac = c - static_cast<double>(left);
+        const double e_here =
+            pe[left] * (1.0 - frac) + pe[left + 1] * frac;
+        const double v = pvv[ii] + options_.dt * qm * e_here;
+        const double x = pxv[ii] + options_.dt * v;
+        settle(ii, v, x);
+      }
+    });
   });
 
   // Order-preserving compaction of the survivors (serial: it is a trivial

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "support/aligned.hpp"
 #include "support/rng.hpp"
 
 namespace cpx::ckpt {
@@ -69,11 +70,11 @@ class Pic {
   }
   std::int64_t num_nodes() const { return options_.cells + 1; }
 
-  const std::vector<double>& positions() const { return x_; }
-  const std::vector<double>& velocities() const { return v_; }
-  const std::vector<double>& rho() const { return rho_; }
-  const std::vector<double>& phi() const { return phi_; }
-  const std::vector<double>& efield() const { return e_; }
+  const support::aligned_vector<double>& positions() const { return x_; }
+  const support::aligned_vector<double>& velocities() const { return v_; }
+  const support::aligned_vector<double>& rho() const { return rho_; }
+  const support::aligned_vector<double>& phi() const { return phi_; }
+  const support::aligned_vector<double>& efield() const { return e_; }
 
   /// One full PIC timestep.
   void step();
@@ -108,7 +109,7 @@ class Pic {
   /// Solves -phi'' = rho with Dirichlet ends on an arbitrary rhs (used by
   /// the Poisson-accuracy tests). Grid spacing dx, n nodes.
   static std::vector<double> solve_poisson_dirichlet(
-      const std::vector<double>& rho, double dx);
+      std::span<const double> rho, double dx);
 
  private:
   double cell_of(double x) const;
@@ -117,15 +118,16 @@ class Pic {
   double dx_;  ///< derived from options, rebuilt // cpx-lint: allow(ckpt)
   CounterRng rng_;
 
-  // Particle storage (structure-of-arrays, as in SIMPIC).
-  std::vector<double> x_;
-  std::vector<double> v_;
-  std::vector<double> w_;  ///< per-particle charge weight (negative)
+  // Particle storage (structure-of-arrays, as in SIMPIC). 64-byte-aligned
+  // so the simd::pack block loads in push/deposit start on cache lines.
+  support::aligned_vector<double> x_;
+  support::aligned_vector<double> v_;
+  support::aligned_vector<double> w_;  ///< per-particle charge weight
 
   // Grid fields on nodes [0, cells].
-  std::vector<double> rho_;
-  std::vector<double> phi_;
-  std::vector<double> e_;
+  support::aligned_vector<double> rho_;
+  support::aligned_vector<double> phi_;
+  support::aligned_vector<double> e_;
 
   double background_;  ///< neutralising ion background density
 
@@ -133,10 +135,10 @@ class Pic {
   // per-chunk charge partials combined in chunk order, and the pushed
   // particle state before the order-preserving compaction. Resized per
   // step, so the snapshot deliberately omits it.
-  std::vector<double> deposit_partials_;  // cpx-lint: allow(ckpt)
-  std::vector<double> push_x_;            // cpx-lint: allow(ckpt)
-  std::vector<double> push_v_;            // cpx-lint: allow(ckpt)
-  std::vector<unsigned char> push_keep_;  // cpx-lint: allow(ckpt)
+  support::aligned_vector<double> deposit_partials_;  // cpx-lint: allow(ckpt)
+  support::aligned_vector<double> push_x_;            // cpx-lint: allow(ckpt)
+  support::aligned_vector<double> push_v_;            // cpx-lint: allow(ckpt)
+  std::vector<unsigned char> push_keep_;              // cpx-lint: allow(ckpt)
 };
 
 /// Checks every position lies in [0, length] and is finite. Free function

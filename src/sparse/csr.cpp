@@ -6,6 +6,7 @@
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/simd.hpp"
 
 namespace cpx::sparse {
 namespace {
@@ -16,12 +17,37 @@ namespace {
 constexpr std::int64_t kRowGrain = 2048;     ///< SpMV-class row loops
 constexpr std::int64_t kSpgemmGrain = 256;   ///< SpGEMM row passes
 
+/// Width-invariant row dot product (docs/parallelism.md, determinism
+/// tiers). Rows shorter than simd::kReduceLanes keep the plain serial
+/// chain — bitwise identical to the historical kernel for common stencil
+/// widths; longer rows use the fixed-lane tree, whose bits are identical
+/// at every pack width. The branch depends on the row length alone,
+/// never on the active width, so results are width-invariant either way.
+template <int W>
+double row_dot(const double* vals, const std::int32_t* cols, const double* x,
+               std::int64_t k0, std::int64_t k1) {
+  if (k1 - k0 < support::simd::kReduceLanes) {
+    double sum = 0.0;
+    for (std::int64_t k = k0; k < k1; ++k) {
+      sum += vals[k] * x[cols[k]];
+    }
+    return sum;
+  }
+  return support::simd::tree_reduce<W>(
+      k0, k1,
+      [&](std::int64_t k) {
+        return support::simd::pack<W>::load(vals + k) *
+               support::simd::pack<W>::gather(x, cols + k);
+      },
+      [&](std::int64_t k) { return vals[k] * x[cols[k]]; });
+}
+
 }  // namespace
 
 CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
                      std::vector<std::int64_t> row_offsets,
                      std::vector<std::int32_t> col_indices,
-                     std::vector<double> values)
+                     support::aligned_vector<double> values)
     : rows_(rows),
       cols_(cols),
       row_offsets_(std::move(row_offsets)),
@@ -33,7 +59,15 @@ CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
 CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
                      std::vector<std::int64_t> row_offsets,
                      std::vector<std::int32_t> col_indices,
-                     std::vector<double> values, Trusted)
+                     const std::vector<double>& values)
+    : CsrMatrix(rows, cols, std::move(row_offsets), std::move(col_indices),
+                support::aligned_vector<double>(values.begin(),
+                                                values.end())) {}
+
+CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
+                     std::vector<std::int64_t> row_offsets,
+                     std::vector<std::int32_t> col_indices,
+                     support::aligned_vector<double> values, Trusted)
     : rows_(rows),
       cols_(cols),
       row_offsets_(std::move(row_offsets)),
@@ -49,6 +83,14 @@ CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
     validate();
   }
 }
+
+CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
+                     std::vector<std::int64_t> row_offsets,
+                     std::vector<std::int32_t> col_indices,
+                     const std::vector<double>& values, Trusted)
+    : CsrMatrix(rows, cols, std::move(row_offsets), std::move(col_indices),
+                support::aligned_vector<double>(values.begin(), values.end()),
+                Trusted{}) {}
 
 std::span<const std::int32_t> CsrMatrix::row_cols(std::int64_t r) const {
   CPX_DCHECK(r >= 0 && r < rows_);
@@ -114,7 +156,7 @@ void CsrMatrix::validate() const {
 CsrMatrix CsrMatrix::identity(std::int64_t n) {
   std::vector<std::int64_t> offsets(static_cast<std::size_t>(n) + 1);
   std::vector<std::int32_t> cols(static_cast<std::size_t>(n));
-  std::vector<double> vals(static_cast<std::size_t>(n), 1.0);
+  support::aligned_vector<double> vals(static_cast<std::size_t>(n), 1.0);
   for (std::int64_t i = 0; i <= n; ++i) {
     offsets[static_cast<std::size_t>(i)] = i;
   }
@@ -134,7 +176,7 @@ CsrMatrix csr_from_triplets(std::int64_t rows, std::int64_t cols,
             });
   std::vector<std::int64_t> offsets(static_cast<std::size_t>(rows) + 1, 0);
   std::vector<std::int32_t> out_cols;
-  std::vector<double> out_vals;
+  support::aligned_vector<double> out_vals;
   out_cols.reserve(sorted.size());
   out_vals.reserve(sorted.size());
   for (std::size_t i = 0; i < sorted.size();) {
@@ -170,6 +212,7 @@ void spmv(const CsrMatrix& a, std::span<const double> x,
   CPX_METRICS_SCOPE("sparse/spmv");
   if (support::metrics::enabled()) {
     support::metrics::counter_add("sparse/spmv_nnz", a.nnz());
+    support::metrics::counter_add("sparse/spmv_flops", 2 * a.nnz());
     // Streaming estimate: values + column indices + x gathers + y stores.
     support::metrics::counter_add(
         "sparse/spmv_bytes",
@@ -178,20 +221,19 @@ void spmv(const CsrMatrix& a, std::span<const double> x,
                                             sizeof(double)) +
             a.rows() * static_cast<std::int64_t>(sizeof(double)));
   }
-  const auto& offsets = a.row_offsets();
-  const auto& cols = a.col_indices();
-  const auto& vals = a.values();
-  support::parallel_for(0, a.rows(), kRowGrain, [&](std::int64_t r0,
-                                                    std::int64_t r1) {
-    for (std::int64_t r = r0; r < r1; ++r) {
-      double sum = 0.0;
-      for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
-           k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
-        sum += vals[static_cast<std::size_t>(k)] *
-               x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
-      }
-      y[static_cast<std::size_t>(r)] = sum;
-    }
+  const std::int64_t* offsets = a.row_offsets().data();
+  const std::int32_t* cols = a.col_indices().data();
+  const double* vals = a.values().data();
+  const double* px = x.data();
+  double* py = y.data();
+  support::simd::dispatch([&](auto width) {
+    constexpr int W = decltype(width)::value;
+    support::parallel_for(
+        0, a.rows(), kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            py[r] = row_dot<W>(vals, cols, px, offsets[r], offsets[r + 1]);
+          }
+        });
   });
 }
 
@@ -204,22 +246,24 @@ void spmv_add(const CsrMatrix& a, std::span<const double> x,
   CPX_METRICS_SCOPE("sparse/spmv");
   if (support::metrics::enabled()) {
     support::metrics::counter_add("sparse/spmv_nnz", a.nnz());
+    support::metrics::counter_add("sparse/spmv_flops",
+                                  2 * a.nnz() + 2 * a.rows());
   }
-  const auto& offsets = a.row_offsets();
-  const auto& cols = a.col_indices();
-  const auto& vals = a.values();
-  support::parallel_for(0, a.rows(), kRowGrain, [&](std::int64_t r0,
-                                                    std::int64_t r1) {
-    for (std::int64_t r = r0; r < r1; ++r) {
-      double sum = 0.0;
-      for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
-           k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
-        sum += vals[static_cast<std::size_t>(k)] *
-               x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
-      }
-      y[static_cast<std::size_t>(r)] =
-          sum + beta * y[static_cast<std::size_t>(r)];
-    }
+  const std::int64_t* offsets = a.row_offsets().data();
+  const std::int32_t* cols = a.col_indices().data();
+  const double* vals = a.values().data();
+  const double* px = x.data();
+  double* py = y.data();
+  support::simd::dispatch([&](auto width) {
+    constexpr int W = decltype(width)::value;
+    support::parallel_for(
+        0, a.rows(), kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const double sum =
+                row_dot<W>(vals, cols, px, offsets[r], offsets[r + 1]);
+            py[r] = sum + beta * py[r];
+          }
+        });
   });
 }
 
@@ -233,22 +277,25 @@ void spmv_residual(const CsrMatrix& a, std::span<const double> x,
   CPX_METRICS_SCOPE("sparse/spmv");
   if (support::metrics::enabled()) {
     support::metrics::counter_add("sparse/spmv_nnz", a.nnz());
+    support::metrics::counter_add("sparse/spmv_flops",
+                                  2 * a.nnz() + a.rows());
   }
-  const auto& offsets = a.row_offsets();
-  const auto& cols = a.col_indices();
-  const auto& vals = a.values();
-  support::parallel_for(0, a.rows(), kRowGrain, [&](std::int64_t r0,
-                                                    std::int64_t r1) {
-    for (std::int64_t row = r0; row < r1; ++row) {
-      double sum = 0.0;
-      for (std::int64_t k = offsets[static_cast<std::size_t>(row)];
-           k < offsets[static_cast<std::size_t>(row) + 1]; ++k) {
-        sum += vals[static_cast<std::size_t>(k)] *
-               x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
-      }
-      r[static_cast<std::size_t>(row)] =
-          b[static_cast<std::size_t>(row)] - sum;
-    }
+  const std::int64_t* offsets = a.row_offsets().data();
+  const std::int32_t* cols = a.col_indices().data();
+  const double* vals = a.values().data();
+  const double* px = x.data();
+  const double* pb = b.data();
+  double* pr = r.data();
+  support::simd::dispatch([&](auto width) {
+    constexpr int W = decltype(width)::value;
+    support::parallel_for(
+        0, a.rows(), kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t row = r0; row < r1; ++row) {
+            const double sum =
+                row_dot<W>(vals, cols, px, offsets[row], offsets[row + 1]);
+            pr[row] = pb[row] - sum;
+          }
+        });
   });
 }
 
@@ -262,31 +309,35 @@ double spmv_residual_norm2(const CsrMatrix& a, std::span<const double> x,
   CPX_METRICS_SCOPE("sparse/spmv");
   if (support::metrics::enabled()) {
     support::metrics::counter_add("sparse/spmv_nnz", a.nnz());
+    support::metrics::counter_add("sparse/spmv_flops",
+                                  2 * a.nnz() + 3 * a.rows());
   }
-  const auto& offsets = a.row_offsets();
-  const auto& cols = a.col_indices();
-  const auto& vals = a.values();
+  const std::int64_t* offsets = a.row_offsets().data();
+  const std::int32_t* cols = a.col_indices().data();
+  const double* vals = a.values().data();
+  const double* px = x.data();
+  const double* pb = b.data();
+  double* pr = r.data();
   // Fusing the norm into the SpMV sweep is the point of this kernel, so it
-  // cannot route through blas1; kRowGrain matches the blas1 chunking, which
-  // keeps the combine order identical to a blas1::norm2_squared over r.
-  return support::parallel_reduce(  // cpx-lint: allow(reduce)
-      0, a.rows(), kRowGrain, 0.0, [&](std::int64_t r0, std::int64_t r1) {
-        double partial = 0.0;
-        for (std::int64_t row = r0; row < r1; ++row) {
-          double sum = 0.0;
-          for (std::int64_t k = offsets[static_cast<std::size_t>(row)];
-               k < offsets[static_cast<std::size_t>(row) + 1]; ++k) {
-            sum +=
-                vals[static_cast<std::size_t>(k)] *
-                x[static_cast<std::size_t>(
-                    cols[static_cast<std::size_t>(k)])];
+  // cannot route through blas1. Row sums vectorize via row_dot; the
+  // cross-row res*res accumulation stays a serial scalar chain inside the
+  // chunk — width-invariant by construction, and thread-invariant because
+  // the kRowGrain decomposition is fixed.
+  return support::simd::dispatch([&](auto width) {
+    constexpr int W = decltype(width)::value;
+    return support::parallel_reduce(  // cpx-lint: allow(reduce)
+        0, a.rows(), kRowGrain, 0.0, [&](std::int64_t r0, std::int64_t r1) {
+          double partial = 0.0;
+          for (std::int64_t row = r0; row < r1; ++row) {
+            const double sum =
+                row_dot<W>(vals, cols, px, offsets[row], offsets[row + 1]);
+            const double res = pb[row] - sum;
+            pr[row] = res;
+            partial += res * res;
           }
-          const double res = b[static_cast<std::size_t>(row)] - sum;
-          r[static_cast<std::size_t>(row)] = res;
-          partial += res * res;
-        }
-        return partial;
-      });
+          return partial;
+        });
+  });
 }
 
 namespace {
@@ -302,7 +353,7 @@ CsrMatrix transpose_serial(const CsrMatrix& a) {
     offsets[i] += offsets[i - 1];
   }
   std::vector<std::int32_t> cols(a.values().size());
-  std::vector<double> vals(a.values().size());
+  support::aligned_vector<double> vals(a.values().size());
   std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
   for (std::int64_t r = 0; r < a.rows(); ++r) {
     const auto rc = a.row_cols(r);
@@ -376,7 +427,7 @@ CsrMatrix transpose(const CsrMatrix& a) {
   }
 
   std::vector<std::int32_t> out_cols(a.values().size());
-  std::vector<double> out_vals(a.values().size());
+  support::aligned_vector<double> out_vals(a.values().size());
   support::parallel_chunks(0, rows, grain, [&](std::int64_t chunk,
                                                std::int64_t r0,
                                                std::int64_t r1, int) {
@@ -502,7 +553,7 @@ CsrMatrix spgemm_twopass(const CsrMatrix& a, const CsrMatrix& b) {
   // are bitwise identical at any thread count.
   const auto nnz = static_cast<std::size_t>(offsets.back());
   std::vector<std::int32_t> cols(nnz);
-  std::vector<double> vals(nnz);
+  support::aligned_vector<double> vals(nnz);
   for (auto& marker : markers) {
     std::fill(marker.begin(), marker.end(), -1);
   }
@@ -639,7 +690,7 @@ CsrMatrix spgemm_spa(const CsrMatrix& a, const CsrMatrix& b) {
     offsets[i] += offsets[i - 1];
   }
   std::vector<std::int32_t> cols;
-  std::vector<double> vals;
+  support::aligned_vector<double> vals;
   cols.reserve(static_cast<std::size_t>(offsets.back()));
   vals.reserve(static_cast<std::size_t>(offsets.back()));
   for (const ChunkOut& out : outs) {  // compaction, in chunk order
@@ -739,7 +790,7 @@ void SpgemmPlan::check_inputs(const CsrMatrix& a, const CsrMatrix& b) const {
 void SpgemmPlan::fill_values(const CsrMatrix& a, const CsrMatrix& b,
                              const std::vector<std::int64_t>& offsets,
                              const std::vector<std::int32_t>& cols,
-                             std::vector<double>& vals) const {
+                             support::aligned_vector<double>& vals) const {
   CPX_METRICS_SCOPE("sparse/spgemm_numeric");
   if (support::metrics::enabled()) {
     support::metrics::counter_add("sparse/spgemm_flops", flops_);
@@ -791,7 +842,7 @@ CsrMatrix SpgemmPlan::numeric(const CsrMatrix& a, const CsrMatrix& b) const {
   check_inputs(a, b);
   std::vector<std::int64_t> offsets = row_offsets_;
   std::vector<std::int32_t> cols = col_indices_;
-  std::vector<double> vals(col_indices_.size());
+  support::aligned_vector<double> vals(col_indices_.size());
   fill_values(a, b, row_offsets_, col_indices_, vals);
   return CsrMatrix(rows_, cols_, std::move(offsets), std::move(cols),
                    std::move(vals), Trusted{});

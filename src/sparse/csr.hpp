@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "support/aligned.hpp"
+
 namespace cpx::sparse {
 
 struct Triplet {
@@ -28,14 +30,45 @@ struct Trusted {};
 class CsrMatrix {
  public:
   CsrMatrix() = default;
+  // Values are stored 64-byte aligned (support/aligned.hpp) for the SIMD
+  // SpMV kernels; the aligned_vector overloads move, the std::vector
+  // overloads copy into aligned storage for callers that build values in
+  // plain vectors.
   CsrMatrix(std::int64_t rows, std::int64_t cols,
             std::vector<std::int64_t> row_offsets,
             std::vector<std::int32_t> col_indices,
-            std::vector<double> values);
+            support::aligned_vector<double> values);
   CsrMatrix(std::int64_t rows, std::int64_t cols,
             std::vector<std::int64_t> row_offsets,
             std::vector<std::int32_t> col_indices,
-            std::vector<double> values, Trusted);
+            support::aligned_vector<double> values, Trusted);
+  CsrMatrix(std::int64_t rows, std::int64_t cols,
+            std::vector<std::int64_t> row_offsets,
+            std::vector<std::int32_t> col_indices,
+            const std::vector<double>& values);
+  CsrMatrix(std::int64_t rows, std::int64_t cols,
+            std::vector<std::int64_t> row_offsets,
+            std::vector<std::int32_t> col_indices,
+            const std::vector<double>& values, Trusted);
+  // Braced value lists would convert equally well to either vector type,
+  // so give them an overload that wins outright.
+  CsrMatrix(std::int64_t rows, std::int64_t cols,
+            std::vector<std::int64_t> row_offsets,
+            std::vector<std::int32_t> col_indices,
+            std::initializer_list<double> values)
+      : CsrMatrix(rows, cols, std::move(row_offsets),
+                  std::move(col_indices),
+                  support::aligned_vector<double>(values.begin(),
+                                                  values.end())) {}
+  CsrMatrix(std::int64_t rows, std::int64_t cols,
+            std::vector<std::int64_t> row_offsets,
+            std::vector<std::int32_t> col_indices,
+            std::initializer_list<double> values, Trusted)
+      : CsrMatrix(rows, cols, std::move(row_offsets),
+                  std::move(col_indices),
+                  support::aligned_vector<double>(values.begin(),
+                                                  values.end()),
+                  Trusted{}) {}
 
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
@@ -45,8 +78,8 @@ class CsrMatrix {
 
   const std::vector<std::int64_t>& row_offsets() const { return row_offsets_; }
   const std::vector<std::int32_t>& col_indices() const { return col_indices_; }
-  const std::vector<double>& values() const { return values_; }
-  std::vector<double>& mutable_values() { return values_; }
+  const support::aligned_vector<double>& values() const { return values_; }
+  support::aligned_vector<double>& mutable_values() { return values_; }
 
   /// Row r as (cols, values) spans.
   std::span<const std::int32_t> row_cols(std::int64_t r) const;
@@ -68,7 +101,7 @@ class CsrMatrix {
   std::int64_t cols_ = 0;
   std::vector<std::int64_t> row_offsets_;
   std::vector<std::int32_t> col_indices_;
-  std::vector<double> values_;
+  support::aligned_vector<double> values_;
 };
 
 /// Builds a CSR matrix from (possibly unsorted, duplicate) triplets;
@@ -153,7 +186,7 @@ class SpgemmPlan {
   void fill_values(const CsrMatrix& a, const CsrMatrix& b,
                    const std::vector<std::int64_t>& offsets,
                    const std::vector<std::int32_t>& cols,
-                   std::vector<double>& vals) const;
+                   support::aligned_vector<double>& vals) const;
 
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;      ///< output columns (= B cols)
@@ -168,7 +201,7 @@ class SpgemmPlan {
   // (support::parallel_chunks), so lane-indexed scratch needs no locking;
   // mutable because reusing it is an implementation detail of the const
   // numeric passes.
-  mutable std::vector<std::vector<double>> lane_acc_;
+  mutable std::vector<support::aligned_vector<double>> lane_acc_;
 };
 
 /// Reference SpGEMM: symbolic pass sizes the output, numeric pass fills it

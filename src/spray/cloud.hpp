@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/aligned.hpp"
 #include "support/rng.hpp"
 
 namespace cpx::ckpt {
@@ -62,7 +63,7 @@ class Cloud {
   std::int64_t num_particles() const {
     return static_cast<std::int64_t>(x_.size());
   }
-  const std::vector<double>& positions() const { return x_; }
+  const support::aligned_vector<double>& positions() const { return x_; }
 
   /// Rank owning axial position x under uniform spatial blocks.
   int rank_of(double x) const;
@@ -102,7 +103,7 @@ class Cloud {
 
   CloudOptions options_;
   CounterRng rng_;
-  std::vector<double> x_;  ///< axial positions in [0, 1)
+  support::aligned_vector<double> x_;  ///< axial positions in [0, 1)
   std::int64_t last_migrations_ = 0;
 };
 

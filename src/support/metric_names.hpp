@@ -41,6 +41,13 @@ inline constexpr const char* kWorkflowPressurePhase =
 
 // --- Counters (support::metrics::counter_add) ---
 inline constexpr const char* kAmgPcgIterations = "amg/pcg_iterations";
+// Roofline accounting (docs/observability.md): per-kernel flop and
+// streamed-byte totals; arithmetic intensity = flops / bytes feeds
+// perfmodel/roofline.hpp and bench/roofline.
+inline constexpr const char* kAmgSmoothBytes = "amg/smooth_bytes";
+inline constexpr const char* kAmgSmoothFlops = "amg/smooth_flops";
+inline constexpr const char* kBlas1Bytes = "blas1/bytes";
+inline constexpr const char* kBlas1Flops = "blas1/flops";
 inline constexpr const char* kCommBytes = "comm/bytes";
 inline constexpr const char* kCommMessages = "comm/messages";
 inline constexpr const char* kCommOverlapHiddenNs = "comm/overlap_hidden_ns";
@@ -49,14 +56,23 @@ inline constexpr const char* kCommQueueWaitNs = "comm/queue_wait_ns";
 inline constexpr const char* kAmgResetupCount = "amg/resetup";
 inline constexpr const char* kAmgSolveCycles = "amg/solve_cycles";
 inline constexpr const char* kCouplerExchangeBytes = "coupler/exchange_bytes";
+inline constexpr const char* kCouplerInterpolateBytes =
+    "coupler/interpolate_bytes";
+inline constexpr const char* kCouplerInterpolateFlops =
+    "coupler/interpolate_flops";
 inline constexpr const char* kCouplerSearchQueries = "coupler/search_queries";
 inline constexpr const char* kCouplerSearchVisited = "coupler/search_visited";
 inline constexpr const char* kPoolQueueWaitNs = "pool/queue_wait_ns";
 inline constexpr const char* kPoolTasks = "pool/tasks";
+inline constexpr const char* kSimpicDepositBytes = "simpic/deposit_bytes";
+inline constexpr const char* kSimpicDepositFlops = "simpic/deposit_flops";
 inline constexpr const char* kSimpicParticlesPushed =
     "simpic/particles_pushed";
+inline constexpr const char* kSimpicPushBytes = "simpic/push_bytes";
+inline constexpr const char* kSimpicPushFlops = "simpic/push_flops";
 inline constexpr const char* kSparseSpgemmFlops = "sparse/spgemm_flops";
 inline constexpr const char* kSparseSpmvBytes = "sparse/spmv_bytes";
+inline constexpr const char* kSparseSpmvFlops = "sparse/spmv_flops";
 inline constexpr const char* kSparseSpmvNnz = "sparse/spmv_nnz";
 inline constexpr const char* kSparseTransposeNnz = "sparse/transpose_nnz";
 inline constexpr const char* kWorkflowExchanges = "workflow/exchanges";

@@ -1,0 +1,68 @@
+// Runtime width state for the SIMD shim (support/simd.hpp). The default
+// width is baked in at configure time (CPX_SIMD=off/native/<W> ->
+// CPX_SIMD_DEFAULT_WIDTH) and can be overridden per process with the
+// CPX_SIMD environment variable using the same spellings, mirroring how
+// CPX_THREADS overrides the pool width (support/parallel.cpp).
+
+#include "support/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef CPX_SIMD_DEFAULT_WIDTH
+// Standalone (non-CMake) compilation: the scalar fallback always works.
+#define CPX_SIMD_DEFAULT_WIDTH 1
+#endif
+
+namespace cpx::support::simd {
+namespace {
+
+constexpr bool valid_width(int w) {
+  return w == 1 || w == 2 || w == 4 || w == 8;
+}
+
+/// Parses a CPX_SIMD spelling: "off" -> 1, "native" -> kMaxWidth, a
+/// decimal supported width -> itself; anything else -> 0 (rejected).
+int parse_width(const char* text) {
+  if (text == nullptr || *text == '\0') {
+    return 0;
+  }
+  if (std::strcmp(text, "off") == 0) {
+    return 1;
+  }
+  if (std::strcmp(text, "native") == 0) {
+    return kMaxWidth;
+  }
+  const int w = std::atoi(text);
+  return valid_width(w) ? w : 0;
+}
+
+int initial_width() {
+  if (const int w = parse_width(std::getenv("CPX_SIMD")); w != 0) {
+    return w;
+  }
+  return CPX_SIMD_DEFAULT_WIDTH;
+}
+
+static_assert(valid_width(CPX_SIMD_DEFAULT_WIDTH),
+              "CPX_SIMD_DEFAULT_WIDTH must be 1, 2, 4 or 8");
+
+/// Relaxed atomic: set_width() happens outside parallel regions (tests,
+/// bench setup), and the pool's task handoff orders it before any worker
+/// reads it inside a kernel.
+std::atomic<int> g_width{initial_width()};
+
+}  // namespace
+
+int active_width() { return g_width.load(std::memory_order_relaxed); }
+
+void set_width(int width) {
+  if (valid_width(width)) {
+    g_width.store(width, std::memory_order_relaxed);
+  }
+}
+
+int default_width() { return CPX_SIMD_DEFAULT_WIDTH; }
+
+}  // namespace cpx::support::simd

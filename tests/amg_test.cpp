@@ -390,7 +390,7 @@ TEST(Hierarchy, ResetValuesWithTruncationKeepsFrozenProlongator) {
   opt.interp = InterpKind::kExtended;
   opt.interp_truncation = 0.2;
   AmgHierarchy h(a, opt);
-  std::vector<std::vector<double>> p_before;
+  std::vector<support::aligned_vector<double>> p_before;
   for (int l = 0; l + 1 < h.num_levels(); ++l) {
     p_before.push_back(h.level(l + 1).p.values());
   }

@@ -23,8 +23,9 @@ namespace {
 
 constexpr int kThreadCounts[] = {1, 4, 16};
 
-bool bitwise_equal(const std::vector<double>& a,
-                   const std::vector<double>& b) {
+template <typename AllocA, typename AllocB>
+bool bitwise_equal(const std::vector<double, AllocA>& a,
+                   const std::vector<double, AllocB>& b) {
   return a.size() == b.size() &&
          (a.empty() ||
           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
@@ -44,10 +45,10 @@ std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
 template <typename Fn>
 void expect_bitwise_across_thread_counts(Fn fn) {
   support::set_max_threads(kThreadCounts[0]);
-  const std::vector<double> reference = fn();
+  const auto reference = fn();
   for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
     support::set_max_threads(kThreadCounts[i]);
-    const std::vector<double> other = fn();
+    const auto other = fn();
     EXPECT_TRUE(bitwise_equal(reference, other))
         << "result differs at CPX_THREADS=" << kThreadCounts[i];
   }

@@ -166,7 +166,12 @@ TEST(Communicator, AllreduceSumMatchesSerialAndIsBitwiseStable) {
   support::set_max_threads(1);
   auto comm =
       comm::Communicator::world(static_cast<int>(contributions.size()));
-  EXPECT_EQ(comm.allreduce_sum(contributions), serial);
+  // The reduction uses the fixed-lane tree order of docs/parallelism.md
+  // (not a left-to-right fold), so it agrees with the serial chain only up
+  // to reassociation rounding — the bitwise contract above is what the
+  // collective guarantees.
+  EXPECT_NEAR(comm.allreduce_sum(contributions), serial,
+              1e-14 * std::abs(serial));
 }
 
 TEST(Communicator, SplitCarvesDeterministicSubgroups) {

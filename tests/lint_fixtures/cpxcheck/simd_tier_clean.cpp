@@ -1,0 +1,26 @@
+// cpxcheck fixture — simd-tier rule, CLEAN cases.
+
+#include "support/simd.hpp"
+
+namespace fix {
+
+namespace simd = cpx::support::simd;
+
+// The fixed-lane tree helpers are the exact determinism tier: partial
+// sums land in kReduceLanes virtual lanes regardless of the simd width,
+// then combine in a fixed tree. Bitwise stable at any width.
+double dot_exact(const double* a, const double* b, long n) {
+  return simd::tree_reduce(0, n, [&](long i) { return a[i] * b[i]; });
+}
+
+double combine_exact(const double (&lanes)[simd::kReduceLanes]) {
+  return simd::tree_combine(lanes);
+}
+
+// A timing probe genuinely outside the determinism contract may keep the
+// cheap lane-order sum with an explicit marker.
+double probe_sum(const simd::pack<4>& acc) {
+  return simd::hsum(acc);  // cpx-lint: allow(simd-tier)
+}
+
+}  // namespace fix

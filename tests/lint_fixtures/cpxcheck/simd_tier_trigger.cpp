@@ -1,0 +1,25 @@
+// cpxcheck fixture — simd-tier rule, TRIGGER cases.
+
+#include "support/simd.hpp"
+
+namespace fix {
+
+namespace simd = cpx::support::simd;
+
+// Direct hsum() of a pack accumulator: lane-order rounding depends on
+// the active simd width, so the result is relaxed-tier.
+double dot_relaxed(const double* a, const double* b, long n) {
+  simd::pack<4> acc = simd::pack<4>::broadcast(0.0);
+  for (long i = 0; i + 4 <= n; i += 4) {
+    acc = simd::fma(simd::pack<4>::load(a + i), simd::pack<4>::load(b + i),
+                    acc);
+  }
+  return simd::hsum(acc);  // EXPECT simd-tier
+}
+
+// Qualified spelling is the same relaxed reduction.
+double norm_relaxed(const simd::pack<8>& acc) {
+  return cpx::support::simd::hsum(acc);  // EXPECT simd-tier
+}
+
+}  // namespace fix

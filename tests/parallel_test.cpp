@@ -25,8 +25,9 @@
 namespace cpx {
 namespace {
 
-bool bitwise_equal(const std::vector<double>& a,
-                   const std::vector<double>& b) {
+template <typename AllocA, typename AllocB>
+bool bitwise_equal(const std::vector<double, AllocA>& a,
+                   const std::vector<double, AllocB>& b) {
   return a.size() == b.size() &&
          (a.empty() ||
           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);

@@ -8,10 +8,13 @@
 #include <memory>
 #include <sstream>
 
+#include "json_parse.hpp"
+
 #include "mgcfd/instance.hpp"
 #include "perfmodel/allocator.hpp"
 #include "perfmodel/curve.hpp"
 #include "perfmodel/persistence.hpp"
+#include "perfmodel/roofline.hpp"
 #include "perfmodel/sweep.hpp"
 #include "simpic/instance.hpp"
 #include "simpic/stc.hpp"
@@ -330,6 +333,75 @@ TEST(Allocator, MakeComputesSizeAndIterScale) {
   const InstanceModel m = InstanceModel::make(
       "mgcfd24", flat_model("base", 10.0).curve, 8e6, 25.0, 24e6, 250.0);
   EXPECT_NEAR(m.scale, 30.0, 1e-12);
+}
+
+// --- Roofline accounting ---
+
+TEST(Roofline, RidgeAndAttainableFollowTheModel) {
+  const RooflineMachine m{40.0, 20.0};  // ridge at 2 flop/byte
+  EXPECT_NEAR(m.ridge_intensity(), 2.0, 1e-15);
+  EXPECT_NEAR(m.attainable_gflops(0.5), 10.0, 1e-12);  // bandwidth slope
+  EXPECT_NEAR(m.attainable_gflops(8.0), 40.0, 1e-12);  // compute ceiling
+}
+
+TEST(Roofline, ClassifyDerivesCoordinates) {
+  const RooflineMachine m{40.0, 20.0};
+  // 2e9 flops over 16e9 bytes in 1 s: I = 0.125, memory-bound, achieving
+  // 2 GFLOP/s of an attainable 2.5.
+  const KernelSample s{"spmv", 2'000'000'000, 16'000'000'000, 1.0};
+  const RooflinePoint p = classify(s, m);
+  EXPECT_EQ(p.name, "spmv");
+  EXPECT_NEAR(p.intensity, 0.125, 1e-15);
+  EXPECT_NEAR(p.gflops, 2.0, 1e-12);
+  EXPECT_NEAR(p.gbs, 16.0, 1e-12);
+  EXPECT_NEAR(p.ceiling_gflops, 2.5, 1e-12);
+  EXPECT_NEAR(p.fraction_of_roof, 0.8, 1e-12);
+  EXPECT_TRUE(p.memory_bound);
+}
+
+TEST(Roofline, ClassifyZeroWorkYieldsZeroesNotNans) {
+  const RooflineMachine m{40.0, 20.0};
+  const RooflinePoint p = classify(KernelSample{"empty", 0, 0, 0.0}, m);
+  EXPECT_EQ(p.intensity, 0.0);
+  EXPECT_EQ(p.gflops, 0.0);
+  EXPECT_EQ(p.gbs, 0.0);
+  EXPECT_EQ(p.fraction_of_roof, 0.0);
+}
+
+TEST(Roofline, PredictedSecondsIsTheSlowerCeiling) {
+  const RooflineMachine m{40.0, 20.0};
+  // Memory-bound: 20 GB at 20 GB/s = 1 s, flops would take 0.025 s.
+  EXPECT_NEAR(roofline_seconds(1'000'000'000, 20'000'000'000, m), 1.0,
+              1e-12);
+  // Compute-bound: 80 Gflop at 40 GFLOP/s = 2 s.
+  EXPECT_NEAR(roofline_seconds(80'000'000'000, 1'000'000'000, m), 2.0,
+              1e-12);
+  EXPECT_THROW(roofline_seconds(1, 1, RooflineMachine{}), CheckError);
+}
+
+TEST(Roofline, JsonDocumentIsValidAndCarriesEveryKernel) {
+  const RooflineMachine m{40.0, 20.0};
+  const std::vector<KernelSample> samples = {
+      {"blas1/dot", 2000, 16000, 1e-6},
+      {"sparse/spmv", 9000, 90000, 2e-6},
+  };
+  std::ostringstream os;
+  write_roofline_json(os, m, samples);
+  const testing::JsonValue doc = testing::parse_json(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->str, "cpx-roofline-v1");
+  const testing::JsonValue* machine = doc.find("machine");
+  ASSERT_NE(machine, nullptr);
+  EXPECT_NEAR(machine->find("peak_gflops")->number, 40.0, 1e-12);
+  EXPECT_NEAR(machine->find("ridge_intensity")->number, 2.0, 1e-12);
+  const testing::JsonValue* kernels = doc.find("kernels");
+  ASSERT_NE(kernels, nullptr);
+  ASSERT_EQ(kernels->items.size(), 2u);
+  const testing::JsonValue& dot = kernels->items[0];
+  EXPECT_EQ(dot.find("name")->str, "blas1/dot");
+  EXPECT_NEAR(dot.find("intensity")->number, 0.125, 1e-12);
+  EXPECT_NEAR(dot.find("gflops")->number, 2.0, 1e-9);
+  EXPECT_TRUE(dot.find("memory_bound")->boolean);
 }
 
 }  // namespace

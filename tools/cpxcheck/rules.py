@@ -71,6 +71,13 @@ RULES = (
         "points (amg::pcg, AmgHierarchy::solve/cycle) via the call graph.",
         frozenset({"solve-alloc", "alloc", "naked-new"})),
     RuleInfo(
+        "simd-tier",
+        "Horizontal SIMD reductions in kernel code go through the "
+        "fixed-lane tree helpers (tree_reduce/tree_combine, exact tier); "
+        "direct hsum() calls are relaxed-tier — lane-order rounding "
+        "changes with the simd width — and need allow(simd-tier).",
+        frozenset({"simd-tier"})),
+    RuleInfo(
         "allow-audit",
         "Every `cpx-lint: allow(<rule>)` marker names a rule that exists "
         "(in lint_cpx.py or cpxcheck); unknown names are dead suppressions "
@@ -129,6 +136,7 @@ def run_rules(project: Project) -> list[Finding]:
     findings += check_split_phase(project)
     findings += check_deterministic(project)
     findings += check_solve_alloc(project)
+    findings += check_simd_tier(project)
     findings += check_allow_audit(project)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
@@ -638,6 +646,43 @@ def _resolve_call(project, facts, fn, call: CallSite, by_name):
     if len(same_cls) == 1:
         return same_cls[0]
     return None
+
+
+# ---------------------------------------------------------------------------
+# simd-tier
+# ---------------------------------------------------------------------------
+
+def check_simd_tier(project: Project) -> list[Finding]:
+    """hsum() is the relaxed determinism tier: it sums lanes in order, so
+    its rounding depends on the active simd width. Kernel code must reduce
+    through tree_reduce/tree_combine (fixed kReduceLanes virtual lanes,
+    width-invariant tree) — see docs/parallelism.md. Direct hsum() call
+    sites outside the helper's home (support/simd.hpp) need an explicit
+    allow(simd-tier) marker."""
+    rule = rule_by_name("simd-tier")
+    findings: list[Finding] = []
+    for facts in project.files:
+        if facts.path.endswith("support/simd.hpp"):
+            continue
+        for fn in facts.functions:
+            for s in walk_stmts(fn.body):
+                toks = list(s.tokens) + list(s.range_tokens)
+                n = len(toks)
+                for k, t in enumerate(toks):
+                    if t.kind != lex.ID or t.text != "hsum":
+                        continue
+                    nxt = toks[k + 1].text if k + 1 < n else ""
+                    if nxt != "(":
+                        continue
+                    if project.allowed(facts, t.line, rule):
+                        continue
+                    findings.append(Finding(
+                        rule.name, facts.path, t.line,
+                        "hsum() is a relaxed-tier lane-order reduction "
+                        "whose rounding changes with the simd width; use "
+                        "tree_reduce/tree_combine for bit-stable results "
+                        "or mark the site allow(simd-tier)"))
+    return findings
 
 
 # ---------------------------------------------------------------------------
